@@ -1,0 +1,55 @@
+// Ablation: spatial tile refinement (the ':TileLevel' PARAMETER).
+// Coarse tiles mean few index entries but many false-positive candidates
+// for the exact filter; fine tiles invert the trade.  This is the design
+// knob the PARAMETERS clause exists to expose (§2.3) — the end user tunes
+// the cartridge without touching its code.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cartridge/spatial/spatial_cartridge.h"
+#include "engine/connection.h"
+#include "engine/workloads.h"
+
+using namespace exi;         // NOLINT
+using namespace exi::bench;  // NOLINT
+
+int main() {
+  Header("ablation: tile level — index size vs candidate precision");
+  constexpr uint64_t kRects = 4000;
+  std::printf("%6s | %12s | %10s %10s | %10s\n", "level", "iot_entries",
+              "query_us", "hits", "idx_reads");
+  for (int level : {2, 3, 4, 5, 6, 8, 10}) {
+    Database db;
+    Connection conn(&db);
+    if (!spatial::InstallSpatialCartridge(&conn).ok()) return 1;
+    if (!workload::BuildSpatialTable(&conn, "g", kRects, 300.0, 7).ok()) {
+      return 1;
+    }
+    conn.MustExecute(
+        "CREATE INDEX gidx ON g(geometry) INDEXTYPE IS SpatialIndexType "
+        "PARAMETERS (':TileLevel " +
+        std::to_string(level) + "')");
+    conn.MustExecute("ANALYZE g");
+    uint64_t entries = (*db.catalog().GetIot("gidx$ttab"))->row_count();
+
+    std::string sql =
+        "SELECT COUNT(*) FROM g WHERE Sdo_Relate(geometry, "
+        "SDO_GEOMETRY(3000,3000,3800,3800), 'mask=ANYINTERACT')";
+    conn.MustExecute(sql);  // warm
+    MetricsWindow window;
+    Timer timer;
+    QueryResult r = conn.MustExecute(sql);
+    int64_t us = timer.ElapsedUs();
+    StorageMetrics delta = window.Delta();
+    std::printf("%6d | %12llu | %10lld %10lld | %10llu\n", level,
+                (unsigned long long)entries, (long long)us,
+                (long long)r.rows[0][0].AsInteger(),
+                (unsigned long long)delta.index_nodes_read);
+  }
+  std::printf(
+      "\nshape check: hits are identical at every level (tile level is a\n"
+      "performance knob, never a correctness one); index size grows with\n"
+      "refinement while per-query reads bottom out at a sweet spot.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Experiment E5 (§3.2.4): chemistry index in LOBs vs external files.
+// Paper claims: the LOB-based solution "scales much better ... because it
+// minimizes intermediate write operations", while query performance is
+// comparable (cold reads slower on LOBs, warm dominated by in-memory
+// structure work).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cartridge/chem/chem_cartridge.h"
+#include "engine/connection.h"
+#include "engine/workloads.h"
+
+using namespace exi;         // NOLINT
+using namespace exi::bench;  // NOLINT
+
+int main() {
+  Header("E5: chem fingerprint index — LOB storage vs external file");
+  std::printf(
+      "%7s %7s | %12s %14s | %12s %14s | %10s %10s\n", "mols", "store",
+      "build_us", "build_bytes_w", "maint_us", "maint_bytes_w", "query_us",
+      "matches");
+  for (uint64_t n : {1000, 5000, 20000}) {
+    for (const char* storage : {"lob", "file"}) {
+      Database db;
+      db.catalog().set_external_root("/tmp/extidx_bench_chem");
+      Connection conn(&db);
+      if (!chem::InstallChemCartridge(&conn).ok()) return 1;
+      if (!workload::BuildMoleculeTable(&conn, "mols", n, 14, n).ok()) {
+        return 1;
+      }
+      conn.MustExecute("ANALYZE mols");
+
+      // Build.
+      MetricsWindow build_window;
+      Timer build_timer;
+      conn.MustExecute(std::string("CREATE INDEX midx ON mols(smiles) "
+                                   "INDEXTYPE IS ChemIndexType "
+                                   "PARAMETERS (':Storage ") +
+                       storage + "')");
+      int64_t build_us = build_timer.ElapsedUs();
+      StorageMetrics build_delta = build_window.Delta();
+
+      // Incremental maintenance: 200 single-row inserts.
+      Rng rng(99);
+      MetricsWindow maint_window;
+      Timer maint_timer;
+      for (int i = 0; i < 200; ++i) {
+        conn.MustExecute("INSERT INTO mols VALUES (" +
+                         std::to_string(1000000 + i) + ", '" +
+                         workload::RandomSmiles(&rng, 14) + "')");
+      }
+      int64_t maint_us = maint_timer.ElapsedUs();
+      StorageMetrics maint_delta = maint_window.Delta();
+
+      // Query (substructure), warm.
+      conn.MustExecute(
+          "SELECT COUNT(*) FROM mols WHERE MolContains(smiles, 'C=O')");
+      Timer query_timer;
+      QueryResult qr = conn.MustExecute(
+          "SELECT COUNT(*) FROM mols WHERE MolContains(smiles, 'C=O')");
+      int64_t query_us = query_timer.ElapsedUs();
+
+      uint64_t build_bytes = build_delta.lob_bytes_written +
+                             build_delta.file_bytes_written;
+      uint64_t maint_bytes = maint_delta.lob_bytes_written +
+                             maint_delta.file_bytes_written;
+      std::printf(
+          "%7llu %7s | %12lld %14llu | %12lld %14llu | %10lld %10lld\n",
+          (unsigned long long)n, storage, (long long)build_us,
+          (unsigned long long)build_bytes, (long long)maint_us,
+          (unsigned long long)maint_bytes, (long long)query_us,
+          (long long)qr.rows[0][0].AsInteger());
+    }
+  }
+  std::printf(
+      "\nshape check: per-row maintenance on the file store rewrites the\n"
+      "whole packed file (bytes written grow ~quadratically with index\n"
+      "size), while LOB maintenance appends in place; query times stay\n"
+      "comparable — the paper's rationale for migrating Daylight's\n"
+      "file-based index into LOBs.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Experiment E9 (§5): external index stores vs transaction rollback.
+// Without database events, an aborted transaction leaves the file-backed
+// chem index inconsistent (phantom fingerprints).  With commit/rollback
+// event handlers registered, consistency is restored at a measurable
+// cost.  Correctness experiment + overhead sweep over abort rates.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cartridge/chem/chem_cartridge.h"
+#include "cartridge/chem/fingerprint.h"
+#include "engine/connection.h"
+#include "engine/workloads.h"
+
+using namespace exi;         // NOLINT
+using namespace exi::bench;  // NOLINT
+
+namespace {
+
+// Counts live fingerprint records in the external file.
+size_t LiveRecords(Database* db, const std::string& index_name) {
+  Result<FileStore*> files =
+      db->catalog().GetOrCreateFileStore(index_name);
+  if (!files.ok() || !(*files)->FileExists("fingerprints.dat")) return 0;
+  auto bytes = (*files)->ReadFile("fingerprints.dat");
+  if (!bytes.ok()) return 0;
+  return chem::DecodeFingerprintRecords(*bytes).size();
+}
+
+struct RunResult {
+  size_t phantoms;
+  int64_t us;
+};
+
+RunResult RunTxns(bool with_handler, int txns, int abort_every) {
+  Database db;
+  db.catalog().set_external_root("/tmp/extidx_bench_events");
+  Connection conn(&db);
+  (void)chem::InstallChemCartridge(&conn);
+  (void)workload::BuildMoleculeTable(&conn, "mols", 200, 12, 77);
+  conn.MustExecute(
+      "CREATE INDEX mfile ON mols(smiles) INDEXTYPE IS ChemIndexType "
+      "PARAMETERS (':Storage file')");
+  uint64_t handler = 0;
+  if (with_handler) {
+    handler = chem::RegisterChemRollbackHandler(&db, "mfile");
+  }
+
+  Rng rng(5);
+  size_t committed_rows = 200;
+  Timer timer;
+  for (int t = 0; t < txns; ++t) {
+    conn.MustExecute("BEGIN");
+    conn.MustExecute("INSERT INTO mols VALUES (" +
+                     std::to_string(10000 + t) + ", '" +
+                     workload::RandomSmiles(&rng, 12) + "')");
+    bool abort = abort_every > 0 && (t % abort_every) == 0;
+    if (abort) {
+      conn.MustExecute("ROLLBACK");
+    } else {
+      conn.MustExecute("COMMIT");
+      ++committed_rows;
+    }
+  }
+  RunResult result;
+  result.us = timer.ElapsedUs();
+  size_t live = LiveRecords(&db, "mfile");
+  result.phantoms = live > committed_rows ? live - committed_rows : 0;
+  if (handler != 0) db.events().Unregister(handler);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  Header("E9: external store + rollback — phantoms without database events");
+  constexpr int kTxns = 100;
+  std::printf("%12s | %18s %12s | %18s %12s\n", "abort_rate",
+              "phantoms(no evt)", "us(no evt)", "phantoms(events)",
+              "us(events)");
+  struct Case {
+    const char* label;
+    int abort_every;  // 0 = never abort
+  };
+  for (const Case& c : {Case{"0%", 0}, Case{"10%", 10}, Case{"50%", 2}}) {
+    RunResult without = RunTxns(false, kTxns, c.abort_every);
+    RunResult with = RunTxns(true, kTxns, c.abort_every);
+    std::printf("%12s | %18zu %12lld | %18zu %12lld\n", c.label,
+                without.phantoms, (long long)without.us, with.phantoms,
+                (long long)with.us);
+  }
+  std::printf(
+      "\nshape check: without events, phantom index entries accumulate\n"
+      "with the abort rate (the §5 limitation); with rollback handlers\n"
+      "registered, phantoms stay at zero for the price of rebuilding the\n"
+      "external file after each abort.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Experiment E10 (ablation, §4): the cost of the extensibility indirection.
+// The same B-tree workload through (a) the native B-tree access method and
+// (b) a B-tree re-implemented as a domain index whose routines reach index
+// data through server callbacks.  The paper argues SQL-callback-level
+// integration costs something versus [Sto86]-style low-level integration
+// but stays practical thanks to batch interfaces.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cartridge/domain_btree/domain_btree.h"
+#include "common/rng.h"
+#include "engine/connection.h"
+
+using namespace exi;         // NOLINT
+using namespace exi::bench;  // NOLINT
+
+namespace {
+
+int64_t TimeQueries(Connection* conn, const std::string& base_sql,
+                    int queries, uint64_t modulus, Rng* rng,
+                    bool range, int64_t width) {
+  Timer timer;
+  for (int q = 0; q < queries; ++q) {
+    int64_t v = int64_t(rng->Uniform(modulus));
+    std::string sql;
+    if (range) {
+      sql = base_sql + "(" + std::to_string(v) + ", " +
+            std::to_string(v + width) + ")";
+    } else {
+      sql = base_sql + std::to_string(v);
+    }
+    conn->MustExecute(sql);
+  }
+  return timer.ElapsedUs();
+}
+
+}  // namespace
+
+int main() {
+  Header("E10: native B-tree vs domain-index B-tree (framework overhead)");
+  std::printf("%8s %-18s | %12s %12s %10s\n", "rows", "operation",
+              "native_us", "domain_us", "overhead");
+  for (uint64_t n : {10000, 100000}) {
+    Database db;
+    Connection conn(&db);
+    if (!dbt::InstallDomainBtreeCartridge(&conn).ok()) return 1;
+    conn.MustExecute("CREATE TABLE t (id INTEGER, v INTEGER)");
+    for (uint64_t i = 0; i < n; ++i) {
+      (void)db.InsertRow(
+          "t", {Value::Integer(int64_t(i)), Value::Integer(int64_t(i))},
+          nullptr);
+    }
+    conn.MustExecute("CREATE INDEX t_native ON t(v)");
+    conn.MustExecute(
+        "CREATE INDEX t_domain ON t(v) INDEXTYPE IS DomainBtreeType");
+    conn.MustExecute("ANALYZE t");
+
+    constexpr int kQueries = 200;
+    Rng rng(n);
+
+    // Warm both paths (allocator/caches) before any timed loop.
+    for (int q = 0; q < 20; ++q) {
+      conn.MustExecute("SELECT COUNT(*) FROM t WHERE v = " +
+                       std::to_string(rng.Uniform(n)));
+      conn.MustExecute("SELECT COUNT(*) FROM t WHERE DEq(v, " +
+                       std::to_string(rng.Uniform(n)) + ")");
+    }
+
+    // Point lookups.  The planner picks the cheaper path; native wins on
+    // cost, so the domain path is exercised via the DEq operator (only
+    // the domain index supports it) and the native path via v = k.
+    int64_t native_pt = TimeQueries(
+        &conn, "SELECT COUNT(*) FROM t WHERE v = ", kQueries, n, &rng,
+        false, 0);
+    Timer deq_timer;
+    for (int q = 0; q < kQueries; ++q) {
+      int64_t v = int64_t(rng.Uniform(n));
+      conn.MustExecute("SELECT COUNT(*) FROM t WHERE DEq(v, " +
+                       std::to_string(v) + ")");
+    }
+    int64_t domain_pt = deq_timer.ElapsedUs();
+    std::printf("%8llu %-18s | %12lld %12lld %9.2fx\n",
+                (unsigned long long)n, "point lookup x200",
+                (long long)native_pt, (long long)domain_pt,
+                native_pt > 0 ? double(domain_pt) / double(native_pt) : 0.0);
+
+    // Range scans at 1% width.
+    int64_t width = int64_t(n / 100);
+    Timer native_rt;
+    for (int q = 0; q < 50; ++q) {
+      int64_t v = int64_t(rng.Uniform(n - uint64_t(width)));
+      conn.MustExecute("SELECT COUNT(*) FROM t WHERE v >= " +
+                       std::to_string(v) + " AND v <= " +
+                       std::to_string(v + width));
+    }
+    int64_t native_range = native_rt.ElapsedUs();
+    Timer domain_rt;
+    for (int q = 0; q < 50; ++q) {
+      int64_t v = int64_t(rng.Uniform(n - uint64_t(width)));
+      conn.MustExecute("SELECT COUNT(*) FROM t WHERE DBetween(v, " +
+                       std::to_string(v) + ", " +
+                       std::to_string(v + width) + ")");
+    }
+    int64_t domain_range = domain_rt.ElapsedUs();
+    std::printf("%8llu %-18s | %12lld %12lld %9.2fx\n",
+                (unsigned long long)n, "1% range x50",
+                (long long)native_range, (long long)domain_range,
+                native_range > 0
+                    ? double(domain_range) / double(native_range)
+                    : 0.0);
+
+    // Maintenance: 1000 single-row inserts maintaining both indexes.
+    Timer ins_timer;
+    for (int i = 0; i < 1000; ++i) {
+      (void)db.InsertRow("t",
+                         {Value::Integer(int64_t(n) + int64_t(i)),
+                          Value::Integer(int64_t(rng.Uniform(n)))},
+                         nullptr);
+    }
+    std::printf("%8llu %-18s | %12s %12lld %10s\n", (unsigned long long)n,
+                "insert x1000 (both)", "-", (long long)ins_timer.ElapsedUs(),
+                "-");
+  }
+  std::printf(
+      "\nshape check: the domain-index B-tree pays a constant-factor\n"
+      "dispatch/callback overhead over the native B-tree but scales the\n"
+      "same — the framework's practicality claim (§4).\n");
+  return 0;
+}

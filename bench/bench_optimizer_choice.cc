@@ -1,0 +1,81 @@
+// Experiment E6 (§2.4.2): the paper's optimizer example —
+//   SELECT * FROM Employees WHERE Contains(resume, 'Oracle') AND id = 100
+// The cost-based optimizer weighs the domain-index scan (priced by
+// ODCIStatsSelectivity/IndexCost) against a B-tree range on id and a
+// sequential scan, per combination of text selectivity x id-range width.
+// The crossover: selective text => domain index; selective id => B-tree
+// with Contains evaluated functionally on the survivors.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "cartridge/text/text_cartridge.h"
+#include "engine/connection.h"
+#include "engine/workloads.h"
+
+using namespace exi;         // NOLINT
+using namespace exi::bench;  // NOLINT
+
+namespace {
+
+std::string ChosenPath(const std::string& explain) {
+  size_t star = explain.find("  * ");
+  if (star == std::string::npos) return "?";
+  size_t end = explain.find(" cost=", star);
+  std::string path = explain.substr(star + 4, end - star - 4);
+  if (path.find("DomainIndex") != std::string::npos) return "DOMAIN";
+  if (path.find("BTREE") != std::string::npos) return "BTREE";
+  if (path.find("SeqScan") != std::string::npos) return "SEQSCAN";
+  return path;
+}
+
+}  // namespace
+
+int main() {
+  Header("E6: optimizer choice — Contains(body, T) AND id <= W");
+  constexpr uint64_t kDocs = 20000;
+  Database db;
+  Connection conn(&db);
+  if (!text::InstallTextCartridge(&conn).ok()) return 1;
+  if (!workload::BuildTextTable(&conn, "docs", kDocs, 60, 5000, 0.9, 3)
+           .ok()) {
+    return 1;
+  }
+  conn.MustExecute(
+      "CREATE INDEX dtext ON docs(body) INDEXTYPE IS TextIndexType");
+  conn.MustExecute("CREATE INDEX did ON docs(id)");
+  conn.MustExecute("ANALYZE docs");
+
+  // Text terms by document frequency (Zipf rank): w1 ~ everywhere,
+  // w2000 ~ rare.  id <= W widths sweep the B-tree selectivity.
+  const char* terms[] = {"w1", "w30", "w300", "w2000"};
+  const int64_t widths[] = {20, 200, 2000, 20000};
+
+  std::printf("%-8s", "term\\W");
+  for (int64_t w : widths) std::printf(" %14lld", (long long)w);
+  std::printf("\n");
+  for (const char* term : terms) {
+    std::printf("%-8s", term);
+    for (int64_t w : widths) {
+      std::string sql = std::string("EXPLAIN SELECT id FROM docs WHERE "
+                                    "Contains(body, '") +
+                        term + "') AND id <= " + std::to_string(w);
+      QueryResult ex = conn.MustExecute(sql);
+      std::string chosen = ChosenPath(ex.message);
+      // Execute the real query and time it.
+      Timer timer;
+      QueryResult r = conn.MustExecute(sql.substr(8));
+      std::printf(" %7s:%5lldus", chosen.c_str(),
+                  (long long)timer.ElapsedUs());
+      (void)r;
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nshape check: top-left (common term, narrow id range) chooses the\n"
+      "B-tree and applies Contains functionally; bottom-right (rare term,\n"
+      "wide range) chooses the domain index — the paper's §2.4.2\n"
+      "cost-based decision.\n");
+  return 0;
+}

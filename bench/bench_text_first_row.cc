@@ -1,0 +1,97 @@
+// Experiment E2 (§3.2.1): "Improved response time because the row
+// satisfying the text predicate can be identified on demand" — time to
+// the first K rows for three strategies over the same index:
+//   incremental  — ODCIIndexFetch computes candidates a batch at a time,
+//   precompute   — ODCIIndexStart computes everything, Fetch iterates,
+//   legacy       — pre-8i two-step plan; nothing is returned until the
+//                  whole temp table is built.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cartridge/text/legacy_text.h"
+#include "cartridge/text/text_cartridge.h"
+#include "engine/connection.h"
+#include "engine/workloads.h"
+
+using namespace exi;         // NOLINT
+using namespace exi::bench;  // NOLINT
+
+namespace {
+
+// Time until K rowids fetched through a domain-index scan.
+int64_t TimeToK(Database* db, const std::string& index,
+                const std::string& query, size_t k) {
+  Timer timer;
+  OdciPredInfo pred =
+      OdciPredInfo::BooleanTrue("Contains", {Value::Varchar(query)});
+  auto scan = db->domains().StartScan(index, pred);
+  if (!scan.ok()) return -1;
+  OdciFetchBatch batch;
+  size_t got = 0;
+  while (got < k) {
+    if (!(*scan)->NextBatch(64, &batch).ok()) return -1;
+    if (batch.end_of_scan()) break;
+    got += batch.rids.size();
+  }
+  int64_t us = timer.ElapsedUs();
+  (void)(*scan)->Close();
+  return us;
+}
+
+// Legacy: time until the K-th row arrives at the callback.
+int64_t LegacyTimeToK(Database* db, const std::string& index,
+                      const std::string& query, size_t k) {
+  Timer timer;
+  size_t got = 0;
+  int64_t at_k = -1;
+  (void)text::LegacyTextQuery(db, index, query,
+                              [&](RowId, const Row&) {
+                                if (++got == k) at_k = timer.ElapsedUs();
+                              });
+  return at_k;
+}
+
+}  // namespace
+
+int main() {
+  Header("E2: time to first K rows — incremental vs precompute vs pre-8i");
+  constexpr uint64_t kDocs = 30000;
+  Database db;
+  Connection conn(&db);
+  if (!text::InstallTextCartridge(&conn).ok()) return 1;
+  if (!workload::BuildTextTable(&conn, "docs", kDocs, 60, 5000, 0.9, 7)
+           .ok()) {
+    return 1;
+  }
+  // Two indexes over the same column, one per scan strategy.
+  conn.MustExecute(
+      "CREATE INDEX t_inc ON docs(body) INDEXTYPE IS TextIndexType "
+      "PARAMETERS (':Mode incremental')");
+  conn.MustExecute(
+      "CREATE INDEX t_pre ON docs(body) INDEXTYPE IS TextIndexType "
+      "PARAMETERS (':Mode precompute')");
+
+  const char* query = "w2";  // common single term => large result set
+  // Warm.
+  TimeToK(&db, "t_inc", query, 1);
+  TimeToK(&db, "t_pre", query, 1);
+  LegacyTimeToK(&db, "t_pre", query, 1);
+
+  std::printf("corpus: %llu docs, query '%s'\n\n",
+              (unsigned long long)kDocs, query);
+  std::printf("%8s | %14s %14s %14s\n", "K", "incr_us", "precomp_us",
+              "legacy_us");
+  for (size_t k : {1, 10, 100, 1000, 10000}) {
+    int64_t inc = TimeToK(&db, "t_inc", query, k);
+    int64_t pre = TimeToK(&db, "t_pre", query, k);
+    int64_t leg = LegacyTimeToK(&db, "t_pre", query, k);
+    std::printf("%8zu | %14lld %14lld %14lld\n", k, (long long)inc,
+                (long long)pre, (long long)leg);
+  }
+  std::printf(
+      "\nshape check: incremental time-to-first-row is flat and small;\n"
+      "precompute pays the full evaluation at Start; the legacy plan pays\n"
+      "full evaluation plus temp-table materialization before row 1.\n");
+  return 0;
+}

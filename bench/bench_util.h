@@ -1,0 +1,46 @@
+#ifndef EXTIDX_BENCH_BENCH_UTIL_H_
+#define EXTIDX_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/metrics.h"
+
+namespace exi::bench {
+
+// Wall-clock stopwatch in microseconds.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  int64_t ElapsedUs() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double ElapsedMs() const { return double(ElapsedUs()) / 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Captures a metrics window.
+class MetricsWindow {
+ public:
+  MetricsWindow() : before_(GlobalMetrics()) {}
+  StorageMetrics Delta() const { return GlobalMetrics().Delta(before_); }
+
+ private:
+  StorageMetrics before_;
+};
+
+inline void Header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace exi::bench
+
+#endif  // EXTIDX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+// Experiment E4 (§3.2.3): multi-level filtering makes large image tables
+// feasible.  Per table size: per-row full-signature comparison (pre-8i
+// behavior) vs the 3-phase domain-index scan, with the filter funnel.
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/bench_util.h"
+#include "cartridge/vir/vir_cartridge.h"
+#include "engine/connection.h"
+#include "engine/workloads.h"
+
+using namespace exi;         // NOLINT
+using namespace exi::bench;  // NOLINT
+
+namespace {
+
+std::string ImageLiteral(const vir::Signature& sig) {
+  std::ostringstream os;
+  os << "IMAGE_T(";
+  for (size_t i = 0; i < vir::kSignatureDims; ++i) {
+    if (i) os << ",";
+    os << sig[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  Header("E4: image similarity — per-row comparison vs multi-level filter");
+  std::printf("%8s %7s | %12s %12s %8s | %9s %9s %9s\n", "images",
+              "matches", "func_us", "index_us", "speedup", "phase1",
+              "phase2", "phase3");
+  for (uint64_t n : {10000, 50000, 200000}) {
+    Database db;
+    Connection conn(&db);
+    if (!vir::InstallVirCartridge(&conn).ok()) return 1;
+    if (!workload::BuildImageTable(&conn, "images", n, 16, 0.04, n).ok()) {
+      return 1;
+    }
+    conn.MustExecute("ANALYZE images");
+    workload::SignatureSource probe(16, 0.04, n);
+    std::string where = "VIRSimilar(img, " + ImageLiteral(probe.Next()) +
+                        ", 'globalcolor=0.5,localcolor=0.0,texture=0.5,"
+                        "structure=0.0', 0.12)";
+
+    Timer func_timer;
+    QueryResult func = conn.MustExecute("SELECT id FROM images WHERE " +
+                                        where);
+    int64_t func_us = func_timer.ElapsedUs();
+
+    conn.MustExecute(
+        "CREATE INDEX img_idx ON images(img) INDEXTYPE IS VirIndexType");
+    conn.MustExecute("SELECT id FROM images WHERE " + where);  // warm
+    Timer idx_timer;
+    QueryResult idx = conn.MustExecute("SELECT id FROM images WHERE " +
+                                       where);
+    int64_t idx_us = idx_timer.ElapsedUs();
+    auto funnel = vir::VirIndexMethods::last_counters();
+
+    if (func.rows.size() != idx.rows.size()) {
+      std::printf("RESULT MISMATCH at n=%llu: %zu vs %zu\n",
+                  (unsigned long long)n, func.rows.size(), idx.rows.size());
+      return 1;
+    }
+    std::printf("%8llu %7zu | %12lld %12lld %7.1fx | %9llu %9llu %9llu\n",
+                (unsigned long long)n, idx.rows.size(), (long long)func_us,
+                (long long)idx_us,
+                idx_us > 0 ? double(func_us) / double(idx_us) : 0.0,
+                (unsigned long long)funnel.phase1_candidates,
+                (unsigned long long)funnel.phase2_survivors,
+                (unsigned long long)funnel.matches);
+  }
+  std::printf(
+      "\nshape check: the index advantage grows with table size; the two\n"
+      "coarse phases discard the overwhelming majority of rows before any\n"
+      "full signature is compared (the paper: content-based queries on\n"
+      "millions of rows became possible).\n");
+  return 0;
+}

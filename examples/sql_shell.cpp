@@ -1,0 +1,107 @@
+// Interactive SQL shell over the engine with every cartridge installed.
+// Statements end with ';'.  Meta-commands: \q quit, \m metrics, \t tables.
+//
+//   $ ./build/examples/sql_shell
+//   extidx> CREATE TABLE docs (id INTEGER, body VARCHAR(200));
+//   extidx> CREATE INDEX dt ON docs(body) INDEXTYPE IS TextIndexType;
+//   extidx> INSERT INTO docs VALUES (1, 'hello oracle world');
+//   extidx> SELECT id, Score() FROM docs WHERE Contains(body, 'oracle');
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "cartridge/chem/chem_cartridge.h"
+#include "cartridge/domain_btree/domain_btree.h"
+#include "cartridge/spatial/spatial_cartridge.h"
+#include "cartridge/text/text_cartridge.h"
+#include "cartridge/varray/varray_cartridge.h"
+#include "cartridge/vir/vir_cartridge.h"
+#include "common/metrics.h"
+#include "engine/connection.h"
+
+using namespace exi;  // NOLINT — example brevity
+
+namespace {
+
+void PrintResult(const QueryResult& result) {
+  if (!result.has_rows()) {
+    if (!result.message.empty()) std::printf("%s\n", result.message.c_str());
+    return;
+  }
+  // Header.
+  for (size_t c = 0; c < result.column_names.size(); ++c) {
+    std::printf(c ? " | %s" : "%s", result.column_names[c].c_str());
+  }
+  std::printf("\n");
+  for (size_t c = 0; c < result.column_names.size(); ++c) {
+    std::printf(c ? "-+-%s" : "%s",
+                std::string(result.column_names[c].size(), '-').c_str());
+  }
+  std::printf("\n");
+  for (const Row& row : result.rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf(c ? " | %s" : "%s", row[c].ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(%zu row%s)\n", result.rows.size(),
+              result.rows.size() == 1 ? "" : "s");
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  db.catalog().set_external_root("/tmp/extidx_shell_external");
+  Connection conn(&db);
+  if (!text::InstallTextCartridge(&conn).ok() ||
+      !spatial::InstallSpatialCartridge(&conn).ok() ||
+      !vir::InstallVirCartridge(&conn).ok() ||
+      !chem::InstallChemCartridge(&conn).ok() ||
+      !dbt::InstallDomainBtreeCartridge(&conn).ok() ||
+      !varr::InstallVarrayCartridge(&conn).ok()) {
+    std::fprintf(stderr, "cartridge installation failed\n");
+    return 1;
+  }
+  std::printf(
+      "extidx shell — cartridges installed: TextIndexType, "
+      "SpatialIndexType, RtreeIndexType, VirIndexType, ChemIndexType, "
+      "DomainBtreeType, VarrayIndexType\n"
+      "end statements with ';'   \\q quit   \\m metrics   \\t tables\n");
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "extidx> " : "   ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (buffer.empty()) {
+      if (line == "\\q") break;
+      if (line == "\\m") {
+        std::printf("%s\n", GlobalMetrics().ToString().c_str());
+        continue;
+      }
+      if (line == "\\t") {
+        for (const std::string& name : db.catalog().TableNames()) {
+          HeapTable* t = *db.catalog().GetTable(name);
+          std::printf("%s %s — %llu rows\n", name.c_str(),
+                      t->schema().ToString().c_str(),
+                      (unsigned long long)t->row_count());
+        }
+        continue;
+      }
+    }
+    buffer += line;
+    buffer += "\n";
+    if (line.find(';') == std::string::npos) continue;
+    Result<QueryResult> result = conn.ExecuteScript(buffer);
+    buffer.clear();
+    if (!result.ok()) {
+      std::printf("ERROR: %s\n", result.status().ToString().c_str());
+    } else {
+      PrintResult(*result);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,466 @@
+#include "cartridge/chem/chem_cartridge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "cartridge/params.h"
+#include "common/strings.h"
+#include "core/callback_guard.h"
+#include "core/scan_context.h"
+
+namespace exi::chem {
+
+namespace {
+
+std::string MetaTableName(const std::string& index_name) {
+  return index_name + "$meta";
+}
+
+Schema MetaTableSchema() {
+  Schema schema;
+  schema.AddColumn(Column{"key", DataType::Varchar(64), true});
+  schema.AddColumn(Column{"val", DataType::Integer(), true});
+  return schema;
+}
+
+constexpr char kFingerprintFile[] = "fingerprints.dat";
+
+// ---- record store abstraction over the two storage backends ----
+
+class RecordStore {
+ public:
+  virtual ~RecordStore() = default;
+  virtual Result<std::vector<uint8_t>> ReadAll() = 0;
+  virtual Status Append(const std::vector<uint8_t>& record) = 0;
+  // Zeroes the rid of the record at `index` (tombstone delete).
+  virtual Status Tombstone(size_t index) = 0;
+  virtual Status Clear() = 0;
+};
+
+// In-database storage: records appended to a LOB through the file-like
+// LOB interface ("minimal changes were required to the index management
+// software", §3.2.4).  Fully transactional via the engine's LOB undo.
+class LobRecordStore : public RecordStore {
+ public:
+  LobRecordStore(ServerContext* ctx, LobId lob) : ctx_(ctx), lob_(lob) {}
+
+  Result<std::vector<uint8_t>> ReadAll() override {
+    return ctx_->ReadLobAll(lob_);
+  }
+  Status Append(const std::vector<uint8_t>& record) override {
+    return ctx_->AppendLob(lob_, record);
+  }
+  Status Tombstone(size_t index) override {
+    std::vector<uint8_t> zero(8, 0);
+    return ctx_->WriteLob(lob_, index * kFingerprintRecordBytes, zero);
+  }
+  Status Clear() override {
+    // The LOB API has no truncate and the LOB id is pinned by the metadata
+    // table, so clearing tombstones every record in place.
+    EXI_ASSIGN_OR_RETURN(std::vector<uint8_t> all, ctx_->ReadLobAll(lob_));
+    std::vector<uint8_t> zeros(all.size(), 0);
+    if (!zeros.empty()) {
+      EXI_RETURN_IF_ERROR(ctx_->WriteLob(lob_, 0, zeros));
+    }
+    return Status::OK();
+  }
+
+ private:
+  ServerContext* ctx_;
+  LobId lob_;
+};
+
+// External file storage (§5): the packed file is rewritten wholesale on
+// every maintenance operation, and nothing here is transactional.
+class FileRecordStore : public RecordStore {
+ public:
+  explicit FileRecordStore(FileStore* files) : files_(files) {}
+
+  Result<std::vector<uint8_t>> ReadAll() override {
+    if (!files_->FileExists(kFingerprintFile)) {
+      return std::vector<uint8_t>{};
+    }
+    return files_->ReadFile(kFingerprintFile);
+  }
+  Status Append(const std::vector<uint8_t>& record) override {
+    // Legacy packed format: no incremental update; read + rewrite.
+    EXI_ASSIGN_OR_RETURN(std::vector<uint8_t> all, ReadAll());
+    all.insert(all.end(), record.begin(), record.end());
+    return files_->WriteFile(kFingerprintFile, all);
+  }
+  Status Tombstone(size_t index) override {
+    EXI_ASSIGN_OR_RETURN(std::vector<uint8_t> all, ReadAll());
+    size_t offset = index * kFingerprintRecordBytes;
+    if (offset + 8 > all.size()) {
+      return Status::Internal("chem file store tombstone out of range");
+    }
+    std::fill(all.begin() + offset, all.begin() + offset + 8, 0);
+    return files_->WriteFile(kFingerprintFile, all);
+  }
+  Status Clear() override {
+    return files_->WriteFile(kFingerprintFile, {});
+  }
+
+ private:
+  FileStore* files_;
+};
+
+Result<std::unique_ptr<RecordStore>> OpenStore(const OdciIndexInfo& info,
+                                               ServerContext& ctx) {
+  if (ChemIndexMethods::UsesFileStorage(info.parameters)) {
+    EXI_ASSIGN_OR_RETURN(FileStore * files,
+                         ctx.ExternalFiles(info.index_name));
+    return std::unique_ptr<RecordStore>(new FileRecordStore(files));
+  }
+  EXI_ASSIGN_OR_RETURN(Row row, ctx.IotGet(MetaTableName(info.index_name),
+                                           {Value::Varchar("fp_lob")}));
+  return std::unique_ptr<RecordStore>(
+      new LobRecordStore(&ctx, LobId(row[1].AsInteger())));
+}
+
+// Finds the live record index for `rid`, or -1.
+Result<int64_t> FindRecordIndex(RecordStore* store, RowId rid) {
+  EXI_ASSIGN_OR_RETURN(std::vector<uint8_t> all, store->ReadAll());
+  size_t count = all.size() / kFingerprintRecordBytes;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t rec_rid;
+    std::memcpy(&rec_rid, all.data() + i * kFingerprintRecordBytes, 8);
+    if (rec_rid == rid) return int64_t(i);
+  }
+  return int64_t(-1);
+}
+
+struct ChemScanWorkspace {
+  // (rid, score): score is Tanimoto for MolSim, 1.0 for MolContains.
+  std::vector<std::pair<RowId, double>> matches;
+  size_t pos = 0;
+};
+
+}  // namespace
+
+bool ChemIndexMethods::UsesFileStorage(const std::string& parameters) {
+  IndexParameters params(parameters);
+  return EqualsIgnoreCase(params.Get("storage", "lob"), "file");
+}
+
+Status ChemIndexMethods::Create(const OdciIndexInfo& info,
+                                ServerContext& ctx) {
+  if (!UsesFileStorage(info.parameters)) {
+    EXI_RETURN_IF_ERROR(ctx.CreateIot(MetaTableName(info.index_name),
+                                      MetaTableSchema(), 1));
+    EXI_ASSIGN_OR_RETURN(LobId lob, ctx.CreateLob());
+    EXI_RETURN_IF_ERROR(ctx.IotUpsert(
+        MetaTableName(info.index_name),
+        {Value::Varchar("fp_lob"), Value::Integer(int64_t(lob))}));
+  }
+  EXI_ASSIGN_OR_RETURN(std::unique_ptr<RecordStore> store,
+                       OpenStore(info, ctx));
+  EXI_RETURN_IF_ERROR(store->Clear());
+  // Bulk build: compute all fingerprints, then append in one batch per
+  // backend operation granularity.
+  int col = info.indexed_position();
+  std::vector<uint8_t> batch;
+  Status inner = Status::OK();
+  EXI_RETURN_IF_ERROR(ctx.ScanBaseTable(
+      info.table_name, [&](RowId rid, const Row& row) {
+        const Value& v = row[col];
+        if (v.is_null()) return true;
+        Result<Molecule> mol = Molecule::ParseSmiles(v.AsVarchar());
+        if (!mol.ok()) {
+          inner = mol.status();
+          return false;
+        }
+        AppendFingerprintRecord(&batch, rid, ComputeFingerprint(*mol));
+        return true;
+      }));
+  EXI_RETURN_IF_ERROR(inner);
+  if (!batch.empty()) {
+    EXI_RETURN_IF_ERROR(store->Append(batch));
+  }
+  return Status::OK();
+}
+
+Status ChemIndexMethods::Alter(const OdciIndexInfo& info,
+                               ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  // Changing :Storage after creation is not supported (would require
+  // migrating records between stores).
+  return Status::OK();
+}
+
+Status ChemIndexMethods::Truncate(const OdciIndexInfo& info,
+                                  ServerContext& ctx) {
+  EXI_ASSIGN_OR_RETURN(std::unique_ptr<RecordStore> store,
+                       OpenStore(info, ctx));
+  return store->Clear();
+}
+
+Status ChemIndexMethods::Drop(const OdciIndexInfo& info, ServerContext& ctx) {
+  if (UsesFileStorage(info.parameters)) {
+    EXI_ASSIGN_OR_RETURN(FileStore * files,
+                         ctx.ExternalFiles(info.index_name));
+    return files->Clear();
+  }
+  EXI_ASSIGN_OR_RETURN(Row row, ctx.IotGet(MetaTableName(info.index_name),
+                                           {Value::Varchar("fp_lob")}));
+  EXI_RETURN_IF_ERROR(ctx.DropLob(LobId(row[1].AsInteger())));
+  return ctx.DropIot(MetaTableName(info.index_name));
+}
+
+Status ChemIndexMethods::Insert(const OdciIndexInfo& info, RowId rid,
+                                const Value& new_value, ServerContext& ctx) {
+  if (new_value.is_null()) return Status::OK();
+  EXI_ASSIGN_OR_RETURN(Molecule mol,
+                       Molecule::ParseSmiles(new_value.AsVarchar()));
+  EXI_ASSIGN_OR_RETURN(std::unique_ptr<RecordStore> store,
+                       OpenStore(info, ctx));
+  std::vector<uint8_t> record;
+  AppendFingerprintRecord(&record, rid, ComputeFingerprint(mol));
+  return store->Append(record);
+}
+
+Status ChemIndexMethods::Delete(const OdciIndexInfo& info, RowId rid,
+                                const Value& old_value, ServerContext& ctx) {
+  if (old_value.is_null()) return Status::OK();
+  EXI_ASSIGN_OR_RETURN(std::unique_ptr<RecordStore> store,
+                       OpenStore(info, ctx));
+  EXI_ASSIGN_OR_RETURN(int64_t index, FindRecordIndex(store.get(), rid));
+  if (index < 0) return Status::OK();  // never indexed (e.g. NULL insert)
+  return store->Tombstone(size_t(index));
+}
+
+Status ChemIndexMethods::Update(const OdciIndexInfo& info, RowId rid,
+                                const Value& old_value,
+                                const Value& new_value, ServerContext& ctx) {
+  EXI_RETURN_IF_ERROR(Delete(info, rid, old_value, ctx));
+  return Insert(info, rid, new_value, ctx);
+}
+
+Result<OdciScanContext> ChemIndexMethods::Start(const OdciIndexInfo& info,
+                                                const OdciPredInfo& pred,
+                                                ServerContext& ctx) {
+  if (pred.args.empty() || pred.args[0].tag() != TypeTag::kVarchar) {
+    return Status::InvalidArgument(
+        "chem index scan expects a SMILES query argument");
+  }
+  EXI_ASSIGN_OR_RETURN(Molecule query,
+                       Molecule::ParseSmiles(pred.args[0].AsVarchar()));
+  Fingerprint qfp = ComputeFingerprint(query);
+
+  EXI_ASSIGN_OR_RETURN(std::unique_ptr<RecordStore> store,
+                       OpenStore(info, ctx));
+  EXI_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, store->ReadAll());
+  std::vector<FingerprintRecord> records = DecodeFingerprintRecords(raw);
+
+  auto ws = std::make_shared<ChemScanWorkspace>();
+  if (EqualsIgnoreCase(pred.operator_name, "MolSim")) {
+    // Similarity: evaluated entirely on index data; the planner's bounds
+    // (MolSim(...) >= t etc.) become the similarity window.
+    double lo = pred.lower_bound.has_value() &&
+                        DataType(pred.lower_bound->tag()).is_numeric()
+                    ? pred.lower_bound->AsDouble()
+                    : 0.0;
+    double hi = pred.upper_bound.has_value() &&
+                        DataType(pred.upper_bound->tag()).is_numeric()
+                    ? pred.upper_bound->AsDouble()
+                    : 1.0;
+    for (const FingerprintRecord& rec : records) {
+      double sim = Tanimoto(rec.fp, qfp);
+      bool above_lo = pred.lower_inclusive ? sim >= lo : sim > lo;
+      bool below_hi = pred.upper_inclusive ? sim <= hi : sim < hi;
+      if (above_lo && below_hi) ws->matches.emplace_back(rec.rid, sim);
+    }
+    // Rank most-similar first (the paper's fast nearest-neighbor use).
+    std::sort(ws->matches.begin(), ws->matches.end(),
+              [](const auto& a, const auto& b) {
+                return a.second > b.second;
+              });
+  } else {
+    // Substructure: fingerprint screen then exact subgraph isomorphism.
+    int col = info.indexed_position();
+    for (const FingerprintRecord& rec : records) {
+      if (!rec.fp.Covers(qfp)) continue;  // screened out
+      Result<Row> row = ctx.GetBaseTableRow(info.table_name, rec.rid);
+      if (!row.ok()) continue;
+      const Value& v = (*row)[col];
+      if (v.is_null()) continue;
+      EXI_ASSIGN_OR_RETURN(Molecule mol,
+                           Molecule::ParseSmiles(v.AsVarchar()));
+      if (mol.ContainsSubstructure(query)) {
+        ws->matches.emplace_back(rec.rid, 1.0);
+      }
+    }
+  }
+  OdciScanContext sctx;
+  sctx.handle = ScanWorkspaceRegistry::Global().Allocate(ws);
+  return sctx;
+}
+
+Status ChemIndexMethods::Fetch(const OdciIndexInfo& info,
+                               OdciScanContext& sctx, size_t max_rows,
+                               OdciFetchBatch* out, ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  EXI_ASSIGN_OR_RETURN(
+      std::shared_ptr<ChemScanWorkspace> ws,
+      ScanWorkspaceRegistry::Global().GetAs<ChemScanWorkspace>(sctx.handle));
+  size_t end = std::min(ws->matches.size(), ws->pos + max_rows);
+  for (size_t i = ws->pos; i < end; ++i) {
+    out->rids.push_back(ws->matches[i].first);
+    out->ancillary.push_back(Value::Double(ws->matches[i].second));
+  }
+  ws->pos = end;
+  return Status::OK();
+}
+
+Status ChemIndexMethods::Close(const OdciIndexInfo& info,
+                               OdciScanContext& sctx, ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  if (sctx.uses_handle()) {
+    return ScanWorkspaceRegistry::Global().Release(sctx.handle);
+  }
+  return Status::OK();
+}
+
+// ---- stats ----
+
+Result<double> ChemStats::Selectivity(const OdciIndexInfo& info,
+                                      const OdciPredInfo& pred,
+                                      uint64_t table_rows,
+                                      ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  (void)table_rows;
+  if (pred.args.empty() || pred.args[0].tag() != TypeTag::kVarchar) {
+    return 0.05;
+  }
+  Result<Molecule> query = Molecule::ParseSmiles(pred.args[0].AsVarchar());
+  if (!query.ok()) return 0.05;
+  if (EqualsIgnoreCase(pred.operator_name, "MolSim")) {
+    double lo = pred.lower_bound.has_value() &&
+                        DataType(pred.lower_bound->tag()).is_numeric()
+                    ? pred.lower_bound->AsDouble()
+                    : 0.0;
+    // High similarity thresholds are sharply selective.
+    double sel = (1.0 - lo);
+    sel = sel * sel;
+    if (sel < 1e-4) sel = 1e-4;
+    return sel;
+  }
+  // Substructure: bigger query fingerprints screen harder.
+  uint32_t bits = ComputeFingerprint(*query).PopCount();
+  double sel = std::pow(0.93, double(bits));
+  if (sel < 1e-4) sel = 1e-4;
+  return sel;
+}
+
+Result<double> ChemStats::IndexCost(const OdciIndexInfo& info,
+                                    const OdciPredInfo& pred,
+                                    double selectivity, uint64_t table_rows,
+                                    ServerContext& ctx) {
+  (void)info;
+  (void)pred;
+  (void)ctx;
+  // Full fingerprint pass (cheap per record) + exact checks on survivors
+  // (expensive: parse + isomorphism).
+  return 10.0 + double(table_rows) * 0.05 +
+         selectivity * double(table_rows) * 5.0;
+}
+
+// ---- events (§5) ----
+
+uint64_t RegisterChemRollbackHandler(Database* db,
+                                     const std::string& index_name) {
+  return db->events().Register([db, index_name](DbEvent event) {
+    if (event != DbEvent::kRollback) return;
+    // Rebuild the external fingerprint file from the (rolled back) base
+    // table.  Failures are swallowed: event handlers run post-rollback
+    // and have no statement to fail.
+    Result<IndexInfo*> index = db->catalog().GetIndex(index_name);
+    if (!index.ok() || !(*index)->is_domain()) return;
+    Result<HeapTable*> table = db->catalog().GetTable((*index)->table);
+    if (!table.ok()) return;
+    OdciIndexInfo info = (*index)->ToOdciInfo((*table)->schema());
+    GuardedServerContext ctx(&db->catalog(), nullptr,
+                             CallbackMode::kDefinition);
+    Result<FileStore*> files = ctx.ExternalFiles(index_name);
+    if (!files.ok()) return;
+    int col = info.indexed_position();
+    std::vector<uint8_t> batch;
+    for (auto it = (*table)->Scan(); it.Valid(); it.Next()) {
+      const Value& v = it.row()[col];
+      if (v.is_null()) continue;
+      Result<Molecule> mol = Molecule::ParseSmiles(v.AsVarchar());
+      if (!mol.ok()) continue;
+      AppendFingerprintRecord(&batch, it.row_id(),
+                              ComputeFingerprint(*mol));
+    }
+    (void)(*files)->WriteFile(kFingerprintFile, batch);
+  });
+}
+
+// ---- installation ----
+
+Status InstallChemCartridge(Connection* conn) {
+  Catalog& catalog = conn->db()->catalog();
+
+  EXI_RETURN_IF_ERROR(catalog.functions().Register(
+      "MolContainsFn", [](const ValueList& args) -> Result<Value> {
+        if (args.size() != 2) {
+          return Status::InvalidArgument("MolContains expects 2 arguments");
+        }
+        if (args[0].is_null() || args[1].is_null()) return Value::Null();
+        if (args[0].tag() != TypeTag::kVarchar ||
+            args[1].tag() != TypeTag::kVarchar) {
+          return Status::TypeMismatch("MolContains expects VARCHAR SMILES");
+        }
+        EXI_ASSIGN_OR_RETURN(Molecule mol,
+                             Molecule::ParseSmiles(args[0].AsVarchar()));
+        EXI_ASSIGN_OR_RETURN(Molecule sub,
+                             Molecule::ParseSmiles(args[1].AsVarchar()));
+        return Value::Boolean(mol.ContainsSubstructure(sub));
+      }));
+
+  EXI_RETURN_IF_ERROR(catalog.functions().Register(
+      "MolSimFn", [](const ValueList& args) -> Result<Value> {
+        if (args.size() != 2) {
+          return Status::InvalidArgument("MolSim expects 2 arguments");
+        }
+        if (args[0].is_null() || args[1].is_null()) return Value::Null();
+        if (args[0].tag() != TypeTag::kVarchar ||
+            args[1].tag() != TypeTag::kVarchar) {
+          return Status::TypeMismatch("MolSim expects VARCHAR SMILES");
+        }
+        EXI_ASSIGN_OR_RETURN(Molecule a,
+                             Molecule::ParseSmiles(args[0].AsVarchar()));
+        EXI_ASSIGN_OR_RETURN(Molecule b,
+                             Molecule::ParseSmiles(args[1].AsVarchar()));
+        return Value::Double(
+            Tanimoto(ComputeFingerprint(a), ComputeFingerprint(b)));
+      }));
+
+  EXI_RETURN_IF_ERROR(catalog.implementations().Register(
+      "ChemIndexMethods",
+      [] { return std::make_shared<ChemIndexMethods>(); },
+      [] { return std::make_shared<ChemStats>(); }));
+
+  EXI_RETURN_IF_ERROR(
+      conn->Execute("CREATE OPERATOR MolContains BINDING (VARCHAR, VARCHAR) "
+                    "RETURN BOOLEAN USING MolContainsFn")
+          .status());
+  EXI_RETURN_IF_ERROR(
+      conn->Execute("CREATE OPERATOR MolSim BINDING (VARCHAR, VARCHAR) "
+                    "RETURN DOUBLE USING MolSimFn")
+          .status());
+  EXI_RETURN_IF_ERROR(
+      conn->Execute("CREATE INDEXTYPE ChemIndexType FOR "
+                    "MolContains(VARCHAR, VARCHAR), MolSim(VARCHAR, "
+                    "VARCHAR) USING ChemIndexMethods")
+          .status());
+  return Status::OK();
+}
+
+}  // namespace exi::chem

@@ -1,0 +1,70 @@
+#include "cartridge/chem/fingerprint.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace exi::chem {
+
+uint32_t Fingerprint::PopCount() const {
+  uint32_t n = 0;
+  for (uint64_t w : bits) n += uint32_t(std::popcount(w));
+  return n;
+}
+
+bool Fingerprint::Covers(const Fingerprint& query) const {
+  for (size_t i = 0; i < kFingerprintWords; ++i) {
+    if ((bits[i] & query.bits[i]) != query.bits[i]) return false;
+  }
+  return true;
+}
+
+Fingerprint ComputeFingerprint(const Molecule& mol) {
+  Fingerprint fp;
+  mol.EnumeratePaths(kMaxPathAtoms, [&fp](const std::string& path) {
+    uint64_t h = Fnv1a64(path);
+    for (int k = 0; k < kBitsPerPath; ++k) {
+      fp.SetBit((h >> (k * 16)) % kFingerprintBits);
+    }
+  });
+  return fp;
+}
+
+double Tanimoto(const Fingerprint& a, const Fingerprint& b) {
+  uint32_t both = 0;
+  uint32_t either = 0;
+  for (size_t i = 0; i < kFingerprintWords; ++i) {
+    both += uint32_t(std::popcount(a.bits[i] & b.bits[i]));
+    either += uint32_t(std::popcount(a.bits[i] | b.bits[i]));
+  }
+  if (either == 0) return 1.0;
+  return double(both) / double(either);
+}
+
+void AppendFingerprintRecord(std::vector<uint8_t>* buf, uint64_t rid,
+                             const Fingerprint& fp) {
+  size_t offset = buf->size();
+  buf->resize(offset + kFingerprintRecordBytes);
+  std::memcpy(buf->data() + offset, &rid, 8);
+  std::memcpy(buf->data() + offset + 8, fp.bits.data(),
+              kFingerprintBits / 8);
+}
+
+std::vector<FingerprintRecord> DecodeFingerprintRecords(
+    const std::vector<uint8_t>& buf) {
+  std::vector<FingerprintRecord> out;
+  size_t count = buf.size() / kFingerprintRecordBytes;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const uint8_t* p = buf.data() + i * kFingerprintRecordBytes;
+    FingerprintRecord rec;
+    std::memcpy(&rec.rid, p, 8);
+    if (rec.rid == 0) continue;  // tombstone
+    std::memcpy(rec.fp.bits.data(), p + 8, kFingerprintBits / 8);
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace exi::chem

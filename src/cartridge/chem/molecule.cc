@@ -1,0 +1,225 @@
+#include "cartridge/chem/molecule.h"
+
+#include <functional>
+#include <map>
+
+namespace exi::chem {
+
+namespace {
+
+bool IsElementStart(char c) {
+  switch (c) {
+    case 'C':
+    case 'N':
+    case 'O':
+    case 'S':
+    case 'P':
+    case 'F':
+    case 'I':
+    case 'B':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void Molecule::AddBond(int from, int to, int order) {
+  bonds_.push_back(Bond{from, to, order});
+  adjacency_[from].emplace_back(to, order);
+  adjacency_[to].emplace_back(from, order);
+}
+
+int Molecule::BondOrder(int a, int b) const {
+  for (const auto& [nbr, order] : adjacency_[a]) {
+    if (nbr == b) return order;
+  }
+  return 0;
+}
+
+Result<Molecule> Molecule::ParseSmiles(const std::string& smiles) {
+  Molecule mol;
+  std::vector<int> branch_stack;
+  std::map<char, std::pair<int, int>> ring_open;  // digit -> (atom, order)
+  int prev = -1;
+  int pending_order = 1;
+
+  size_t i = 0;
+  while (i < smiles.size()) {
+    char c = smiles[i];
+    if (c == '=') {
+      pending_order = 2;
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      pending_order = 3;
+      ++i;
+      continue;
+    }
+    if (c == '-') {
+      pending_order = 1;
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      if (prev < 0) {
+        return Status::ParseError("SMILES branch before any atom: " + smiles);
+      }
+      branch_stack.push_back(prev);
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      if (branch_stack.empty()) {
+        return Status::ParseError("unbalanced ')' in SMILES: " + smiles);
+      }
+      prev = branch_stack.back();
+      branch_stack.pop_back();
+      ++i;
+      continue;
+    }
+    if (c >= '1' && c <= '9') {
+      if (prev < 0) {
+        return Status::ParseError("ring closure before any atom: " + smiles);
+      }
+      auto it = ring_open.find(c);
+      if (it == ring_open.end()) {
+        ring_open[c] = {prev, pending_order};
+      } else {
+        int other = it->second.first;
+        int order = std::max(pending_order, it->second.second);
+        if (other == prev) {
+          return Status::ParseError("self-ring in SMILES: " + smiles);
+        }
+        mol.AddBond(other, prev, order);
+        ring_open.erase(it);
+      }
+      pending_order = 1;
+      ++i;
+      continue;
+    }
+    if (IsElementStart(c)) {
+      std::string element(1, c);
+      // Two-letter elements: Cl, Br.
+      if (c == 'C' && i + 1 < smiles.size() && smiles[i + 1] == 'l') {
+        element = "Cl";
+        ++i;
+      } else if (c == 'B' && i + 1 < smiles.size() && smiles[i + 1] == 'r') {
+        element = "Br";
+        ++i;
+      }
+      mol.atoms_.push_back(Atom{element});
+      mol.adjacency_.emplace_back();
+      int idx = int(mol.atoms_.size()) - 1;
+      if (prev >= 0) mol.AddBond(prev, idx, pending_order);
+      prev = idx;
+      pending_order = 1;
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unsupported SMILES character '") +
+                              c + "' in: " + smiles);
+  }
+  if (!branch_stack.empty()) {
+    return Status::ParseError("unbalanced '(' in SMILES: " + smiles);
+  }
+  if (!ring_open.empty()) {
+    return Status::ParseError("unclosed ring bond in SMILES: " + smiles);
+  }
+  if (mol.atoms_.empty()) {
+    return Status::ParseError("empty SMILES");
+  }
+  return mol;
+}
+
+bool Molecule::ContainsSubstructure(const Molecule& query) const {
+  if (query.atom_count() > atom_count()) return false;
+
+  // Backtracking subgraph isomorphism: map query atoms to distinct target
+  // atoms, matching elements and requiring every query bond to exist in
+  // the target with the same order.
+  std::vector<int> mapping(query.atom_count(), -1);
+  std::vector<bool> used(atom_count(), false);
+
+  // Match order: BFS over the query from atom 0 keeps the partial mapping
+  // connected, pruning early.
+  std::vector<int> order;
+  {
+    std::vector<bool> seen(query.atom_count(), false);
+    std::vector<int> frontier;
+    for (size_t start = 0; start < query.atom_count(); ++start) {
+      if (seen[start]) continue;
+      frontier.push_back(int(start));
+      seen[start] = true;
+      while (!frontier.empty()) {
+        int q = frontier.front();
+        frontier.erase(frontier.begin());
+        order.push_back(q);
+        for (const auto& [nbr, bond_order] : query.Neighbors(q)) {
+          (void)bond_order;
+          if (!seen[nbr]) {
+            seen[nbr] = true;
+            frontier.push_back(nbr);
+          }
+        }
+      }
+    }
+  }
+
+  std::function<bool(size_t)> match = [&](size_t pos) {
+    if (pos == order.size()) return true;
+    int q = order[pos];
+    for (size_t t = 0; t < atom_count(); ++t) {
+      if (used[t]) continue;
+      if (atoms_[t].element != query.atoms()[q].element) continue;
+      // Every already-mapped query neighbor must be bonded identically.
+      bool compatible = true;
+      for (const auto& [qn, q_order] : query.Neighbors(q)) {
+        if (mapping[qn] < 0) continue;
+        if (BondOrder(int(t), mapping[qn]) != q_order) {
+          compatible = false;
+          break;
+        }
+      }
+      if (!compatible) continue;
+      mapping[q] = int(t);
+      used[t] = true;
+      if (match(pos + 1)) return true;
+      mapping[q] = -1;
+      used[t] = false;
+    }
+    return false;
+  };
+  return match(0);
+}
+
+void Molecule::EnumeratePaths(
+    int max_len,
+    const std::function<void(const std::string&)>& emit) const {
+  std::vector<bool> visited(atom_count(), false);
+  std::string path;
+  std::function<void(int, int)> walk = [&](int atom, int depth) {
+    size_t checkpoint = path.size();
+    path += atoms_[atom].element;
+    emit(path);
+    visited[atom] = true;
+    if (depth < max_len) {
+      for (const auto& [nbr, order] : Neighbors(atom)) {
+        if (visited[nbr]) continue;
+        size_t bond_mark = path.size();
+        path += order == 1 ? "-" : (order == 2 ? "=" : "#");
+        walk(nbr, depth + 1);
+        path.resize(bond_mark);
+      }
+    }
+    visited[atom] = false;
+    path.resize(checkpoint);
+  };
+  for (size_t start = 0; start < atom_count(); ++start) {
+    walk(int(start), 1);
+  }
+}
+
+}  // namespace exi::chem

@@ -1,0 +1,67 @@
+#ifndef EXTIDX_CARTRIDGE_CHEM_MOLECULE_H_
+#define EXTIDX_CARTRIDGE_CHEM_MOLECULE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exi::chem {
+
+// Molecular graph parsed from a SMILES subset (the Daylight cartridge's
+// native notation, §3.2.4): elements C N O S P F I B plus Cl and Br, bond
+// orders - (implicit), = and #, parenthesized branches, and single-digit
+// ring closures.  No aromatic forms, charges, or stereochemistry — the
+// substructure/similarity machinery the experiments exercise is identical
+// (substitution documented in DESIGN.md).
+struct Atom {
+  // Element symbol, one or two characters ("C", "Cl").
+  std::string element;
+};
+
+struct Bond {
+  int from;
+  int to;
+  int order;  // 1, 2, 3
+};
+
+class Molecule {
+ public:
+  static Result<Molecule> ParseSmiles(const std::string& smiles);
+
+  size_t atom_count() const { return atoms_.size(); }
+  size_t bond_count() const { return bonds_.size(); }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<Bond>& bonds() const { return bonds_; }
+
+  // Neighbors of atom `i` as (neighbor index, bond order).
+  const std::vector<std::pair<int, int>>& Neighbors(int i) const {
+    return adjacency_[i];
+  }
+
+  // Bond order between two atoms, or 0 if not bonded.
+  int BondOrder(int a, int b) const;
+
+  // True if `query` is a subgraph of this molecule (atom elements and bond
+  // orders must match exactly) — backtracking subgraph isomorphism.
+  bool ContainsSubstructure(const Molecule& query) const;
+
+  // Enumerates labeled linear paths up to `max_len` atoms, as strings like
+  // "C-C=O"; used by fingerprinting.  Paths are emitted in both directions
+  // and deduplicated by the caller's hash accumulation.
+  void EnumeratePaths(int max_len,
+                      const std::function<void(const std::string&)>& emit)
+      const;
+
+ private:
+  void AddBond(int from, int to, int order);
+
+  std::vector<Atom> atoms_;
+  std::vector<Bond> bonds_;
+  std::vector<std::vector<std::pair<int, int>>> adjacency_;
+};
+
+}  // namespace exi::chem
+
+#endif  // EXTIDX_CARTRIDGE_CHEM_MOLECULE_H_

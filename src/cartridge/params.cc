@@ -1,0 +1,68 @@
+#include "cartridge/params.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace exi {
+
+void IndexParameters::SetAccumulatingKey(const std::string& key) {
+  accumulating_.insert(ToLower(key));
+}
+
+void IndexParameters::Parse(const std::string& text) {
+  std::vector<std::string> tokens = SplitAny(text, " \t\r\n");
+  std::string current_key;
+  for (const std::string& tok : tokens) {
+    if (tok.size() > 1 && tok[0] == ':') {
+      current_key = ToLower(tok.substr(1));
+      if (accumulating_.count(current_key) == 0) {
+        entries_[current_key] = {};  // replace earlier values
+      }
+    } else if (!current_key.empty()) {
+      entries_[current_key].push_back(tok);
+    }
+  }
+}
+
+bool IndexParameters::Has(const std::string& key) const {
+  return entries_.count(ToLower(key)) > 0;
+}
+
+std::string IndexParameters::Get(const std::string& key,
+                                 const std::string& def) const {
+  auto it = entries_.find(ToLower(key));
+  if (it == entries_.end() || it->second.empty()) return def;
+  return it->second[0];
+}
+
+int64_t IndexParameters::GetInt(const std::string& key, int64_t def) const {
+  auto it = entries_.find(ToLower(key));
+  if (it == entries_.end() || it->second.empty()) return def;
+  return std::strtoll(it->second[0].c_str(), nullptr, 10);
+}
+
+double IndexParameters::GetDouble(const std::string& key, double def) const {
+  auto it = entries_.find(ToLower(key));
+  if (it == entries_.end() || it->second.empty()) return def;
+  return std::strtod(it->second[0].c_str(), nullptr);
+}
+
+std::vector<std::string> IndexParameters::GetList(
+    const std::string& key) const {
+  auto it = entries_.find(ToLower(key));
+  if (it == entries_.end()) return {};
+  return it->second;
+}
+
+std::string IndexParameters::ToString() const {
+  std::string out;
+  for (const auto& [key, values] : entries_) {
+    if (!out.empty()) out += " ";
+    out += ":" + key;
+    for (const std::string& v : values) out += " " + v;
+  }
+  return out;
+}
+
+}  // namespace exi

@@ -1,0 +1,120 @@
+#include "cartridge/spatial/geometry.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace exi::spatial {
+
+bool Geometry::Intersects(const Geometry& o) const {
+  return xmin <= o.xmax && o.xmin <= xmax && ymin <= o.ymax && o.ymin <= ymax;
+}
+
+bool Geometry::Inside(const Geometry& o) const {
+  return xmin > o.xmin && xmax < o.xmax && ymin > o.ymin && ymax < o.ymax;
+}
+
+bool Geometry::Equal(const Geometry& o) const {
+  return xmin == o.xmin && xmax == o.xmax && ymin == o.ymin && ymax == o.ymax;
+}
+
+bool Geometry::Touches(const Geometry& o) const {
+  if (!Intersects(o)) return false;
+  // Zero-area intersection: they meet only along an edge or corner.
+  double ix = std::min(xmax, o.xmax) - std::max(xmin, o.xmin);
+  double iy = std::min(ymax, o.ymax) - std::max(ymin, o.ymin);
+  return ix == 0.0 || iy == 0.0;
+}
+
+bool Geometry::Overlaps(const Geometry& o) const {
+  if (!Intersects(o) || Touches(o)) return false;
+  return !Inside(o) && !o.Inside(*this) && !Equal(o);
+}
+
+Result<uint8_t> ParseMask(const std::string& text) {
+  // Find 'mask=' then '+'-separated relation names.
+  std::string lower = ToLower(text);
+  size_t pos = lower.find("mask=");
+  if (pos == std::string::npos) {
+    return Status::InvalidArgument("Sdo_Relate parameter must contain "
+                                   "'mask=<relations>': " + text);
+  }
+  std::string rest = lower.substr(pos + 5);
+  size_t end = rest.find_first_of(" \t,");
+  if (end != std::string::npos) rest = rest.substr(0, end);
+  uint8_t mask = 0;
+  for (const std::string& name : SplitAny(rest, "+")) {
+    if (name == "anyinteract") {
+      mask |= uint8_t(RelationMask::kAnyInteract);
+    } else if (name == "overlaps" || name == "overlapbdyintersect") {
+      mask |= uint8_t(RelationMask::kOverlaps);
+    } else if (name == "inside") {
+      mask |= uint8_t(RelationMask::kInside);
+    } else if (name == "contains") {
+      mask |= uint8_t(RelationMask::kContains);
+    } else if (name == "equal") {
+      mask |= uint8_t(RelationMask::kEqual);
+    } else if (name == "touch") {
+      mask |= uint8_t(RelationMask::kTouch);
+    } else {
+      return Status::InvalidArgument("unknown spatial relation: " + name);
+    }
+  }
+  if (mask == 0) {
+    return Status::InvalidArgument("empty spatial mask: " + text);
+  }
+  return mask;
+}
+
+bool Relate(const Geometry& a, const Geometry& b, uint8_t mask) {
+  if ((mask & uint8_t(RelationMask::kAnyInteract)) && a.Intersects(b)) {
+    return true;
+  }
+  if ((mask & uint8_t(RelationMask::kOverlaps)) && a.Overlaps(b)) return true;
+  if ((mask & uint8_t(RelationMask::kInside)) && a.Inside(b)) return true;
+  if ((mask & uint8_t(RelationMask::kContains)) && a.ContainsGeom(b)) {
+    return true;
+  }
+  if ((mask & uint8_t(RelationMask::kEqual)) && a.Equal(b)) return true;
+  if ((mask & uint8_t(RelationMask::kTouch)) && a.Touches(b)) return true;
+  return false;
+}
+
+ObjectTypeDef GeometryTypeDef() {
+  ObjectTypeDef def;
+  def.name = kGeometryTypeName;
+  def.attributes = {
+      {"xmin", DataType::Double()},
+      {"ymin", DataType::Double()},
+      {"xmax", DataType::Double()},
+      {"ymax", DataType::Double()},
+  };
+  return def;
+}
+
+Value ToValue(const Geometry& g) {
+  return Value::Object(kGeometryTypeName,
+                       {Value::Double(g.xmin), Value::Double(g.ymin),
+                        Value::Double(g.xmax), Value::Double(g.ymax)});
+}
+
+Result<Geometry> FromValue(const Value& v) {
+  if (v.tag() != TypeTag::kObject ||
+      !EqualsIgnoreCase(v.AsObject().type_name, kGeometryTypeName) ||
+      v.AsObject().attributes.size() != 4) {
+    return Status::TypeMismatch("expected an SDO_GEOMETRY value, got " +
+                                v.ToString());
+  }
+  const ValueList& attrs = v.AsObject().attributes;
+  Geometry g;
+  g.xmin = attrs[0].AsDouble();
+  g.ymin = attrs[1].AsDouble();
+  g.xmax = attrs[2].AsDouble();
+  g.ymax = attrs[3].AsDouble();
+  if (!g.Valid()) {
+    return Status::InvalidArgument("degenerate geometry: " + v.ToString());
+  }
+  return g;
+}
+
+}  // namespace exi::spatial

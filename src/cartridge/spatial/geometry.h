@@ -1,0 +1,68 @@
+#ifndef EXTIDX_CARTRIDGE_SPATIAL_GEOMETRY_H_
+#define EXTIDX_CARTRIDGE_SPATIAL_GEOMETRY_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "types/datatype.h"
+#include "types/value.h"
+
+namespace exi::spatial {
+
+// Planar geometry, stored as an axis-aligned rectangle (its minimum
+// bounding box).  The paper's tiling index and two-phase filter work on
+// arbitrary geometries via their tile covers; rectangles exercise the same
+// candidate-then-exact pipeline with an exact final predicate
+// (substitution documented in DESIGN.md).
+struct Geometry {
+  double xmin = 0.0;
+  double ymin = 0.0;
+  double xmax = 0.0;
+  double ymax = 0.0;
+
+  bool Valid() const { return xmin <= xmax && ymin <= ymax; }
+  double Area() const { return (xmax - xmin) * (ymax - ymin); }
+
+  bool Intersects(const Geometry& o) const;
+  // Strictly inside (no shared boundary).
+  bool Inside(const Geometry& o) const;
+  bool ContainsGeom(const Geometry& o) const { return o.Inside(*this); }
+  bool Equal(const Geometry& o) const;
+  // Boundary contact with no interior intersection.
+  bool Touches(const Geometry& o) const;
+  // Interiors intersect but neither contains the other and not equal.
+  bool Overlaps(const Geometry& o) const;
+};
+
+// Spatial relation masks accepted by Sdo_Relate ('mask=OVERLAPS', with
+// multiple masks joined by '+', e.g. 'mask=INSIDE+EQUAL').
+enum class RelationMask : uint8_t {
+  kAnyInteract = 1 << 0,
+  kOverlaps = 1 << 1,
+  kInside = 1 << 2,
+  kContains = 1 << 3,
+  kEqual = 1 << 4,
+  kTouch = 1 << 5,
+};
+
+// Parses 'mask=OVERLAPS+INSIDE' (case-insensitive, surrounding junk
+// tolerated) into a bitmask.
+Result<uint8_t> ParseMask(const std::string& text);
+
+// True if any requested relation holds between `a` (the indexed geometry)
+// and `b` (the query geometry).
+bool Relate(const Geometry& a, const Geometry& b, uint8_t mask);
+
+// ---- Value bridging ----
+// Geometries travel through SQL as instances of the registered object type
+// SDO_GEOMETRY(xmin, ymin, xmax, ymax).
+
+inline constexpr char kGeometryTypeName[] = "SDO_GEOMETRY";
+
+ObjectTypeDef GeometryTypeDef();
+Value ToValue(const Geometry& g);
+Result<Geometry> FromValue(const Value& v);
+
+}  // namespace exi::spatial
+
+#endif  // EXTIDX_CARTRIDGE_SPATIAL_GEOMETRY_H_

@@ -1,0 +1,40 @@
+#ifndef EXTIDX_CARTRIDGE_SPATIAL_LEGACY_SPATIAL_H_
+#define EXTIDX_CARTRIDGE_SPATIAL_LEGACY_SPATIAL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cartridge/spatial/geometry.h"
+#include "engine/connection.h"
+
+namespace exi::spatial {
+
+// Pre-Oracle8i spatial querying (§3.2.2): no indextype — the user
+// maintains an explicit, user-visible tile table per layer
+//
+//   <layer>_sdoindex (rid INTEGER, sdo_code INTEGER)
+//
+// and formulates layer joins as plain SQL over those tables plus an exact
+// relate function, exposing the querying algorithm and storage structures
+// the extensible framework later encapsulated.  Experiment E3 compares
+// this against the Sdo_Relate domain-index join.
+
+// Builds (or rebuilds) the explicit tile table and a B-tree index on
+// sdo_code, mirroring what a pre-8i user called PL/SQL packages for.
+Status LegacySpatialBuildIndex(Connection* conn, const std::string& table,
+                               const std::string& geom_column,
+                               int tile_level);
+
+// The pre-8i join: SELECT pairs of rows from `table_a` x `table_b` whose
+// tile codes collide, then apply the exact relate — the DISTINCT +
+// sdo_geom.Relate shape quoted in the paper.  Returns matching
+// (rid_a, rid_b) pairs.
+Result<std::vector<std::pair<RowId, RowId>>> LegacySpatialJoin(
+    Connection* conn, const std::string& table_a,
+    const std::string& geom_column_a, const std::string& table_b,
+    const std::string& geom_column_b, const std::string& mask_text);
+
+}  // namespace exi::spatial
+
+#endif  // EXTIDX_CARTRIDGE_SPATIAL_LEGACY_SPATIAL_H_

@@ -1,0 +1,505 @@
+#include "cartridge/spatial/spatial_cartridge.h"
+
+#include <algorithm>
+#include <set>
+
+#include "cartridge/spatial/rtree.h"
+#include "core/scan_context.h"
+
+namespace exi::spatial {
+
+namespace {
+
+std::string TileTableName(const std::string& index_name) {
+  return index_name + "$ttab";
+}
+std::string MetaTableName(const std::string& index_name) {
+  return index_name + "$meta";
+}
+
+Schema TileTableSchema() {
+  Schema schema;
+  schema.AddColumn(Column{"tile", DataType::Integer(), true});
+  schema.AddColumn(Column{"rid", DataType::Integer(), true});
+  return schema;
+}
+
+// Key/value metadata store (the cartridge-owned metadata table pattern,
+// §2.5): used by the R-tree indextype to remember its LOB id.
+Schema MetaTableSchema() {
+  Schema schema;
+  schema.AddColumn(Column{"key", DataType::Varchar(64), true});
+  schema.AddColumn(Column{"val", DataType::Integer(), true});
+  return schema;
+}
+
+// Shared scan workspace: exact-filtered candidates, iterated by Fetch.
+struct SpatialScanWorkspace {
+  std::vector<RowId> matches;
+  size_t pos = 0;
+};
+
+// Parses the scan predicate common to both indextypes:
+// args = (query geometry, 'mask=...').
+Status ParseRelatePred(const OdciPredInfo& pred, Geometry* query,
+                       uint8_t* mask) {
+  if (pred.args.size() != 2) {
+    return Status::InvalidArgument(
+        "Sdo_Relate index scan expects (geometry, mask) arguments");
+  }
+  EXI_ASSIGN_OR_RETURN(*query, FromValue(pred.args[0]));
+  if (pred.args[1].tag() != TypeTag::kVarchar) {
+    return Status::InvalidArgument("Sdo_Relate mask must be a string");
+  }
+  EXI_ASSIGN_OR_RETURN(*mask, ParseMask(pred.args[1].AsVarchar()));
+  return Status::OK();
+}
+
+// Phase 2 (exact filter): keeps candidates whose stored geometry satisfies
+// the mask against the query geometry (§3.2.2 "applies an exact filter to
+// these candidate rows").
+Result<std::vector<RowId>> ExactFilter(const OdciIndexInfo& info,
+                                       const std::vector<RowId>& candidates,
+                                       const Geometry& query, uint8_t mask,
+                                       ServerContext& ctx) {
+  int col = info.indexed_position();
+  if (col < 0) return Status::Internal("spatial index lost its column");
+  std::vector<RowId> out;
+  for (RowId rid : candidates) {
+    Result<Row> row = ctx.GetBaseTableRow(info.table_name, rid);
+    if (!row.ok()) continue;  // row deleted under us
+    const Value& v = (*row)[col];
+    if (v.is_null()) continue;
+    EXI_ASSIGN_OR_RETURN(Geometry g, FromValue(v));
+    if (Relate(g, query, mask)) out.push_back(rid);
+  }
+  return out;
+}
+
+Result<OdciScanContext> MakeScanContext(std::vector<RowId> matches) {
+  auto ws = std::make_shared<SpatialScanWorkspace>();
+  ws->matches = std::move(matches);
+  OdciScanContext sctx;
+  sctx.handle = ScanWorkspaceRegistry::Global().Allocate(ws);
+  return sctx;
+}
+
+Status FetchFromWorkspace(OdciScanContext& sctx, size_t max_rows,
+                          OdciFetchBatch* out) {
+  EXI_ASSIGN_OR_RETURN(std::shared_ptr<SpatialScanWorkspace> ws,
+                       ScanWorkspaceRegistry::Global()
+                           .GetAs<SpatialScanWorkspace>(sctx.handle));
+  size_t end = std::min(ws->matches.size(), ws->pos + max_rows);
+  for (size_t i = ws->pos; i < end; ++i) {
+    out->rids.push_back(ws->matches[i]);
+  }
+  ws->pos = end;
+  return Status::OK();
+}
+
+Status CloseWorkspace(OdciScanContext& sctx) {
+  if (sctx.uses_handle()) {
+    return ScanWorkspaceRegistry::Global().Release(sctx.handle);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ===========================================================================
+// SpatialIndexMethods (tile-based)
+// ===========================================================================
+
+int SpatialIndexMethods::TileLevel(const std::string& parameters) {
+  IndexParameters params(parameters);
+  int level = int(params.GetInt("tilelevel", 6));
+  if (level < 1) level = 1;
+  if (level > kMaxTileLevel) level = kMaxTileLevel;
+  return level;
+}
+
+Status SpatialIndexMethods::Create(const OdciIndexInfo& info,
+                                   ServerContext& ctx) {
+  EXI_RETURN_IF_ERROR(
+      ctx.CreateIot(TileTableName(info.index_name), TileTableSchema(), 2));
+  int col = info.indexed_position();
+  int level = TileLevel(info.parameters);
+  Status inner = Status::OK();
+  EXI_RETURN_IF_ERROR(ctx.ScanBaseTable(
+      info.table_name, [&](RowId rid, const Row& row) {
+        const Value& v = row[col];
+        if (v.is_null()) return true;
+        Result<Geometry> g = FromValue(v);
+        if (!g.ok()) {
+          inner = g.status();
+          return false;
+        }
+        for (uint64_t tile : CoverTiles(*g, level)) {
+          inner = ctx.IotUpsert(TileTableName(info.index_name),
+                                {Value::Integer(int64_t(tile)),
+                                 Value::Integer(int64_t(rid))});
+          if (!inner.ok()) return false;
+        }
+        return true;
+      }));
+  return inner;
+}
+
+Status SpatialIndexMethods::Alter(const OdciIndexInfo& info,
+                                  ServerContext& ctx) {
+  // Tile level may have changed: rebuild.
+  EXI_RETURN_IF_ERROR(ctx.IotTruncate(TileTableName(info.index_name)));
+  int col = info.indexed_position();
+  int level = TileLevel(info.parameters);
+  Status inner = Status::OK();
+  EXI_RETURN_IF_ERROR(ctx.ScanBaseTable(
+      info.table_name, [&](RowId rid, const Row& row) {
+        const Value& v = row[col];
+        if (v.is_null()) return true;
+        Result<Geometry> g = FromValue(v);
+        if (!g.ok()) {
+          inner = g.status();
+          return false;
+        }
+        for (uint64_t tile : CoverTiles(*g, level)) {
+          inner = ctx.IotUpsert(TileTableName(info.index_name),
+                                {Value::Integer(int64_t(tile)),
+                                 Value::Integer(int64_t(rid))});
+          if (!inner.ok()) return false;
+        }
+        return true;
+      }));
+  return inner;
+}
+
+Status SpatialIndexMethods::Truncate(const OdciIndexInfo& info,
+                                     ServerContext& ctx) {
+  return ctx.IotTruncate(TileTableName(info.index_name));
+}
+
+Status SpatialIndexMethods::Drop(const OdciIndexInfo& info,
+                                 ServerContext& ctx) {
+  return ctx.DropIot(TileTableName(info.index_name));
+}
+
+Status SpatialIndexMethods::Insert(const OdciIndexInfo& info, RowId rid,
+                                   const Value& new_value,
+                                   ServerContext& ctx) {
+  if (new_value.is_null()) return Status::OK();
+  EXI_ASSIGN_OR_RETURN(Geometry g, FromValue(new_value));
+  for (uint64_t tile : CoverTiles(g, TileLevel(info.parameters))) {
+    EXI_RETURN_IF_ERROR(ctx.IotUpsert(
+        TileTableName(info.index_name),
+        {Value::Integer(int64_t(tile)), Value::Integer(int64_t(rid))}));
+  }
+  return Status::OK();
+}
+
+Status SpatialIndexMethods::Delete(const OdciIndexInfo& info, RowId rid,
+                                   const Value& old_value,
+                                   ServerContext& ctx) {
+  if (old_value.is_null()) return Status::OK();
+  EXI_ASSIGN_OR_RETURN(Geometry g, FromValue(old_value));
+  for (uint64_t tile : CoverTiles(g, TileLevel(info.parameters))) {
+    EXI_RETURN_IF_ERROR(ctx.IotDelete(
+        TileTableName(info.index_name),
+        {Value::Integer(int64_t(tile)), Value::Integer(int64_t(rid))}));
+  }
+  return Status::OK();
+}
+
+Status SpatialIndexMethods::Update(const OdciIndexInfo& info, RowId rid,
+                                   const Value& old_value,
+                                   const Value& new_value,
+                                   ServerContext& ctx) {
+  EXI_RETURN_IF_ERROR(Delete(info, rid, old_value, ctx));
+  return Insert(info, rid, new_value, ctx);
+}
+
+Result<OdciScanContext> SpatialIndexMethods::Start(const OdciIndexInfo& info,
+                                                   const OdciPredInfo& pred,
+                                                   ServerContext& ctx) {
+  Geometry query;
+  uint8_t mask;
+  EXI_RETURN_IF_ERROR(ParseRelatePred(pred, &query, &mask));
+
+  // Phase 1: candidate rids whose tile cover intersects the query's.
+  std::set<RowId> candidates;
+  std::string iot = TileTableName(info.index_name);
+  for (uint64_t tile : CoverTiles(query, TileLevel(info.parameters))) {
+    EXI_RETURN_IF_ERROR(ctx.IotScanPrefix(
+        iot, {Value::Integer(int64_t(tile))}, [&](const Row& row) {
+          candidates.insert(RowId(row[1].AsInteger()));
+          return true;
+        }));
+  }
+  // Phase 2: exact relation on the candidates.
+  EXI_ASSIGN_OR_RETURN(
+      std::vector<RowId> matches,
+      ExactFilter(info,
+                  std::vector<RowId>(candidates.begin(), candidates.end()),
+                  query, mask, ctx));
+  return MakeScanContext(std::move(matches));
+}
+
+Status SpatialIndexMethods::Fetch(const OdciIndexInfo& info,
+                                  OdciScanContext& sctx, size_t max_rows,
+                                  OdciFetchBatch* out, ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  return FetchFromWorkspace(sctx, max_rows, out);
+}
+
+Status SpatialIndexMethods::Close(const OdciIndexInfo& info,
+                                  OdciScanContext& sctx,
+                                  ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  return CloseWorkspace(sctx);
+}
+
+// ===========================================================================
+// RtreeIndexMethods (LOB-resident R-tree)
+// ===========================================================================
+
+namespace {
+
+Result<LobId> RtreeLob(const OdciIndexInfo& info, ServerContext& ctx) {
+  EXI_ASSIGN_OR_RETURN(
+      Row row, ctx.IotGet(MetaTableName(info.index_name),
+                          {Value::Varchar("rtree_lob")}));
+  return LobId(row[1].AsInteger());
+}
+
+}  // namespace
+
+Status RtreeIndexMethods::Create(const OdciIndexInfo& info,
+                                 ServerContext& ctx) {
+  EXI_RETURN_IF_ERROR(
+      ctx.CreateIot(MetaTableName(info.index_name), MetaTableSchema(), 1));
+  EXI_ASSIGN_OR_RETURN(LobId lob, LobRTree::Create(ctx));
+  EXI_RETURN_IF_ERROR(ctx.IotUpsert(
+      MetaTableName(info.index_name),
+      {Value::Varchar("rtree_lob"), Value::Integer(int64_t(lob))}));
+  LobRTree tree(&ctx, lob);
+  int col = info.indexed_position();
+  Status inner = Status::OK();
+  EXI_RETURN_IF_ERROR(ctx.ScanBaseTable(
+      info.table_name, [&](RowId rid, const Row& row) {
+        const Value& v = row[col];
+        if (v.is_null()) return true;
+        Result<Geometry> g = FromValue(v);
+        if (!g.ok()) {
+          inner = g.status();
+          return false;
+        }
+        inner = tree.Insert(*g, rid);
+        return inner.ok();
+      }));
+  return inner;
+}
+
+Status RtreeIndexMethods::Alter(const OdciIndexInfo& info,
+                                ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  return Status::OK();  // no parameters affect the R-tree
+}
+
+Status RtreeIndexMethods::Truncate(const OdciIndexInfo& info,
+                                   ServerContext& ctx) {
+  EXI_ASSIGN_OR_RETURN(LobId lob, RtreeLob(info, ctx));
+  LobRTree tree(&ctx, lob);
+  return tree.Clear();
+}
+
+Status RtreeIndexMethods::Drop(const OdciIndexInfo& info,
+                               ServerContext& ctx) {
+  EXI_ASSIGN_OR_RETURN(LobId lob, RtreeLob(info, ctx));
+  EXI_RETURN_IF_ERROR(ctx.DropLob(lob));
+  return ctx.DropIot(MetaTableName(info.index_name));
+}
+
+Status RtreeIndexMethods::Insert(const OdciIndexInfo& info, RowId rid,
+                                 const Value& new_value,
+                                 ServerContext& ctx) {
+  if (new_value.is_null()) return Status::OK();
+  EXI_ASSIGN_OR_RETURN(Geometry g, FromValue(new_value));
+  EXI_ASSIGN_OR_RETURN(LobId lob, RtreeLob(info, ctx));
+  LobRTree tree(&ctx, lob);
+  return tree.Insert(g, rid);
+}
+
+Status RtreeIndexMethods::Delete(const OdciIndexInfo& info, RowId rid,
+                                 const Value& old_value,
+                                 ServerContext& ctx) {
+  if (old_value.is_null()) return Status::OK();
+  EXI_ASSIGN_OR_RETURN(Geometry g, FromValue(old_value));
+  EXI_ASSIGN_OR_RETURN(LobId lob, RtreeLob(info, ctx));
+  LobRTree tree(&ctx, lob);
+  return tree.Remove(g, rid);
+}
+
+Status RtreeIndexMethods::Update(const OdciIndexInfo& info, RowId rid,
+                                 const Value& old_value,
+                                 const Value& new_value,
+                                 ServerContext& ctx) {
+  EXI_RETURN_IF_ERROR(Delete(info, rid, old_value, ctx));
+  return Insert(info, rid, new_value, ctx);
+}
+
+Result<OdciScanContext> RtreeIndexMethods::Start(const OdciIndexInfo& info,
+                                                 const OdciPredInfo& pred,
+                                                 ServerContext& ctx) {
+  Geometry query;
+  uint8_t mask;
+  EXI_RETURN_IF_ERROR(ParseRelatePred(pred, &query, &mask));
+  EXI_ASSIGN_OR_RETURN(LobId lob, RtreeLob(info, ctx));
+  LobRTree tree(&ctx, lob);
+  std::vector<RowId> candidates;
+  EXI_RETURN_IF_ERROR(
+      tree.Search(query, [&candidates](const Geometry&, uint64_t rid) {
+        candidates.push_back(RowId(rid));
+        return true;
+      }));
+  std::sort(candidates.begin(), candidates.end());
+  EXI_ASSIGN_OR_RETURN(std::vector<RowId> matches,
+                       ExactFilter(info, candidates, query, mask, ctx));
+  return MakeScanContext(std::move(matches));
+}
+
+Status RtreeIndexMethods::Fetch(const OdciIndexInfo& info,
+                                OdciScanContext& sctx, size_t max_rows,
+                                OdciFetchBatch* out, ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  return FetchFromWorkspace(sctx, max_rows, out);
+}
+
+Status RtreeIndexMethods::Close(const OdciIndexInfo& info,
+                                OdciScanContext& sctx, ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  return CloseWorkspace(sctx);
+}
+
+// ===========================================================================
+// SpatialStats
+// ===========================================================================
+
+Result<double> SpatialStats::Selectivity(const OdciIndexInfo& info,
+                                         const OdciPredInfo& pred,
+                                         uint64_t table_rows,
+                                         ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  (void)table_rows;
+  Geometry query;
+  uint8_t mask;
+  Status st = ParseRelatePred(pred, &query, &mask);
+  if (!st.ok()) return 0.05;
+  double frac = query.Area() / (kWorldSize * kWorldSize);
+  // Interaction probability exceeds pure area fraction (objects have
+  // extent); pad with a small constant.
+  double sel = frac + 0.002;
+  if (sel > 1.0) sel = 1.0;
+  return sel;
+}
+
+Result<double> SpatialStats::IndexCost(const OdciIndexInfo& info,
+                                       const OdciPredInfo& pred,
+                                       double selectivity,
+                                       uint64_t table_rows,
+                                       ServerContext& ctx) {
+  (void)ctx;
+  Geometry query;
+  uint8_t mask;
+  double tiles = 4.0;
+  if (ParseRelatePred(pred, &query, &mask).ok()) {
+    tiles = double(
+        CoverTiles(query, SpatialIndexMethods::TileLevel(info.parameters))
+            .size());
+  }
+  // Tile probes + candidate fetch + exact-filter work.
+  return 10.0 + tiles * 2.0 + selectivity * double(table_rows) * 2.0;
+}
+
+// ===========================================================================
+// Installation
+// ===========================================================================
+
+Status InstallSpatialCartridge(Connection* conn) {
+  Catalog& catalog = conn->db()->catalog();
+  EXI_RETURN_IF_ERROR(catalog.RegisterObjectType(GeometryTypeDef()));
+
+  // Constructor function, usable anywhere in SQL:
+  //   SDO_GEOMETRY(xmin, ymin, xmax, ymax)
+  EXI_RETURN_IF_ERROR(catalog.functions().Register(
+      "SDO_GEOMETRY", [](const ValueList& args) -> Result<Value> {
+        if (args.size() != 4) {
+          return Status::InvalidArgument("SDO_GEOMETRY expects 4 numbers");
+        }
+        Geometry g;
+        for (const Value& v : args) {
+          if (v.is_null() || !DataType(v.tag()).is_numeric()) {
+            return Status::TypeMismatch("SDO_GEOMETRY expects numbers");
+          }
+        }
+        g.xmin = args[0].AsDouble();
+        g.ymin = args[1].AsDouble();
+        g.xmax = args[2].AsDouble();
+        g.ymax = args[3].AsDouble();
+        if (!g.Valid()) {
+          return Status::InvalidArgument("degenerate SDO_GEOMETRY");
+        }
+        return ToValue(g);
+      }));
+
+  // Functional implementation of Sdo_Relate (§2.2.1).
+  EXI_RETURN_IF_ERROR(catalog.functions().Register(
+      "SdoRelateFn", [](const ValueList& args) -> Result<Value> {
+        if (args.size() != 3) {
+          return Status::InvalidArgument("Sdo_Relate expects 3 arguments");
+        }
+        if (args[0].is_null() || args[1].is_null() || args[2].is_null()) {
+          return Value::Null();
+        }
+        EXI_ASSIGN_OR_RETURN(Geometry a, FromValue(args[0]));
+        EXI_ASSIGN_OR_RETURN(Geometry b, FromValue(args[1]));
+        if (args[2].tag() != TypeTag::kVarchar) {
+          return Status::TypeMismatch("Sdo_Relate mask must be a string");
+        }
+        EXI_ASSIGN_OR_RETURN(uint8_t mask,
+                             ParseMask(args[2].AsVarchar()));
+        return Value::Boolean(Relate(a, b, mask));
+      }));
+
+  EXI_RETURN_IF_ERROR(catalog.implementations().Register(
+      "SpatialIndexMethods",
+      [] { return std::make_shared<SpatialIndexMethods>(); },
+      [] { return std::make_shared<SpatialStats>(); }));
+  EXI_RETURN_IF_ERROR(catalog.implementations().Register(
+      "RtreeIndexMethods",
+      [] { return std::make_shared<RtreeIndexMethods>(); },
+      [] { return std::make_shared<SpatialStats>(); }));
+
+  EXI_RETURN_IF_ERROR(
+      conn->Execute(
+              "CREATE OPERATOR Sdo_Relate BINDING (OBJECT SDO_GEOMETRY, "
+              "OBJECT SDO_GEOMETRY, VARCHAR) RETURN BOOLEAN USING "
+              "SdoRelateFn")
+          .status());
+  EXI_RETURN_IF_ERROR(
+      conn->Execute("CREATE INDEXTYPE SpatialIndexType FOR Sdo_Relate("
+                    "OBJECT SDO_GEOMETRY, OBJECT SDO_GEOMETRY, VARCHAR) "
+                    "USING SpatialIndexMethods")
+          .status());
+  EXI_RETURN_IF_ERROR(
+      conn->Execute("CREATE INDEXTYPE RtreeIndexType FOR Sdo_Relate("
+                    "OBJECT SDO_GEOMETRY, OBJECT SDO_GEOMETRY, VARCHAR) "
+                    "USING RtreeIndexMethods")
+          .status());
+  return Status::OK();
+}
+
+}  // namespace exi::spatial

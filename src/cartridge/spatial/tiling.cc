@@ -1,0 +1,51 @@
+#include "cartridge/spatial/tiling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exi::spatial {
+
+uint64_t MortonEncode(uint32_t x, uint32_t y) {
+  auto spread = [](uint64_t v) {
+    v &= 0xFFFF;
+    v = (v | (v << 8)) & 0x00FF00FF;
+    v = (v | (v << 4)) & 0x0F0F0F0F;
+    v = (v | (v << 2)) & 0x33333333;
+    v = (v | (v << 1)) & 0x55555555;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+std::vector<uint64_t> CoverTiles(const Geometry& g, int level) {
+  if (level < 0) level = 0;
+  if (level > kMaxTileLevel) level = kMaxTileLevel;
+  uint32_t n = CellsPerAxis(level);
+  double cell = kWorldSize / double(n);
+
+  auto clamp_cell = [&](double coord) {
+    double c = std::floor(coord / cell);
+    if (c < 0) c = 0;
+    if (c > double(n - 1)) c = double(n - 1);
+    return uint32_t(c);
+  };
+  uint32_t x0 = clamp_cell(g.xmin);
+  uint32_t y0 = clamp_cell(g.ymin);
+  // Upper edges exactly on a cell boundary belong to the lower cell.
+  double xm = g.xmax > g.xmin ? std::nexttoward(g.xmax, g.xmin) : g.xmax;
+  double ym = g.ymax > g.ymin ? std::nexttoward(g.ymax, g.ymin) : g.ymax;
+  uint32_t x1 = clamp_cell(xm);
+  uint32_t y1 = clamp_cell(ym);
+
+  std::vector<uint64_t> tiles;
+  tiles.reserve(size_t(x1 - x0 + 1) * size_t(y1 - y0 + 1));
+  for (uint32_t y = y0; y <= y1; ++y) {
+    for (uint32_t x = x0; x <= x1; ++x) {
+      tiles.push_back(MortonEncode(x, y));
+    }
+  }
+  std::sort(tiles.begin(), tiles.end());
+  return tiles;
+}
+
+}  // namespace exi::spatial

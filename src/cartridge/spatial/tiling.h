@@ -1,0 +1,32 @@
+#ifndef EXTIDX_CARTRIDGE_SPATIAL_TILING_H_
+#define EXTIDX_CARTRIDGE_SPATIAL_TILING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cartridge/spatial/geometry.h"
+
+namespace exi::spatial {
+
+// Fixed-grid tessellation (§3.2.2: "The spatial index consists of a
+// collection of tiles (unit of space) corresponding to every spatial
+// object").  The world is the square [0, kWorldSize)²; level L divides it
+// into 2^L x 2^L cells; a tile code is the Morton (Z-order) interleave of
+// the cell coordinates, so nearby tiles get nearby codes — the property
+// the pre-8i sdo_code range formulation exploited.
+inline constexpr double kWorldSize = 10000.0;
+inline constexpr int kMaxTileLevel = 16;
+
+// Morton interleave of 16-bit x/y cell coordinates.
+uint64_t MortonEncode(uint32_t x, uint32_t y);
+
+// Tile codes of all grid cells at `level` intersecting `g` (clipped to the
+// world square).  Codes are sorted ascending.
+std::vector<uint64_t> CoverTiles(const Geometry& g, int level);
+
+// Number of cells per axis at `level`.
+inline uint32_t CellsPerAxis(int level) { return 1u << level; }
+
+}  // namespace exi::spatial
+
+#endif  // EXTIDX_CARTRIDGE_SPATIAL_TILING_H_

@@ -1,0 +1,155 @@
+#include "cartridge/text/inverted_index.h"
+
+#include <algorithm>
+#include <set>
+
+namespace exi::text {
+
+Schema PostingTableSchema() {
+  Schema schema;
+  schema.AddColumn(Column{"token", DataType::Varchar(256), true});
+  schema.AddColumn(Column{"rid", DataType::Integer(), true});
+  schema.AddColumn(Column{"freq", DataType::Integer(), true});
+  return schema;
+}
+
+namespace {
+
+// Intermediate result: rid-sorted matches.
+using Matches = std::vector<TextMatch>;
+
+Matches Intersect(const Matches& a, const Matches& b) {
+  Matches out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].rid < b[j].rid) {
+      ++i;
+    } else if (a[i].rid > b[j].rid) {
+      ++j;
+    } else {
+      out.push_back(TextMatch{a[i].rid, a[i].score + b[j].score});
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+Matches Union(const Matches& a, const Matches& b) {
+  Matches out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a[i].rid < b[j].rid)) {
+      out.push_back(a[i++]);
+    } else if (i >= a.size() || b[j].rid < a[i].rid) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(TextMatch{a[i].rid, a[i].score + b[j].score});
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+Matches Subtract(const Matches& a, const Matches& b) {
+  Matches out;
+  size_t j = 0;
+  for (const TextMatch& m : a) {
+    while (j < b.size() && b[j].rid < m.rid) ++j;
+    if (j >= b.size() || b[j].rid != m.rid) out.push_back(m);
+  }
+  return out;
+}
+
+Result<Matches> Eval(const QueryNode& node, const PostingSource& postings,
+                     const UniverseSource& universe) {
+  switch (node.kind) {
+    case QueryNode::Kind::kTerm: {
+      Matches out;
+      EXI_RETURN_IF_ERROR(
+          postings(node.term, [&out](RowId rid, int64_t freq) {
+            out.push_back(TextMatch{rid, freq});
+            return true;
+          }));
+      std::sort(out.begin(), out.end(),
+                [](const TextMatch& x, const TextMatch& y) {
+                  return x.rid < y.rid;
+                });
+      return out;
+    }
+    case QueryNode::Kind::kAnd: {
+      EXI_ASSIGN_OR_RETURN(Matches lhs,
+                           Eval(*node.children[0], postings, universe));
+      // a AND NOT b avoids materializing the universe.
+      if (node.children[1]->kind == QueryNode::Kind::kNot) {
+        EXI_ASSIGN_OR_RETURN(
+            Matches rhs,
+            Eval(*node.children[1]->children[0], postings, universe));
+        return Subtract(lhs, rhs);
+      }
+      EXI_ASSIGN_OR_RETURN(Matches rhs,
+                           Eval(*node.children[1], postings, universe));
+      return Intersect(lhs, rhs);
+    }
+    case QueryNode::Kind::kOr: {
+      EXI_ASSIGN_OR_RETURN(Matches lhs,
+                           Eval(*node.children[0], postings, universe));
+      EXI_ASSIGN_OR_RETURN(Matches rhs,
+                           Eval(*node.children[1], postings, universe));
+      return Union(lhs, rhs);
+    }
+    case QueryNode::Kind::kNot: {
+      EXI_ASSIGN_OR_RETURN(Matches operand,
+                           Eval(*node.children[0], postings, universe));
+      std::vector<RowId> all;
+      EXI_RETURN_IF_ERROR(universe(&all));
+      std::sort(all.begin(), all.end());
+      Matches everything;
+      everything.reserve(all.size());
+      for (RowId rid : all) everything.push_back(TextMatch{rid, 0});
+      return Subtract(everything, operand);
+    }
+  }
+  return Status::Internal("unhandled text query node");
+}
+
+}  // namespace
+
+Result<std::vector<TextMatch>> EvaluateTextQuery(
+    const QueryNode& root, const PostingSource& postings,
+    const UniverseSource& universe) {
+  return Eval(root, postings, universe);
+}
+
+namespace {
+
+bool MatchesTokens(const QueryNode& node,
+                   const std::set<std::string>& tokens) {
+  switch (node.kind) {
+    case QueryNode::Kind::kTerm:
+      return tokens.count(node.term) > 0;
+    case QueryNode::Kind::kAnd:
+      return MatchesTokens(*node.children[0], tokens) &&
+             MatchesTokens(*node.children[1], tokens);
+    case QueryNode::Kind::kOr:
+      return MatchesTokens(*node.children[0], tokens) ||
+             MatchesTokens(*node.children[1], tokens);
+    case QueryNode::Kind::kNot:
+      return !MatchesTokens(*node.children[0], tokens);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool MatchesDocument(const QueryNode& root, const Tokenizer& tokenizer,
+                     const std::string& document) {
+  std::vector<std::string> tokens = tokenizer.Tokenize(document);
+  std::set<std::string> token_set(tokens.begin(), tokens.end());
+  return MatchesTokens(root, token_set);
+}
+
+}  // namespace exi::text

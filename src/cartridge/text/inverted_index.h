@@ -1,0 +1,62 @@
+#ifndef EXTIDX_CARTRIDGE_TEXT_INVERTED_INDEX_H_
+#define EXTIDX_CARTRIDGE_TEXT_INVERTED_INDEX_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cartridge/text/tokenizer.h"
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace exi::text {
+
+// The inverted index is stored cooperatively in an index-organized table
+// (§3.2.1: "The inverted index is stored in an index-organized table"),
+// keyed (token, doc rowid) with the in-document frequency as payload:
+//
+//   <index_name>$ptab (token VARCHAR, rid INTEGER, freq INTEGER)
+//       PRIMARY KEY (token, rid)
+//
+// Both the 8i-style cartridge (text_cartridge) and the pre-8i baseline
+// (legacy_text) evaluate queries against this layout through a
+// PostingSource abstraction, so comparisons measure execution strategy,
+// not index content.
+
+inline std::string PostingTableName(const std::string& index_name) {
+  return index_name + "$ptab";
+}
+
+Schema PostingTableSchema();
+inline constexpr size_t kPostingKeyColumns = 2;
+
+// Visits (rid, freq) pairs of one term's posting list.
+using PostingVisitor = std::function<bool(RowId, int64_t)>;
+// Supplies the posting list of a term.
+using PostingSource =
+    std::function<Status(const std::string& term, const PostingVisitor&)>;
+// Supplies the set of all document rowids (needed only for NOT).
+using UniverseSource = std::function<Status(std::vector<RowId>*)>;
+
+// A document matching a text query, with an additive term-frequency score
+// (surfaced as the scan's ancillary value, §2.4.2 ancillary operators).
+struct TextMatch {
+  RowId rid;
+  int64_t score;
+};
+
+// Evaluates a boolean keyword query against posting lists.  Results are
+// sorted by rid.  NOT consumes the universe exactly once per NOT node.
+Result<std::vector<TextMatch>> EvaluateTextQuery(
+    const QueryNode& root, const PostingSource& postings,
+    const UniverseSource& universe);
+
+// Evaluates the query against a single document's tokens (the functional
+// implementation path of Contains, §2.2.1).
+bool MatchesDocument(const QueryNode& root, const Tokenizer& tokenizer,
+                     const std::string& document);
+
+}  // namespace exi::text
+
+#endif  // EXTIDX_CARTRIDGE_TEXT_INVERTED_INDEX_H_

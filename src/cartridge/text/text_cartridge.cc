@@ -1,0 +1,480 @@
+#include "cartridge/text/text_cartridge.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/strings.h"
+#include "core/scan_context.h"
+
+namespace exi::text {
+
+namespace {
+
+// ---- scan workspace (Return Handle mechanism) ----
+
+// One struct serves both scan strategies (§2.2.3):
+//  * Precompute-All: `matches` holds the full result set; `pos` iterates.
+//  * Incremental: single-term queries stream candidates straight off the
+//    posting IOT, resuming after (`term`, `last_rid`) on each Fetch.
+struct TextScanWorkspace {
+  bool incremental = false;
+  // Precompute-All state.
+  std::vector<TextMatch> matches;
+  size_t pos = 0;
+  // Incremental state.
+  std::string term;
+  RowId last_rid = 0;
+  bool started = false;
+};
+
+// ---- Return State serialization ----
+// Layout: u64 pos | u64 count | count * (u64 rid, i64 score).
+
+void EncodeState(const std::vector<TextMatch>& matches, size_t pos,
+                 std::vector<uint8_t>* out) {
+  out->resize(16 + matches.size() * 16);
+  uint64_t p = pos;
+  uint64_t n = matches.size();
+  std::memcpy(out->data(), &p, 8);
+  std::memcpy(out->data() + 8, &n, 8);
+  for (size_t i = 0; i < matches.size(); ++i) {
+    std::memcpy(out->data() + 16 + i * 16, &matches[i].rid, 8);
+    std::memcpy(out->data() + 24 + i * 16, &matches[i].score, 8);
+  }
+}
+
+Status DecodeState(const std::vector<uint8_t>& state, size_t* pos,
+                   std::vector<TextMatch>* matches) {
+  if (state.size() < 16) {
+    return Status::Internal("corrupt text scan state");
+  }
+  uint64_t p;
+  uint64_t n;
+  std::memcpy(&p, state.data(), 8);
+  std::memcpy(&n, state.data() + 8, 8);
+  if (state.size() != 16 + n * 16) {
+    return Status::Internal("corrupt text scan state length");
+  }
+  *pos = size_t(p);
+  matches->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(&(*matches)[i].rid, state.data() + 16 + i * 16, 8);
+    std::memcpy(&(*matches)[i].score, state.data() + 24 + i * 16, 8);
+  }
+  return Status::OK();
+}
+
+// Posting source over the index's IOT through server callbacks.
+PostingSource MakePostingSource(const std::string& iot_name,
+                                ServerContext& ctx) {
+  return [iot_name, &ctx](const std::string& term,
+                          const PostingVisitor& visit) -> Status {
+    return ctx.IotScanPrefix(
+        iot_name, {Value::Varchar(term)}, [&visit](const Row& row) {
+          return visit(RowId(row[1].AsInteger()), row[2].AsInteger());
+        });
+  };
+}
+
+UniverseSource MakeUniverseSource(const std::string& table_name,
+                                  ServerContext& ctx) {
+  return [table_name, &ctx](std::vector<RowId>* out) -> Status {
+    return ctx.ScanBaseTable(table_name,
+                             [out](RowId rid, const Row&) {
+                               out->push_back(rid);
+                               return true;
+                             });
+  };
+}
+
+// The predicate bounds must admit TRUE (Contains(...) = 1 form, footnote
+// 1); anything else is not index-evaluable for a boolean operator.
+Status CheckBooleanBounds(const OdciPredInfo& pred) {
+  auto truthy = [](const Value& v) {
+    return (v.tag() == TypeTag::kBoolean && v.AsBoolean()) ||
+           (v.tag() == TypeTag::kInteger && v.AsInteger() != 0) ||
+           (v.tag() == TypeTag::kDouble && v.AsDouble() != 0.0);
+  };
+  if (pred.lower_bound.has_value() && !truthy(*pred.lower_bound)) {
+    return Status::NotSupported(
+        "text index scan supports only Contains(...) = TRUE predicates");
+  }
+  if (pred.upper_bound.has_value() && !truthy(*pred.upper_bound)) {
+    return Status::NotSupported(
+        "text index scan supports only Contains(...) = TRUE predicates");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+IndexParameters TextIndexMethods::ParseParams(const std::string& text) {
+  IndexParameters params;
+  params.SetAccumulatingKey("ignore");
+  params.Parse(text);
+  return params;
+}
+
+Tokenizer TextIndexMethods::MakeTokenizer(const IndexParameters& params) {
+  Tokenizer tokenizer(params.Get("language", "English"), {});
+  tokenizer.AddStopWords(params.GetList("ignore"));
+  return tokenizer;
+}
+
+// ---- definition ----
+
+Status TextIndexMethods::Create(const OdciIndexInfo& info,
+                                ServerContext& ctx) {
+  std::string iot = PostingTableName(info.index_name);
+  EXI_RETURN_IF_ERROR(
+      ctx.CreateIot(iot, PostingTableSchema(), kPostingKeyColumns));
+  return Rebuild(info, ctx);
+}
+
+Status TextIndexMethods::Rebuild(const OdciIndexInfo& info,
+                                 ServerContext& ctx) {
+  std::string iot = PostingTableName(info.index_name);
+  IndexParameters params = ParseParams(info.parameters);
+  Tokenizer tokenizer = MakeTokenizer(params);
+  int col = info.indexed_position();
+  if (col < 0) {
+    return Status::Internal("text index has no indexed column position");
+  }
+  Status inner = Status::OK();
+  EXI_RETURN_IF_ERROR(ctx.ScanBaseTable(
+      info.table_name, [&](RowId rid, const Row& row) {
+        const Value& v = row[col];
+        if (v.is_null()) return true;
+        for (const auto& [token, freq] :
+             tokenizer.TokenFrequencies(v.AsVarchar())) {
+          inner = ctx.IotUpsert(
+              iot, {Value::Varchar(token), Value::Integer(int64_t(rid)),
+                    Value::Integer(freq)});
+          if (!inner.ok()) return false;
+        }
+        return true;
+      }));
+  return inner;
+}
+
+Status TextIndexMethods::Alter(const OdciIndexInfo& info,
+                               ServerContext& ctx) {
+  // Parameter changes (language, stop words) invalidate existing postings:
+  // truncate and rebuild from the base table.
+  std::string iot = PostingTableName(info.index_name);
+  EXI_RETURN_IF_ERROR(ctx.IotTruncate(iot));
+  return Rebuild(info, ctx);
+}
+
+Status TextIndexMethods::Truncate(const OdciIndexInfo& info,
+                                  ServerContext& ctx) {
+  return ctx.IotTruncate(PostingTableName(info.index_name));
+}
+
+Status TextIndexMethods::Drop(const OdciIndexInfo& info, ServerContext& ctx) {
+  return ctx.DropIot(PostingTableName(info.index_name));
+}
+
+// ---- maintenance ----
+
+Status TextIndexMethods::InsertDocument(const OdciIndexInfo& info, RowId rid,
+                                        const std::string& document,
+                                        ServerContext& ctx) {
+  std::string iot = PostingTableName(info.index_name);
+  Tokenizer tokenizer = MakeTokenizer(ParseParams(info.parameters));
+  for (const auto& [token, freq] : tokenizer.TokenFrequencies(document)) {
+    EXI_RETURN_IF_ERROR(ctx.IotUpsert(
+        iot, {Value::Varchar(token), Value::Integer(int64_t(rid)),
+              Value::Integer(freq)}));
+  }
+  return Status::OK();
+}
+
+Status TextIndexMethods::DeleteDocument(const OdciIndexInfo& info, RowId rid,
+                                        const std::string& document,
+                                        ServerContext& ctx) {
+  std::string iot = PostingTableName(info.index_name);
+  Tokenizer tokenizer = MakeTokenizer(ParseParams(info.parameters));
+  for (const auto& [token, freq] : tokenizer.TokenFrequencies(document)) {
+    (void)freq;
+    EXI_RETURN_IF_ERROR(ctx.IotDelete(
+        iot, {Value::Varchar(token), Value::Integer(int64_t(rid))}));
+  }
+  return Status::OK();
+}
+
+Status TextIndexMethods::Insert(const OdciIndexInfo& info, RowId rid,
+                                const Value& new_value, ServerContext& ctx) {
+  if (new_value.is_null()) return Status::OK();
+  return InsertDocument(info, rid, new_value.AsVarchar(), ctx);
+}
+
+Status TextIndexMethods::Delete(const OdciIndexInfo& info, RowId rid,
+                                const Value& old_value, ServerContext& ctx) {
+  if (old_value.is_null()) return Status::OK();
+  return DeleteDocument(info, rid, old_value.AsVarchar(), ctx);
+}
+
+Status TextIndexMethods::Update(const OdciIndexInfo& info, RowId rid,
+                                const Value& old_value,
+                                const Value& new_value, ServerContext& ctx) {
+  // "ODCIIndexUpdate should delete the entries corresponding to the old
+  // indexed column value ... and insert the new entries" (§2.2.3).
+  EXI_RETURN_IF_ERROR(Delete(info, rid, old_value, ctx));
+  return Insert(info, rid, new_value, ctx);
+}
+
+// ---- scan ----
+
+Result<OdciScanContext> TextIndexMethods::Start(const OdciIndexInfo& info,
+                                                const OdciPredInfo& pred,
+                                                ServerContext& ctx) {
+  EXI_RETURN_IF_ERROR(CheckBooleanBounds(pred));
+  if (pred.args.empty() || pred.args[0].tag() != TypeTag::kVarchar) {
+    return Status::InvalidArgument(
+        "Contains requires a keyword query string argument");
+  }
+  std::string error;
+  std::unique_ptr<QueryNode> query =
+      ParseTextQuery(pred.args[0].AsVarchar(), &error);
+  if (query == nullptr) return Status::InvalidArgument(error);
+
+  IndexParameters params = ParseParams(info.parameters);
+  Tokenizer tokenizer = MakeTokenizer(params);
+  bool use_state =
+      EqualsIgnoreCase(params.Get("contextmode", "handle"), "state");
+  bool incremental =
+      EqualsIgnoreCase(params.Get("mode", "precompute"), "incremental");
+
+  OdciScanContext sctx;
+  if (incremental && query->kind == QueryNode::Kind::kTerm &&
+      !tokenizer.IsStopWord(query->term)) {
+    // Incremental computation: stream the posting list a batch at a time.
+    auto ws = std::make_shared<TextScanWorkspace>();
+    ws->incremental = true;
+    ws->term = query->term;
+    sctx.handle = ScanWorkspaceRegistry::Global().Allocate(ws);
+    return sctx;
+  }
+
+  // Precompute-All: evaluate the full boolean query now; Fetch iterates.
+  std::string iot = PostingTableName(info.index_name);
+  EXI_ASSIGN_OR_RETURN(
+      std::vector<TextMatch> matches,
+      EvaluateTextQuery(*query, MakePostingSource(iot, ctx),
+                        MakeUniverseSource(info.table_name, ctx)));
+  if (use_state) {
+    EncodeState(matches, 0, &sctx.state);
+  } else {
+    auto ws = std::make_shared<TextScanWorkspace>();
+    ws->matches = std::move(matches);
+    sctx.handle = ScanWorkspaceRegistry::Global().Allocate(ws);
+  }
+  return sctx;
+}
+
+Status TextIndexMethods::Fetch(const OdciIndexInfo& info,
+                               OdciScanContext& sctx, size_t max_rows,
+                               OdciFetchBatch* out, ServerContext& ctx) {
+  if (!sctx.uses_handle()) {
+    // Return State: the full remaining result set rides in the context.
+    size_t pos;
+    std::vector<TextMatch> matches;
+    EXI_RETURN_IF_ERROR(DecodeState(sctx.state, &pos, &matches));
+    size_t end = std::min(matches.size(), pos + max_rows);
+    for (size_t i = pos; i < end; ++i) {
+      out->rids.push_back(matches[i].rid);
+      out->ancillary.push_back(Value::Integer(matches[i].score));
+    }
+    EncodeState(matches, end, &sctx.state);
+    return Status::OK();
+  }
+  EXI_ASSIGN_OR_RETURN(
+      std::shared_ptr<TextScanWorkspace> ws,
+      ScanWorkspaceRegistry::Global().GetAs<TextScanWorkspace>(sctx.handle));
+  if (!ws->incremental) {
+    size_t end = std::min(ws->matches.size(), ws->pos + max_rows);
+    for (size_t i = ws->pos; i < end; ++i) {
+      out->rids.push_back(ws->matches[i].rid);
+      out->ancillary.push_back(Value::Integer(ws->matches[i].score));
+    }
+    ws->pos = end;
+    return Status::OK();
+  }
+  // Incremental: resume the IOT cursor after (term, last_rid).
+  std::string iot = PostingTableName(info.index_name);
+  CompositeKey lo = {Value::Varchar(ws->term),
+                     Value::Integer(int64_t(ws->last_rid))};
+  CompositeKey start_prefix = {Value::Varchar(ws->term)};
+  const CompositeKey* lo_key = ws->started ? &lo : &start_prefix;
+  std::string term = ws->term;
+  EXI_RETURN_IF_ERROR(ctx.IotScanRange(
+      iot, lo_key, /*lo_inclusive=*/!ws->started, /*hi=*/nullptr, true,
+      [&](const Row& row) {
+        if (row[0].AsVarchar() != term) return false;  // past this term
+        out->rids.push_back(RowId(row[1].AsInteger()));
+        out->ancillary.push_back(Value::Integer(row[2].AsInteger()));
+        return out->rids.size() < max_rows;
+      }));
+  if (!out->rids.empty()) {
+    ws->started = true;
+    ws->last_rid = out->rids.back();
+  }
+  return Status::OK();
+}
+
+Status TextIndexMethods::Close(const OdciIndexInfo& info,
+                               OdciScanContext& sctx, ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  if (sctx.uses_handle()) {
+    return ScanWorkspaceRegistry::Global().Release(sctx.handle);
+  }
+  sctx.state.clear();
+  return Status::OK();
+}
+
+// ---- optimizer statistics ----
+
+namespace {
+
+// Document frequency of one term (posting-list length).
+Result<uint64_t> TermDocFreq(const std::string& iot_name,
+                             const std::string& term, ServerContext& ctx) {
+  uint64_t df = 0;
+  EXI_RETURN_IF_ERROR(ctx.IotScanPrefix(iot_name, {Value::Varchar(term)},
+                                        [&df](const Row&) {
+                                          ++df;
+                                          return true;
+                                        }));
+  return df;
+}
+
+Result<double> QuerySelectivity(const QueryNode& node,
+                                const std::string& iot_name,
+                                uint64_t table_rows, ServerContext& ctx) {
+  if (table_rows == 0) return 0.0;
+  switch (node.kind) {
+    case QueryNode::Kind::kTerm: {
+      EXI_ASSIGN_OR_RETURN(uint64_t df, TermDocFreq(iot_name, node.term, ctx));
+      return double(df) / double(table_rows);
+    }
+    case QueryNode::Kind::kAnd: {
+      EXI_ASSIGN_OR_RETURN(
+          double a, QuerySelectivity(*node.children[0], iot_name,
+                                     table_rows, ctx));
+      EXI_ASSIGN_OR_RETURN(
+          double b, QuerySelectivity(*node.children[1], iot_name,
+                                     table_rows, ctx));
+      return a * b;  // independence assumption
+    }
+    case QueryNode::Kind::kOr: {
+      EXI_ASSIGN_OR_RETURN(
+          double a, QuerySelectivity(*node.children[0], iot_name,
+                                     table_rows, ctx));
+      EXI_ASSIGN_OR_RETURN(
+          double b, QuerySelectivity(*node.children[1], iot_name,
+                                     table_rows, ctx));
+      return a + b - a * b;
+    }
+    case QueryNode::Kind::kNot: {
+      EXI_ASSIGN_OR_RETURN(
+          double a, QuerySelectivity(*node.children[0], iot_name,
+                                     table_rows, ctx));
+      return 1.0 - a;
+    }
+  }
+  return 0.05;
+}
+
+}  // namespace
+
+Result<double> TextStats::Selectivity(const OdciIndexInfo& info,
+                                      const OdciPredInfo& pred,
+                                      uint64_t table_rows,
+                                      ServerContext& ctx) {
+  if (pred.args.empty() || pred.args[0].tag() != TypeTag::kVarchar) {
+    return 0.05;
+  }
+  std::string error;
+  std::unique_ptr<QueryNode> query =
+      ParseTextQuery(pred.args[0].AsVarchar(), &error);
+  if (query == nullptr) return 0.05;
+  EXI_ASSIGN_OR_RETURN(
+      double sel, QuerySelectivity(*query, PostingTableName(info.index_name),
+                                   table_rows, ctx));
+  if (sel < 0.0) sel = 0.0;
+  if (sel > 1.0) sel = 1.0;
+  return sel;
+}
+
+Result<double> TextStats::IndexCost(const OdciIndexInfo& info,
+                                    const OdciPredInfo& pred,
+                                    double selectivity, uint64_t table_rows,
+                                    ServerContext& ctx) {
+  // Cost: scan start + posting reads for each query term.
+  double cost = 10.0;
+  if (!pred.args.empty() && pred.args[0].tag() == TypeTag::kVarchar) {
+    std::string error;
+    std::unique_ptr<QueryNode> query =
+        ParseTextQuery(pred.args[0].AsVarchar(), &error);
+    if (query != nullptr) {
+      std::vector<std::string> terms;
+      query->CollectTerms(&terms);
+      for (const std::string& term : terms) {
+        EXI_ASSIGN_OR_RETURN(
+            uint64_t df,
+            TermDocFreq(PostingTableName(info.index_name), term, ctx));
+        cost += double(df) * 0.2;  // posting-entry read is cheap
+      }
+    }
+  }
+  cost += selectivity * double(table_rows) * 0.1;  // result materialization
+  return cost;
+}
+
+// ---- functional implementation & installation ----
+
+Status InstallTextCartridge(Connection* conn) {
+  Catalog& catalog = conn->db()->catalog();
+
+  // Functional implementation of Contains (§2.2.1): evaluated per row when
+  // the optimizer does not pick the domain index.
+  EXI_RETURN_IF_ERROR(catalog.functions().Register(
+      "TextContains", [](const ValueList& args) -> Result<Value> {
+        if (args.size() != 2) {
+          return Status::InvalidArgument("TextContains expects 2 arguments");
+        }
+        if (args[0].is_null() || args[1].is_null()) return Value::Null();
+        if (args[0].tag() != TypeTag::kVarchar ||
+            args[1].tag() != TypeTag::kVarchar) {
+          return Status::TypeMismatch("TextContains expects VARCHAR");
+        }
+        std::string error;
+        std::unique_ptr<QueryNode> query =
+            ParseTextQuery(args[1].AsVarchar(), &error);
+        if (query == nullptr) return Status::InvalidArgument(error);
+        Tokenizer tokenizer;
+        return Value::Boolean(
+            MatchesDocument(*query, tokenizer, args[0].AsVarchar()));
+      }));
+
+  // Implementation type holding the ODCIIndex routines (§2.2.3).
+  EXI_RETURN_IF_ERROR(catalog.implementations().Register(
+      "TextIndexMethods",
+      [] { return std::make_shared<TextIndexMethods>(); },
+      [] { return std::make_shared<TextStats>(); }));
+
+  // Cartridge DDL (§2.2.2, §2.2.4).
+  EXI_RETURN_IF_ERROR(
+      conn->Execute("CREATE OPERATOR Contains BINDING (VARCHAR, VARCHAR) "
+                    "RETURN BOOLEAN USING TextContains")
+          .status());
+  EXI_RETURN_IF_ERROR(
+      conn->Execute("CREATE INDEXTYPE TextIndexType FOR "
+                    "Contains(VARCHAR, VARCHAR) USING TextIndexMethods")
+          .status());
+  return Status::OK();
+}
+
+}  // namespace exi::text

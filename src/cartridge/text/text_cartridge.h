@@ -1,0 +1,96 @@
+#ifndef EXTIDX_CARTRIDGE_TEXT_TEXT_CARTRIDGE_H_
+#define EXTIDX_CARTRIDGE_TEXT_TEXT_CARTRIDGE_H_
+
+#include <memory>
+#include <string>
+
+#include "cartridge/params.h"
+#include "cartridge/text/inverted_index.h"
+#include "cartridge/text/tokenizer.h"
+#include "core/odci.h"
+#include "engine/connection.h"
+
+namespace exi::text {
+
+// The interMedia-Text-style cartridge (§3.2.1): full-text indexing of
+// VARCHAR columns with a user-defined Contains operator evaluated either
+// functionally (per row) or through a domain-index scan over an inverted
+// index held in an index-organized table.
+//
+// PARAMETERS understood (all optional):
+//   :Language <name>         lexical analyzer tag (default English)
+//   :Ignore <w1> <w2> ...    stop words (accumulates across ALTER INDEX)
+//   :ContextMode handle|state   scan-context mechanism (§2.2.3; default
+//                               handle).  `state` serializes the remaining
+//                               result set through the context object on
+//                               every Fetch — the Return State mechanism.
+//   :Mode precompute|incremental  scan strategy (§2.2.3; default
+//                               precompute).  `incremental` streams
+//                               single-term queries directly off the IOT
+//                               cursor, fetching candidates a batch at a
+//                               time; multi-term queries fall back to
+//                               precompute.
+class TextIndexMethods : public OdciIndex {
+ public:
+  // ---- definition ----
+  Status Create(const OdciIndexInfo& info, ServerContext& ctx) override;
+  Status Alter(const OdciIndexInfo& info, ServerContext& ctx) override;
+  Status Truncate(const OdciIndexInfo& info, ServerContext& ctx) override;
+  Status Drop(const OdciIndexInfo& info, ServerContext& ctx) override;
+
+  // ---- maintenance ----
+  Status Insert(const OdciIndexInfo& info, RowId rid, const Value& new_value,
+                ServerContext& ctx) override;
+  Status Delete(const OdciIndexInfo& info, RowId rid, const Value& old_value,
+                ServerContext& ctx) override;
+  Status Update(const OdciIndexInfo& info, RowId rid, const Value& old_value,
+                const Value& new_value, ServerContext& ctx) override;
+
+  // ---- scan ----
+  Result<OdciScanContext> Start(const OdciIndexInfo& info,
+                                const OdciPredInfo& pred,
+                                ServerContext& ctx) override;
+  Status Fetch(const OdciIndexInfo& info, OdciScanContext& sctx,
+               size_t max_rows, OdciFetchBatch* out,
+               ServerContext& ctx) override;
+  Status Close(const OdciIndexInfo& info, OdciScanContext& sctx,
+               ServerContext& ctx) override;
+
+  // Parses the cartridge parameter conventions (exposed for tests).
+  static IndexParameters ParseParams(const std::string& text);
+  static Tokenizer MakeTokenizer(const IndexParameters& params);
+
+ private:
+  Status InsertDocument(const OdciIndexInfo& info, RowId rid,
+                        const std::string& document, ServerContext& ctx);
+  Status DeleteDocument(const OdciIndexInfo& info, RowId rid,
+                        const std::string& document, ServerContext& ctx);
+  // Rebuilds the posting table from the base table (used by Alter when the
+  // stop-word list changes).
+  Status Rebuild(const OdciIndexInfo& info, ServerContext& ctx);
+};
+
+// Optimizer statistics for TextIndexType: term-document-frequency-based
+// selectivity and posting-scan cost (ODCIStatsSelectivity /
+// ODCIStatsIndexCost, §2.4.2).
+class TextStats : public OdciStats {
+ public:
+  Result<double> Selectivity(const OdciIndexInfo& info,
+                             const OdciPredInfo& pred, uint64_t table_rows,
+                             ServerContext& ctx) override;
+  Result<double> IndexCost(const OdciIndexInfo& info,
+                           const OdciPredInfo& pred, double selectivity,
+                           uint64_t table_rows, ServerContext& ctx) override;
+};
+
+// Registers the C++ hooks (TextContains function, TextIndexMethods
+// implementation type) and executes the cartridge DDL:
+//   CREATE OPERATOR Contains BINDING (VARCHAR, VARCHAR) RETURN BOOLEAN
+//     USING TextContains;
+//   CREATE INDEXTYPE TextIndexType FOR Contains(VARCHAR, VARCHAR)
+//     USING TextIndexMethods;
+Status InstallTextCartridge(Connection* conn);
+
+}  // namespace exi::text
+
+#endif  // EXTIDX_CARTRIDGE_TEXT_TEXT_CARTRIDGE_H_

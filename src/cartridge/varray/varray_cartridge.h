@@ -1,0 +1,54 @@
+#ifndef EXTIDX_CARTRIDGE_VARRAY_VARRAY_CARTRIDGE_H_
+#define EXTIDX_CARTRIDGE_VARRAY_VARRAY_CARTRIDGE_H_
+
+#include <string>
+
+#include "core/odci.h"
+#include "engine/connection.h"
+
+namespace exi::varr {
+
+// Collection indexing (§3.1): "In Oracle8i, collection type columns cannot
+// be indexed using built-in indexing schemes."  This indextype implements
+// the paper's example —
+//
+//   Contains(VARRAY, elem_value): TRUE if the VARRAY contains an element
+//   with the value elem_value
+//   SELECT * FROM Employees WHERE Contains(Hobbies, 'Skiing');
+//
+// The operator is named VContains (the text cartridge owns Contains); the
+// index is an element->rowid IOT maintained from the collection values.
+class VarrayIndexMethods : public OdciIndex {
+ public:
+  Status Create(const OdciIndexInfo& info, ServerContext& ctx) override;
+  Status Alter(const OdciIndexInfo& info, ServerContext& ctx) override;
+  Status Truncate(const OdciIndexInfo& info, ServerContext& ctx) override;
+  Status Drop(const OdciIndexInfo& info, ServerContext& ctx) override;
+
+  Status Insert(const OdciIndexInfo& info, RowId rid, const Value& new_value,
+                ServerContext& ctx) override;
+  Status Delete(const OdciIndexInfo& info, RowId rid, const Value& old_value,
+                ServerContext& ctx) override;
+  Status Update(const OdciIndexInfo& info, RowId rid, const Value& old_value,
+                const Value& new_value, ServerContext& ctx) override;
+
+  Result<OdciScanContext> Start(const OdciIndexInfo& info,
+                                const OdciPredInfo& pred,
+                                ServerContext& ctx) override;
+  Status Fetch(const OdciIndexInfo& info, OdciScanContext& sctx,
+               size_t max_rows, OdciFetchBatch* out,
+               ServerContext& ctx) override;
+  Status Close(const OdciIndexInfo& info, OdciScanContext& sctx,
+               ServerContext& ctx) override;
+};
+
+// Registers VContainsFn, a VARRAY(...) constructor function, and:
+//   CREATE OPERATOR VContains BINDING (VARRAY OF VARCHAR, VARCHAR)
+//     RETURN BOOLEAN USING VContainsFn;
+//   CREATE INDEXTYPE VarrayIndexType FOR VContains(VARRAY OF VARCHAR,
+//     VARCHAR) USING VarrayIndexMethods;
+Status InstallVarrayCartridge(Connection* conn);
+
+}  // namespace exi::varr
+
+#endif  // EXTIDX_CARTRIDGE_VARRAY_VARRAY_CARTRIDGE_H_

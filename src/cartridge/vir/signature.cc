@@ -1,0 +1,112 @@
+#include "cartridge/vir/signature.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace exi::vir {
+
+Result<Weights> ParseWeights(const std::string& text) {
+  Weights weights;
+  if (Trim(text).empty()) return weights;
+  for (const std::string& piece : SplitAny(text, ",; ")) {
+    std::vector<std::string> kv = SplitAny(piece, "=");
+    if (kv.size() != 2) {
+      return Status::InvalidArgument("bad weight assignment: " + piece);
+    }
+    std::string key = ToLower(kv[0]);
+    double value = std::strtod(kv[1].c_str(), nullptr);
+    if (value < 0.0) {
+      return Status::InvalidArgument("negative weight: " + piece);
+    }
+    bool known = false;
+    for (size_t g = 0; g < kGroups; ++g) {
+      if (key == kGroupNames[g]) {
+        weights.w[g] = value;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown weight group: " + key);
+    }
+  }
+  if (weights.total() <= 0.0) {
+    return Status::InvalidArgument("all weights are zero: " + text);
+  }
+  return weights;
+}
+
+double Distance(const Signature& a, const Signature& b, const Weights& w) {
+  double total = 0.0;
+  for (size_t g = 0; g < kGroups; ++g) {
+    if (w.w[g] == 0.0) continue;
+    double sq = 0.0;
+    for (size_t i = 0; i < kDimsPerGroup; ++i) {
+      double d = a[g * kDimsPerGroup + i] - b[g * kDimsPerGroup + i];
+      sq += d * d;
+    }
+    total += w.w[g] * std::sqrt(sq);
+  }
+  return total;
+}
+
+std::array<double, kGroups> Coarse(const Signature& sig) {
+  std::array<double, kGroups> out{};
+  for (size_t g = 0; g < kGroups; ++g) {
+    double sum = 0.0;
+    for (size_t i = 0; i < kDimsPerGroup; ++i) {
+      sum += sig[g * kDimsPerGroup + i];
+    }
+    out[g] = sum / double(kDimsPerGroup);
+  }
+  return out;
+}
+
+double CoarseDistance(const std::array<double, kGroups>& a,
+                      const std::array<double, kGroups>& b,
+                      const Weights& w) {
+  double total = 0.0;
+  for (size_t g = 0; g < kGroups; ++g) {
+    total += w.w[g] * std::fabs(a[g] - b[g]);
+  }
+  return total;
+}
+
+ObjectTypeDef ImageTypeDef() {
+  ObjectTypeDef def;
+  def.name = kImageTypeName;
+  def.attributes = {{"signature", DataType::Varray(TypeTag::kDouble)}};
+  return def;
+}
+
+Value ToValue(const Signature& sig) {
+  ValueList elems;
+  elems.reserve(kSignatureDims);
+  for (double d : sig) elems.push_back(Value::Double(d));
+  return Value::Object(kImageTypeName, {Value::Varray(std::move(elems))});
+}
+
+Result<Signature> FromValue(const Value& v) {
+  if (v.tag() != TypeTag::kObject ||
+      !EqualsIgnoreCase(v.AsObject().type_name, kImageTypeName) ||
+      v.AsObject().attributes.size() != 1 ||
+      v.AsObject().attributes[0].tag() != TypeTag::kVarray) {
+    return Status::TypeMismatch("expected an IMAGE_T value, got " +
+                                v.ToString());
+  }
+  const ValueList& elems = v.AsObject().attributes[0].AsVarray();
+  if (elems.size() != kSignatureDims) {
+    return Status::InvalidArgument("IMAGE_T signature must have " +
+                                   std::to_string(kSignatureDims) +
+                                   " values");
+  }
+  Signature sig;
+  for (size_t i = 0; i < kSignatureDims; ++i) {
+    sig[i] = elems[i].AsDouble();
+  }
+  return sig;
+}
+
+}  // namespace exi::vir

@@ -1,0 +1,64 @@
+#ifndef EXTIDX_CARTRIDGE_VIR_SIGNATURE_H_
+#define EXTIDX_CARTRIDGE_VIR_SIGNATURE_H_
+
+#include <array>
+#include <string>
+
+#include "common/result.h"
+#include "types/datatype.h"
+#include "types/value.h"
+
+namespace exi::vir {
+
+// Image signature (§3.2.3): "an abstraction of the contents of the image
+// in terms of its visual attributes".  Sixteen values in [0,1], four per
+// visual attribute group, matching the paper's weight knobs
+// (globalcolor / localcolor / texture / structure).
+inline constexpr size_t kGroups = 4;
+inline constexpr size_t kDimsPerGroup = 4;
+inline constexpr size_t kSignatureDims = kGroups * kDimsPerGroup;
+
+inline constexpr const char* kGroupNames[kGroups] = {
+    "globalcolor", "localcolor", "texture", "structure"};
+
+using Signature = std::array<double, kSignatureDims>;
+
+// Per-group weights parsed from the VIRSimilar weight string, e.g.
+// 'globalcolor=0.5,localcolor=0.0,texture=0.5,structure=0.0'.
+struct Weights {
+  std::array<double, kGroups> w = {1.0, 1.0, 1.0, 1.0};
+
+  double total() const { return w[0] + w[1] + w[2] + w[3]; }
+};
+
+Result<Weights> ParseWeights(const std::string& text);
+
+// Weighted distance: sum over groups of weight * L2 distance of the
+// group's 4 dims.  Lower = more similar.
+double Distance(const Signature& a, const Signature& b, const Weights& w);
+
+// Coarse representation (§3.2.3: "a set of numbers that are a coarse
+// representation of the signature"): the per-group means.  Key property
+// (used by the multi-level filter): |mean_g(a) - mean_g(b)| is at most
+// half the group's L2 distance, so coarse distances never overestimate
+// true distances by the factors the filter relies on.
+std::array<double, kGroups> Coarse(const Signature& sig);
+
+// Weighted L1 distance between coarse vectors; satisfies
+// CoarseDistance <= Distance / 2 for any weights.
+double CoarseDistance(const std::array<double, kGroups>& a,
+                      const std::array<double, kGroups>& b,
+                      const Weights& w);
+
+// ---- Value bridging ----
+// Images travel through SQL as IMAGE_T(signature VARRAY OF DOUBLE).
+
+inline constexpr char kImageTypeName[] = "IMAGE_T";
+
+ObjectTypeDef ImageTypeDef();
+Value ToValue(const Signature& sig);
+Result<Signature> FromValue(const Value& v);
+
+}  // namespace exi::vir
+
+#endif  // EXTIDX_CARTRIDGE_VIR_SIGNATURE_H_

@@ -1,0 +1,352 @@
+#include "cartridge/vir/vir_cartridge.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/scan_context.h"
+
+namespace exi::vir {
+
+namespace {
+
+std::string CoarseTableName(const std::string& index_name) {
+  return index_name + "$ctab";
+}
+
+Schema CoarseTableSchema() {
+  Schema schema;
+  schema.AddColumn(Column{"bucket", DataType::Integer(), true});
+  schema.AddColumn(Column{"rid", DataType::Integer(), true});
+  schema.AddColumn(Column{"m0", DataType::Double(), true});
+  schema.AddColumn(Column{"m1", DataType::Double(), true});
+  schema.AddColumn(Column{"m2", DataType::Double(), true});
+  schema.AddColumn(Column{"m3", DataType::Double(), true});
+  return schema;
+}
+
+int64_t BucketOf(double coarse0) {
+  double b = std::floor(coarse0 * VirIndexMethods::kBuckets);
+  if (b < 0) b = 0;
+  if (b > VirIndexMethods::kBuckets - 1) b = VirIndexMethods::kBuckets - 1;
+  return int64_t(b);
+}
+
+struct VirScanWorkspace {
+  // (rid, distance) pairs sorted by distance (most similar first).
+  std::vector<std::pair<RowId, double>> matches;
+  size_t pos = 0;
+};
+
+// Parses VIRSimilar scan arguments: (query image, weights, threshold).
+Status ParseSimilarPred(const OdciPredInfo& pred, Signature* query,
+                        Weights* weights, double* threshold) {
+  if (pred.args.size() != 3) {
+    return Status::InvalidArgument(
+        "VIRSimilar index scan expects (image, weights, threshold)");
+  }
+  EXI_ASSIGN_OR_RETURN(*query, FromValue(pred.args[0]));
+  if (pred.args[1].tag() != TypeTag::kVarchar) {
+    return Status::InvalidArgument("VIRSimilar weights must be a string");
+  }
+  EXI_ASSIGN_OR_RETURN(*weights, ParseWeights(pred.args[1].AsVarchar()));
+  if (!DataType(pred.args[2].tag()).is_numeric()) {
+    return Status::InvalidArgument("VIRSimilar threshold must be numeric");
+  }
+  *threshold = pred.args[2].AsDouble();
+  return Status::OK();
+}
+
+VirIndexMethods::PhaseCounters g_last_counters;
+
+}  // namespace
+
+VirIndexMethods::PhaseCounters VirIndexMethods::last_counters() {
+  return g_last_counters;
+}
+
+Status VirIndexMethods::IndexSignature(const OdciIndexInfo& info, RowId rid,
+                                       const Signature& sig,
+                                       ServerContext& ctx) {
+  std::array<double, kGroups> coarse = Coarse(sig);
+  return ctx.IotUpsert(CoarseTableName(info.index_name),
+                       {Value::Integer(BucketOf(coarse[0])),
+                        Value::Integer(int64_t(rid)),
+                        Value::Double(coarse[0]), Value::Double(coarse[1]),
+                        Value::Double(coarse[2]), Value::Double(coarse[3])});
+}
+
+Status VirIndexMethods::UnindexSignature(const OdciIndexInfo& info,
+                                         RowId rid, const Signature& sig,
+                                         ServerContext& ctx) {
+  std::array<double, kGroups> coarse = Coarse(sig);
+  return ctx.IotDelete(
+      CoarseTableName(info.index_name),
+      {Value::Integer(BucketOf(coarse[0])), Value::Integer(int64_t(rid))});
+}
+
+Status VirIndexMethods::Create(const OdciIndexInfo& info,
+                               ServerContext& ctx) {
+  EXI_RETURN_IF_ERROR(
+      ctx.CreateIot(CoarseTableName(info.index_name), CoarseTableSchema(),
+                    2));
+  int col = info.indexed_position();
+  Status inner = Status::OK();
+  EXI_RETURN_IF_ERROR(ctx.ScanBaseTable(
+      info.table_name, [&](RowId rid, const Row& row) {
+        const Value& v = row[col];
+        if (v.is_null()) return true;
+        Result<Signature> sig = FromValue(v);
+        if (!sig.ok()) {
+          inner = sig.status();
+          return false;
+        }
+        inner = IndexSignature(info, rid, *sig, ctx);
+        return inner.ok();
+      }));
+  return inner;
+}
+
+Status VirIndexMethods::Alter(const OdciIndexInfo& info, ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  return Status::OK();
+}
+
+Status VirIndexMethods::Truncate(const OdciIndexInfo& info,
+                                 ServerContext& ctx) {
+  return ctx.IotTruncate(CoarseTableName(info.index_name));
+}
+
+Status VirIndexMethods::Drop(const OdciIndexInfo& info, ServerContext& ctx) {
+  return ctx.DropIot(CoarseTableName(info.index_name));
+}
+
+Status VirIndexMethods::Insert(const OdciIndexInfo& info, RowId rid,
+                               const Value& new_value, ServerContext& ctx) {
+  if (new_value.is_null()) return Status::OK();
+  EXI_ASSIGN_OR_RETURN(Signature sig, FromValue(new_value));
+  return IndexSignature(info, rid, sig, ctx);
+}
+
+Status VirIndexMethods::Delete(const OdciIndexInfo& info, RowId rid,
+                               const Value& old_value, ServerContext& ctx) {
+  if (old_value.is_null()) return Status::OK();
+  EXI_ASSIGN_OR_RETURN(Signature sig, FromValue(old_value));
+  return UnindexSignature(info, rid, sig, ctx);
+}
+
+Status VirIndexMethods::Update(const OdciIndexInfo& info, RowId rid,
+                               const Value& old_value,
+                               const Value& new_value, ServerContext& ctx) {
+  EXI_RETURN_IF_ERROR(Delete(info, rid, old_value, ctx));
+  return Insert(info, rid, new_value, ctx);
+}
+
+Result<OdciScanContext> VirIndexMethods::Start(const OdciIndexInfo& info,
+                                               const OdciPredInfo& pred,
+                                               ServerContext& ctx) {
+  Signature query;
+  Weights weights;
+  double threshold;
+  EXI_RETURN_IF_ERROR(ParseSimilarPred(pred, &query, &weights, &threshold));
+  std::array<double, kGroups> qcoarse = Coarse(query);
+  std::string iot = CoarseTableName(info.index_name);
+  g_last_counters = PhaseCounters();
+
+  // ---- Phase 1: bucket-window range query on the coarse index table.
+  // |mean0(a) - mean0(q)| <= distance/(2*w0), so matches lie within a
+  // window of radius threshold/(2*w0) around the query's mean0.  With
+  // w0 == 0 the window is unbounded and phase 1 degenerates to a full
+  // coarse-table scan (still phases 2-3 filtered).
+  int64_t lo_bucket = 0;
+  int64_t hi_bucket = kBuckets - 1;
+  if (weights.w[0] > 0.0) {
+    double radius = threshold / (2.0 * weights.w[0]);
+    lo_bucket = BucketOf(qcoarse[0] - radius);
+    hi_bucket = BucketOf(qcoarse[0] + radius);
+  }
+  struct Candidate {
+    RowId rid;
+    std::array<double, kGroups> coarse;
+  };
+  std::vector<Candidate> phase1;
+  CompositeKey lo = {Value::Integer(lo_bucket)};
+  CompositeKey hi = {Value::Integer(hi_bucket),
+                     Value::Integer(int64_t(~0ULL >> 1))};
+  EXI_RETURN_IF_ERROR(ctx.IotScanRange(
+      iot, &lo, true, &hi, true, [&phase1](const Row& row) {
+        Candidate c;
+        c.rid = RowId(row[1].AsInteger());
+        c.coarse = {row[2].AsDouble(), row[3].AsDouble(),
+                    row[4].AsDouble(), row[5].AsDouble()};
+        phase1.push_back(c);
+        return true;
+      }));
+  g_last_counters.phase1_candidates = phase1.size();
+
+  // ---- Phase 2: coarse-distance filter.  For any true match,
+  // CoarseDistance(a,q) <= Distance(a,q)/2 <= threshold/2, so this filter
+  // admits no false negatives.
+  std::vector<Candidate> phase2;
+  for (const Candidate& c : phase1) {
+    if (CoarseDistance(c.coarse, qcoarse, weights) <= threshold / 2.0) {
+      phase2.push_back(c);
+    }
+  }
+  g_last_counters.phase2_survivors = phase2.size();
+
+  // ---- Phase 3: full signature comparison.
+  int col = info.indexed_position();
+  auto ws = std::make_shared<VirScanWorkspace>();
+  for (const Candidate& c : phase2) {
+    Result<Row> row = ctx.GetBaseTableRow(info.table_name, c.rid);
+    if (!row.ok()) continue;
+    const Value& v = (*row)[col];
+    if (v.is_null()) continue;
+    EXI_ASSIGN_OR_RETURN(Signature sig, FromValue(v));
+    double d = Distance(sig, query, weights);
+    if (d <= threshold) ws->matches.emplace_back(c.rid, d);
+  }
+  // Ranking over the whole result set — the Precompute-All exemplar
+  // (§2.2.3: "operators involving some sort of ranking ... require looking
+  // at the entire result set").
+  std::sort(ws->matches.begin(), ws->matches.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  g_last_counters.matches = ws->matches.size();
+
+  OdciScanContext sctx;
+  sctx.handle = ScanWorkspaceRegistry::Global().Allocate(ws);
+  return sctx;
+}
+
+Status VirIndexMethods::Fetch(const OdciIndexInfo& info,
+                              OdciScanContext& sctx, size_t max_rows,
+                              OdciFetchBatch* out, ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  EXI_ASSIGN_OR_RETURN(
+      std::shared_ptr<VirScanWorkspace> ws,
+      ScanWorkspaceRegistry::Global().GetAs<VirScanWorkspace>(sctx.handle));
+  size_t end = std::min(ws->matches.size(), ws->pos + max_rows);
+  for (size_t i = ws->pos; i < end; ++i) {
+    out->rids.push_back(ws->matches[i].first);
+    out->ancillary.push_back(Value::Double(ws->matches[i].second));
+  }
+  ws->pos = end;
+  return Status::OK();
+}
+
+Status VirIndexMethods::Close(const OdciIndexInfo& info,
+                              OdciScanContext& sctx, ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  if (sctx.uses_handle()) {
+    return ScanWorkspaceRegistry::Global().Release(sctx.handle);
+  }
+  return Status::OK();
+}
+
+// ---- stats ----
+
+Result<double> VirStats::Selectivity(const OdciIndexInfo& info,
+                                     const OdciPredInfo& pred,
+                                     uint64_t table_rows,
+                                     ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  (void)table_rows;
+  Signature query;
+  Weights weights;
+  double threshold;
+  Status st = ParseSimilarPred(pred, &query, &weights, &threshold);
+  if (!st.ok()) return 0.01;
+  // Smaller thresholds are sharply more selective; signatures live in
+  // [0,1]^16 so a weighted distance budget of `total()` is ~everything.
+  double sel = threshold / (weights.total() + 1e-9);
+  sel = sel * sel;  // volume shrinks superlinearly with radius
+  if (sel < 1e-6) sel = 1e-6;
+  if (sel > 1.0) sel = 1.0;
+  return sel;
+}
+
+Result<double> VirStats::IndexCost(const OdciIndexInfo& info,
+                                   const OdciPredInfo& pred,
+                                   double selectivity, uint64_t table_rows,
+                                   ServerContext& ctx) {
+  (void)info;
+  (void)ctx;
+  Signature query;
+  Weights weights;
+  double threshold;
+  double window = 1.0;
+  if (ParseSimilarPred(pred, &query, &weights, &threshold).ok() &&
+      weights.w[0] > 0.0) {
+    window = std::min(1.0, threshold / weights.w[0]);
+  }
+  // Phase-1 rows scanned + phase-3 fetches.
+  return 10.0 + window * double(table_rows) * 0.3 +
+         selectivity * double(table_rows) * 2.0;
+}
+
+// ---- installation ----
+
+Status InstallVirCartridge(Connection* conn) {
+  Catalog& catalog = conn->db()->catalog();
+  EXI_RETURN_IF_ERROR(catalog.RegisterObjectType(ImageTypeDef()));
+
+  // IMAGE_T(d0, ..., d15) constructor.
+  EXI_RETURN_IF_ERROR(catalog.functions().Register(
+      "IMAGE_T", [](const ValueList& args) -> Result<Value> {
+        if (args.size() != kSignatureDims) {
+          return Status::InvalidArgument("IMAGE_T expects " +
+                                         std::to_string(kSignatureDims) +
+                                         " numbers");
+        }
+        Signature sig;
+        for (size_t i = 0; i < kSignatureDims; ++i) {
+          if (args[i].is_null() || !DataType(args[i].tag()).is_numeric()) {
+            return Status::TypeMismatch("IMAGE_T expects numbers");
+          }
+          sig[i] = args[i].AsDouble();
+        }
+        return ToValue(sig);
+      }));
+
+  // Functional VIRSimilar: full signature comparison per row (§3.2.3
+  // pre-8i behavior).
+  EXI_RETURN_IF_ERROR(catalog.functions().Register(
+      "VIRSimilarFn", [](const ValueList& args) -> Result<Value> {
+        if (args.size() != 4) {
+          return Status::InvalidArgument("VIRSimilar expects 4 arguments");
+        }
+        if (args[0].is_null() || args[1].is_null()) return Value::Null();
+        EXI_ASSIGN_OR_RETURN(Signature a, FromValue(args[0]));
+        EXI_ASSIGN_OR_RETURN(Signature b, FromValue(args[1]));
+        if (args[2].tag() != TypeTag::kVarchar ||
+            !DataType(args[3].tag()).is_numeric()) {
+          return Status::TypeMismatch(
+              "VIRSimilar expects (image, image, weights, threshold)");
+        }
+        EXI_ASSIGN_OR_RETURN(Weights w,
+                             ParseWeights(args[2].AsVarchar()));
+        return Value::Boolean(Distance(a, b, w) <= args[3].AsDouble());
+      }));
+
+  EXI_RETURN_IF_ERROR(catalog.implementations().Register(
+      "VirIndexMethods", [] { return std::make_shared<VirIndexMethods>(); },
+      [] { return std::make_shared<VirStats>(); }));
+
+  EXI_RETURN_IF_ERROR(
+      conn->Execute("CREATE OPERATOR VIRSimilar BINDING (OBJECT IMAGE_T, "
+                    "OBJECT IMAGE_T, VARCHAR, DOUBLE) RETURN BOOLEAN USING "
+                    "VIRSimilarFn")
+          .status());
+  EXI_RETURN_IF_ERROR(
+      conn->Execute("CREATE INDEXTYPE VirIndexType FOR VIRSimilar(OBJECT "
+                    "IMAGE_T, OBJECT IMAGE_T, VARCHAR, DOUBLE) USING "
+                    "VirIndexMethods")
+          .status());
+  return Status::OK();
+}
+
+}  // namespace exi::vir

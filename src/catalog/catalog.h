@@ -1,0 +1,167 @@
+#ifndef EXTIDX_CATALOG_CATALOG_H_
+#define EXTIDX_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/indextype.h"
+#include "core/odci.h"
+#include "core/operator_registry.h"
+#include "index/builtin_index.h"
+#include "index/iot.h"
+#include "storage/file_store.h"
+#include "storage/heap_table.h"
+#include "storage/lob_store.h"
+#include "types/datatype.h"
+#include "types/schema.h"
+
+namespace exi {
+
+// Per-column statistics gathered by ANALYZE; stored in the dictionary like
+// Oracle's DBA_TAB_COLUMNS stats and consumed by the cost-based optimizer.
+struct ColumnStats {
+  uint64_t distinct_values = 0;
+  uint64_t null_count = 0;
+  std::optional<Value> min;
+  std::optional<Value> max;
+};
+
+struct TableStats {
+  uint64_t row_count = 0;
+  std::vector<ColumnStats> columns;  // positional against the table schema
+  bool analyzed = false;
+};
+
+// Dictionary record for an index (built-in or domain).
+struct IndexInfo {
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;
+
+  // Built-in index: non-null access structure.
+  std::unique_ptr<BuiltinIndex> builtin;
+
+  // Domain index: indextype name, uninterpreted PARAMETERS string, and the
+  // ODCIIndex implementation instance managing this index.
+  std::string indextype;
+  std::string parameters;
+  std::shared_ptr<OdciIndex> domain_impl;
+  std::shared_ptr<OdciStats> domain_stats;  // may be null
+
+  bool is_domain() const { return domain_impl != nullptr; }
+
+  // Metadata bundle passed into every ODCI routine for this index.
+  OdciIndexInfo ToOdciInfo(const Schema& table_schema) const;
+};
+
+// Dictionary record for a table plus the names of its indexes.
+struct TableInfo {
+  std::unique_ptr<HeapTable> heap;
+  std::vector<std::string> index_names;
+  TableStats stats;
+};
+
+// The data dictionary (§2: operators and indextypes are "top level schema
+// objects").  Owns every schema object and the cartridge-visible storage
+// namespaces (IOTs, index-data heap tables, LOB store, external file
+// stores).  Name lookups are case-insensitive, as in SQL.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // ---- tables ----
+  Status CreateTable(const std::string& name, Schema schema);
+  Status DropTable(const std::string& name);  // caller drops indexes first
+  Result<HeapTable*> GetTable(const std::string& name);
+  Result<const HeapTable*> GetTable(const std::string& name) const;
+  Result<TableInfo*> GetTableInfo(const std::string& name);
+  bool TableExists(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  // ---- object types ----
+  Status RegisterObjectType(ObjectTypeDef def);
+  Result<const ObjectTypeDef*> GetObjectType(const std::string& name) const;
+
+  // ---- operators ----
+  Status CreateOperator(OperatorDef def);
+  Status DropOperator(const std::string& name);
+  Result<const OperatorDef*> GetOperator(const std::string& name) const;
+  bool OperatorExists(const std::string& name) const;
+  std::vector<const OperatorDef*> Operators() const;
+
+  // ---- indextypes ----
+  Status CreateIndexType(IndexTypeDef def);
+  Status DropIndexType(const std::string& name);
+  Result<const IndexTypeDef*> GetIndexType(const std::string& name) const;
+  std::vector<const IndexTypeDef*> IndexTypes() const;
+
+  // ---- indexes ----
+  Status AddIndex(std::unique_ptr<IndexInfo> info);
+  Status RemoveIndex(const std::string& name);
+  Result<IndexInfo*> GetIndex(const std::string& name);
+  bool IndexExists(const std::string& name) const;
+  // All indexes on `table`; optionally only those covering `column` as the
+  // leading indexed column.
+  std::vector<IndexInfo*> IndexesOnTable(const std::string& table);
+  std::vector<const IndexInfo*> Indexes() const;
+  std::vector<IndexInfo*> IndexesOnColumn(const std::string& table,
+                                          const std::string& column);
+
+  // ---- registries (cartridge developer hooks) ----
+  FunctionRegistry& functions() { return functions_; }
+  const FunctionRegistry& functions() const { return functions_; }
+  ImplementationRegistry& implementations() { return implementations_; }
+  const ImplementationRegistry& implementations() const {
+    return implementations_;
+  }
+
+  // ---- cartridge index-data storage namespaces ----
+  Status CreateIot(const std::string& name, Schema schema, size_t key_cols);
+  Status DropIot(const std::string& name);
+  Result<Iot*> GetIot(const std::string& name);
+  Result<const Iot*> GetIot(const std::string& name) const;
+  bool IotExists(const std::string& name) const;
+
+  Status CreateIndexTable(const std::string& name, Schema schema);
+  Status DropIndexTable(const std::string& name);
+  Result<HeapTable*> GetIndexTable(const std::string& name);
+  bool IndexTableExists(const std::string& name) const;
+
+  LobStore& lobs() { return lobs_; }
+  const LobStore& lobs() const { return lobs_; }
+
+  // External file stores are created lazily under `external_root`.
+  void set_external_root(std::string root) {
+    external_root_ = std::move(root);
+  }
+  const std::string& external_root() const { return external_root_; }
+  Result<FileStore*> GetOrCreateFileStore(const std::string& store_name);
+
+ private:
+  static std::string Key(const std::string& name);
+
+  std::map<std::string, TableInfo> tables_;
+  std::map<std::string, std::unique_ptr<IndexInfo>> indexes_;
+  std::map<std::string, ObjectTypeDef> object_types_;
+  std::map<std::string, OperatorDef> operators_;
+  std::map<std::string, IndexTypeDef> indextypes_;
+
+  FunctionRegistry functions_;
+  ImplementationRegistry implementations_;
+
+  std::map<std::string, std::unique_ptr<Iot>> iots_;
+  std::map<std::string, std::unique_ptr<HeapTable>> index_tables_;
+  LobStore lobs_;
+  std::string external_root_ = "/tmp/extidx_external";
+  std::map<std::string, std::unique_ptr<FileStore>> file_stores_;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_CATALOG_CATALOG_H_

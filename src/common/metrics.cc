@@ -1,0 +1,54 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace exi {
+
+StorageMetrics StorageMetrics::Delta(const StorageMetrics& since) const {
+  StorageMetrics d;
+  d.table_rows_read = table_rows_read - since.table_rows_read;
+  d.table_rows_written = table_rows_written - since.table_rows_written;
+  d.table_rows_deleted = table_rows_deleted - since.table_rows_deleted;
+  d.index_nodes_read = index_nodes_read - since.index_nodes_read;
+  d.index_entries_written = index_entries_written - since.index_entries_written;
+  d.lob_chunks_read = lob_chunks_read - since.lob_chunks_read;
+  d.lob_chunks_written = lob_chunks_written - since.lob_chunks_written;
+  d.lob_bytes_written = lob_bytes_written - since.lob_bytes_written;
+  d.file_reads = file_reads - since.file_reads;
+  d.file_writes = file_writes - since.file_writes;
+  d.file_bytes_written = file_bytes_written - since.file_bytes_written;
+  d.temp_rows_written = temp_rows_written - since.temp_rows_written;
+  d.temp_rows_read = temp_rows_read - since.temp_rows_read;
+  d.odci_start_calls = odci_start_calls - since.odci_start_calls;
+  d.odci_fetch_calls = odci_fetch_calls - since.odci_fetch_calls;
+  d.odci_close_calls = odci_close_calls - since.odci_close_calls;
+  d.odci_maintenance_calls =
+      odci_maintenance_calls - since.odci_maintenance_calls;
+  d.functional_evaluations =
+      functional_evaluations - since.functional_evaluations;
+  return d;
+}
+
+std::string StorageMetrics::ToString() const {
+  std::ostringstream os;
+  os << "rows_read=" << table_rows_read << " rows_written=" << table_rows_written
+     << " rows_deleted=" << table_rows_deleted
+     << " idx_nodes_read=" << index_nodes_read
+     << " idx_entries_written=" << index_entries_written
+     << " lob_bytes_w=" << lob_bytes_written << " file_bytes_w=" << file_bytes_written
+     << " lob_read=" << lob_chunks_read << " lob_written=" << lob_chunks_written
+     << " file_reads=" << file_reads << " file_writes=" << file_writes
+     << " temp_written=" << temp_rows_written << " temp_read=" << temp_rows_read
+     << " odci_start=" << odci_start_calls << " odci_fetch=" << odci_fetch_calls
+     << " odci_close=" << odci_close_calls
+     << " odci_maint=" << odci_maintenance_calls
+     << " func_evals=" << functional_evaluations;
+  return os.str();
+}
+
+StorageMetrics& GlobalMetrics() {
+  static StorageMetrics metrics;
+  return metrics;
+}
+
+}  // namespace exi

@@ -1,0 +1,56 @@
+#ifndef EXTIDX_COMMON_METRICS_H_
+#define EXTIDX_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace exi {
+
+// Logical I/O and callback accounting for the whole engine.  The paper's
+// performance claims (fewer temp-table writes, fewer intermediate writes,
+// fewer callback round-trips) are claims about operation *counts*; benches
+// report these counters alongside wall-clock time so experiments are
+// deterministic across machines.
+struct StorageMetrics {
+  // Heap/IOT table row operations.
+  uint64_t table_rows_read = 0;
+  uint64_t table_rows_written = 0;
+  uint64_t table_rows_deleted = 0;
+
+  // Built-in index node traversals/updates.
+  uint64_t index_nodes_read = 0;
+  uint64_t index_entries_written = 0;
+
+  // LOB store chunk operations (in-database large objects).
+  uint64_t lob_chunks_read = 0;
+  uint64_t lob_chunks_written = 0;
+  uint64_t lob_bytes_written = 0;
+
+  // External file store operations (outside transaction control).
+  uint64_t file_reads = 0;
+  uint64_t file_writes = 0;
+  uint64_t file_bytes_written = 0;
+
+  // Temporary result-table traffic (pre-8i two-step text plan).
+  uint64_t temp_rows_written = 0;
+  uint64_t temp_rows_read = 0;
+
+  // Extensible-indexing framework dispatch counts.
+  uint64_t odci_start_calls = 0;
+  uint64_t odci_fetch_calls = 0;
+  uint64_t odci_close_calls = 0;
+  uint64_t odci_maintenance_calls = 0;
+  uint64_t functional_evaluations = 0;  // per-row operator function calls
+
+  void Reset() { *this = StorageMetrics(); }
+  StorageMetrics Delta(const StorageMetrics& since) const;
+  std::string ToString() const;
+};
+
+// Process-wide metrics sink.  The engine is single-threaded by design
+// (see DESIGN.md §5), so a plain global suffices.
+StorageMetrics& GlobalMetrics();
+
+}  // namespace exi
+
+#endif  // EXTIDX_COMMON_METRICS_H_

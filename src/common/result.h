@@ -1,0 +1,70 @@
+#ifndef EXTIDX_COMMON_RESULT_H_
+#define EXTIDX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace exi {
+
+// Result<T> holds either a value of T or a non-OK Status (Arrow idiom).
+// Accessing the value of an errored Result is a programming error and
+// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // readable: `return 42;` / `return Status::NotFound(...)`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result must not be constructed from an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define EXI_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value();
+
+#define EXI_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define EXI_ASSIGN_OR_RETURN_NAME(a, b) EXI_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define EXI_ASSIGN_OR_RETURN(lhs, expr) \
+  EXI_ASSIGN_OR_RETURN_IMPL(            \
+      EXI_ASSIGN_OR_RETURN_NAME(_exi_result_, __LINE__), lhs, expr)
+
+}  // namespace exi
+
+#endif  // EXTIDX_COMMON_RESULT_H_

@@ -1,0 +1,74 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace exi {
+
+uint64_t Rng::Next() {
+  // splitmix64
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::Uniform(uint64_t n) { return n ? Next() % n : 0; }
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::NextGaussian() {
+  if (have_spare_gaussian_) {
+    have_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u;
+  double v;
+  double s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * mul;
+  have_spare_gaussian_ = true;
+  return u * mul;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  ZipfGenerator gen(n, theta, Next());
+  return gen.Next();
+}
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = Zeta(n_, theta_);
+  double zeta2 = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfGenerator::Next() {
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+}  // namespace exi

@@ -1,0 +1,56 @@
+#ifndef EXTIDX_COMMON_RNG_H_
+#define EXTIDX_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace exi {
+
+// Deterministic 64-bit PRNG (splitmix64 + xorshift mix).  All workload
+// generators seed one of these so every experiment is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next();
+
+  // Uniform in [0, n).  n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Zipfian rank in [0, n) with exponent `theta` (higher = more skew).
+  // Uses the classic rejection-free CDF-inversion approximation.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+ private:
+  uint64_t state_;
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+// Precomputed Zipfian sampler for repeated draws over a fixed domain.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_COMMON_RNG_H_

@@ -1,0 +1,239 @@
+#include "core/domain_index.h"
+
+#include "common/metrics.h"
+#include "common/strings.h"
+
+namespace exi {
+
+Result<IndexInfo*> DomainIndexManager::GetDomainIndex(
+    const std::string& index_name) {
+  EXI_ASSIGN_OR_RETURN(IndexInfo * index, catalog_->GetIndex(index_name));
+  if (!index->is_domain()) {
+    return Status::InvalidArgument(index_name + " is not a domain index");
+  }
+  return index;
+}
+
+OdciIndexInfo DomainIndexManager::InfoFor(IndexInfo* index) {
+  Result<HeapTable*> table = catalog_->GetTable(index->table);
+  static const Schema kEmpty;
+  return index->ToOdciInfo(table.ok() ? (*table)->schema() : kEmpty);
+}
+
+Status DomainIndexManager::CreateIndex(const std::string& index_name,
+                                       const std::string& table_name,
+                                       const std::string& column_name,
+                                       const std::string& indextype_name,
+                                       const std::string& parameters,
+                                       Transaction* txn) {
+  if (catalog_->IndexExists(index_name)) {
+    return Status::AlreadyExists("index exists: " + index_name);
+  }
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetTable(table_name));
+  int col = table->schema().FindColumn(column_name);
+  if (col < 0) {
+    return Status::NotFound("no column " + column_name + " in " + table_name);
+  }
+  EXI_ASSIGN_OR_RETURN(const IndexTypeDef* indextype,
+                       catalog_->GetIndexType(indextype_name));
+  const DataType& column_type = table->schema().column(col).type;
+  bool supported = false;
+  for (const SupportedOperator& so : indextype->operators) {
+    if (indextype->Supports(so.operator_name, column_type)) {
+      supported = true;
+      break;
+    }
+  }
+  if (!supported) {
+    return Status::InvalidArgument(
+        "indextype " + indextype_name + " supports no operator over column " +
+        column_name + " of type " + column_type.ToString());
+  }
+
+  EXI_ASSIGN_OR_RETURN(
+      OdciIndexFactory factory,
+      catalog_->implementations().GetIndexFactory(indextype->implementation));
+  EXI_ASSIGN_OR_RETURN(
+      OdciStatsFactory stats_factory,
+      catalog_->implementations().GetStatsFactory(indextype->implementation));
+
+  auto info = std::make_unique<IndexInfo>();
+  info->name = index_name;
+  info->table = table_name;
+  info->columns = {table->schema().column(col).name};
+  info->indextype = indextype->name;
+  info->parameters = parameters;
+  info->domain_impl = factory();
+  if (stats_factory) info->domain_stats = stats_factory();
+
+  OdciIndexInfo odci_info = info->ToOdciInfo(table->schema());
+  GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
+  EXI_RETURN_IF_ERROR(info->domain_impl->Create(odci_info, ctx));
+  return catalog_->AddIndex(std::move(info));
+}
+
+Status DomainIndexManager::AlterIndex(const std::string& index_name,
+                                      const std::string& parameters,
+                                      Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(IndexInfo * index, GetDomainIndex(index_name));
+  OdciIndexInfo info = InfoFor(index);
+  // ALTER parameters extend the CREATE parameters; the cartridge sees the
+  // accumulated string and decides replace-vs-merge semantics per key.
+  std::string merged = index->parameters.empty()
+                           ? parameters
+                           : index->parameters + " " + parameters;
+  info.parameters = merged;
+  GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
+  EXI_RETURN_IF_ERROR(index->domain_impl->Alter(info, ctx));
+  index->parameters = merged;
+  return Status::OK();
+}
+
+Status DomainIndexManager::DropIndex(const std::string& index_name,
+                                     Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(IndexInfo * index, GetDomainIndex(index_name));
+  OdciIndexInfo info = InfoFor(index);
+  GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
+  EXI_RETURN_IF_ERROR(index->domain_impl->Drop(info, ctx));
+  return catalog_->RemoveIndex(index_name);
+}
+
+Status DomainIndexManager::TruncateIndex(const std::string& index_name,
+                                         Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(IndexInfo * index, GetDomainIndex(index_name));
+  OdciIndexInfo info = InfoFor(index);
+  GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
+  return index->domain_impl->Truncate(info, ctx);
+}
+
+namespace {
+
+// Extracts the indexed column's value from a base-table row.
+Result<Value> IndexedValue(const IndexInfo* index, const Schema& schema,
+                           const Row& row) {
+  int col = schema.FindColumn(index->columns[0]);
+  if (col < 0) {
+    return Status::Internal("indexed column vanished: " + index->columns[0]);
+  }
+  return row[col];
+}
+
+}  // namespace
+
+Status DomainIndexManager::OnInsert(const std::string& table_name, RowId rid,
+                                    const Row& row, Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetTable(table_name));
+  for (IndexInfo* index : catalog_->IndexesOnTable(table_name)) {
+    if (!index->is_domain()) continue;
+    EXI_ASSIGN_OR_RETURN(Value v, IndexedValue(index, table->schema(), row));
+    OdciIndexInfo info = index->ToOdciInfo(table->schema());
+    GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
+    GlobalMetrics().odci_maintenance_calls++;
+    EXI_RETURN_IF_ERROR(index->domain_impl->Insert(info, rid, v, ctx));
+  }
+  return Status::OK();
+}
+
+Status DomainIndexManager::OnDelete(const std::string& table_name, RowId rid,
+                                    const Row& old_row, Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetTable(table_name));
+  for (IndexInfo* index : catalog_->IndexesOnTable(table_name)) {
+    if (!index->is_domain()) continue;
+    EXI_ASSIGN_OR_RETURN(Value v,
+                         IndexedValue(index, table->schema(), old_row));
+    OdciIndexInfo info = index->ToOdciInfo(table->schema());
+    GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
+    GlobalMetrics().odci_maintenance_calls++;
+    EXI_RETURN_IF_ERROR(index->domain_impl->Delete(info, rid, v, ctx));
+  }
+  return Status::OK();
+}
+
+Status DomainIndexManager::OnUpdate(const std::string& table_name, RowId rid,
+                                    const Row& old_row, const Row& new_row,
+                                    Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetTable(table_name));
+  for (IndexInfo* index : catalog_->IndexesOnTable(table_name)) {
+    if (!index->is_domain()) continue;
+    EXI_ASSIGN_OR_RETURN(Value old_v,
+                         IndexedValue(index, table->schema(), old_row));
+    EXI_ASSIGN_OR_RETURN(Value new_v,
+                         IndexedValue(index, table->schema(), new_row));
+    OdciIndexInfo info = index->ToOdciInfo(table->schema());
+    GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
+    GlobalMetrics().odci_maintenance_calls++;
+    EXI_RETURN_IF_ERROR(
+        index->domain_impl->Update(info, rid, old_v, new_v, ctx));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DomainIndexManager::Scan>>
+DomainIndexManager::StartScan(const std::string& index_name,
+                              const OdciPredInfo& pred) {
+  EXI_ASSIGN_OR_RETURN(IndexInfo * index, GetDomainIndex(index_name));
+  OdciIndexInfo info = InfoFor(index);
+  auto ctx = std::make_unique<GuardedServerContext>(catalog_, nullptr,
+                                                    CallbackMode::kScan);
+  GlobalMetrics().odci_start_calls++;
+  EXI_ASSIGN_OR_RETURN(OdciScanContext sctx,
+                       index->domain_impl->Start(info, pred, *ctx));
+  return std::unique_ptr<Scan>(
+      new Scan(index, std::move(info), std::move(ctx), std::move(sctx)));
+}
+
+DomainIndexManager::Scan::~Scan() {
+  if (!closed_) (void)Close();
+}
+
+Status DomainIndexManager::Scan::NextBatch(size_t max_rows,
+                                           OdciFetchBatch* out) {
+  if (closed_) {
+    return Status::InvalidArgument("fetch on closed domain-index scan");
+  }
+  out->rids.clear();
+  out->ancillary.clear();
+  GlobalMetrics().odci_fetch_calls++;
+  if (sctx_.uses_handle()) {
+    return index_->domain_impl->Fetch(info_, sctx_, max_rows, out, *ctx_);
+  }
+  // Return State: the context object crosses the interface by value — copy
+  // the serialized state in, invoke, copy the (possibly mutated) state out.
+  OdciScanContext by_value;
+  by_value.state = sctx_.state;  // copy in
+  EXI_RETURN_IF_ERROR(
+      index_->domain_impl->Fetch(info_, by_value, max_rows, out, *ctx_));
+  sctx_.state = by_value.state;  // copy out
+  return Status::OK();
+}
+
+Status DomainIndexManager::Scan::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  GlobalMetrics().odci_close_calls++;
+  return index_->domain_impl->Close(info_, sctx_, *ctx_);
+}
+
+Result<double> DomainIndexManager::PredicateSelectivity(
+    IndexInfo* index, const OdciPredInfo& pred, uint64_t table_rows) {
+  if (index->domain_stats == nullptr) return 0.05;  // default guess
+  OdciIndexInfo info = InfoFor(index);
+  GuardedServerContext ctx(catalog_, nullptr, CallbackMode::kScan);
+  return index->domain_stats->Selectivity(info, pred, table_rows, ctx);
+}
+
+Result<double> DomainIndexManager::ScanCost(IndexInfo* index,
+                                            const OdciPredInfo& pred,
+                                            double selectivity,
+                                            uint64_t table_rows) {
+  if (index->domain_stats == nullptr) {
+    // Default: proportional to expected output plus a fixed start cost.
+    return 10.0 + selectivity * double(table_rows);
+  }
+  OdciIndexInfo info = InfoFor(index);
+  GuardedServerContext ctx(catalog_, nullptr, CallbackMode::kScan);
+  return index->domain_stats->IndexCost(info, pred, selectivity, table_rows,
+                                        ctx);
+}
+
+}  // namespace exi

@@ -1,0 +1,118 @@
+#ifndef EXTIDX_CORE_DOMAIN_INDEX_H_
+#define EXTIDX_CORE_DOMAIN_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/callback_guard.h"
+#include "core/odci.h"
+#include "txn/transaction.h"
+
+namespace exi {
+
+// DomainIndexManager is the server side of the extensible indexing
+// framework (§2.4): it invokes user-supplied ODCIIndex routines at the
+// right moments — index DDL, implicit maintenance on base-table DML, and
+// index scans during query execution — under the correct CallbackMode.
+class DomainIndexManager {
+ public:
+  explicit DomainIndexManager(Catalog* catalog) : catalog_(catalog) {}
+
+  DomainIndexManager(const DomainIndexManager&) = delete;
+  DomainIndexManager& operator=(const DomainIndexManager&) = delete;
+
+  // ---- DDL (§2.4.1) ----
+
+  // CREATE INDEX ... INDEXTYPE IS <indextype> PARAMETERS ('<params>').
+  // Validates indextype support for the column type, instantiates the
+  // implementation, invokes ODCIIndexCreate, and registers the index in the
+  // dictionary.
+  Status CreateIndex(const std::string& index_name,
+                     const std::string& table_name,
+                     const std::string& column_name,
+                     const std::string& indextype_name,
+                     const std::string& parameters, Transaction* txn);
+
+  // ALTER INDEX ... PARAMETERS ('<params>') — invokes ODCIIndexAlter.
+  Status AlterIndex(const std::string& index_name,
+                    const std::string& parameters, Transaction* txn);
+
+  // DROP INDEX — invokes ODCIIndexDrop and removes dictionary entries.
+  Status DropIndex(const std::string& index_name, Transaction* txn);
+
+  // TRUNCATE TABLE propagates to domain indexes via ODCIIndexTruncate.
+  Status TruncateIndex(const std::string& index_name, Transaction* txn);
+
+  // ---- implicit maintenance (§2.4.1) ----
+
+  // Invoked by the DML executor for every domain index on `table_name`.
+  Status OnInsert(const std::string& table_name, RowId rid, const Row& row,
+                  Transaction* txn);
+  Status OnDelete(const std::string& table_name, RowId rid,
+                  const Row& old_row, Transaction* txn);
+  Status OnUpdate(const std::string& table_name, RowId rid,
+                  const Row& old_row, const Row& new_row, Transaction* txn);
+
+  // ---- index scan (§2.4.2) ----
+
+  // A live domain-index scan: Start has run; NextBatch drives Fetch; Close
+  // must run exactly once (the destructor closes as a backstop).
+  class Scan {
+   public:
+    ~Scan();
+
+    Scan(Scan&&) = delete;
+    Scan& operator=(Scan&&) = delete;
+
+    // Fetches the next batch (at most `max_rows`).  An empty batch means
+    // end of scan.  Return State contexts are copied in and out per call,
+    // modeling Oracle's by-value scan-context passing.
+    Status NextBatch(size_t max_rows, OdciFetchBatch* out);
+
+    Status Close();
+
+   private:
+    friend class DomainIndexManager;
+    Scan(IndexInfo* index, OdciIndexInfo info,
+         std::unique_ptr<GuardedServerContext> ctx, OdciScanContext sctx)
+        : index_(index),
+          info_(std::move(info)),
+          ctx_(std::move(ctx)),
+          sctx_(std::move(sctx)) {}
+
+    IndexInfo* index_;
+    OdciIndexInfo info_;
+    std::unique_ptr<GuardedServerContext> ctx_;
+    OdciScanContext sctx_;
+    bool closed_ = false;
+  };
+
+  // Opens a scan evaluating `pred` against domain index `index_name`
+  // (invokes ODCIIndexStart under scan mode).
+  Result<std::unique_ptr<Scan>> StartScan(const std::string& index_name,
+                                          const OdciPredInfo& pred);
+
+  // ---- optimizer hooks (§2.4.2) ----
+
+  // Selectivity of `pred` via the indextype's ODCIStatsSelectivity, or a
+  // default when the indextype ships no statistics type.
+  Result<double> PredicateSelectivity(IndexInfo* index,
+                                      const OdciPredInfo& pred,
+                                      uint64_t table_rows);
+
+  // Cost of a domain-index scan via ODCIStatsIndexCost, or a default.
+  Result<double> ScanCost(IndexInfo* index, const OdciPredInfo& pred,
+                          double selectivity, uint64_t table_rows);
+
+ private:
+  Result<IndexInfo*> GetDomainIndex(const std::string& index_name);
+  OdciIndexInfo InfoFor(IndexInfo* index);
+
+  Catalog* catalog_;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_CORE_DOMAIN_INDEX_H_

@@ -1,0 +1,63 @@
+#include "core/indextype.h"
+
+#include "common/strings.h"
+
+namespace exi {
+
+bool IndexTypeDef::Supports(const std::string& op,
+                            const DataType& column_type) const {
+  for (const SupportedOperator& so : operators) {
+    if (!EqualsIgnoreCase(so.operator_name, op)) continue;
+    if (so.arg_types.empty()) return true;  // unconstrained signature
+    // The first declared argument is the indexed column's type.
+    if (so.arg_types[0].EquivalentTo(column_type)) return true;
+    // INTEGER columns satisfy DOUBLE signatures.
+    if (so.arg_types[0].tag() == TypeTag::kDouble &&
+        column_type.tag() == TypeTag::kInteger) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ImplementationRegistry::Register(const std::string& name,
+                                        OdciIndexFactory index_factory,
+                                        OdciStatsFactory stats_factory) {
+  std::string key = ToLower(name);
+  if (entries_.count(key) > 0) {
+    return Status::AlreadyExists("implementation already registered: " + name);
+  }
+  entries_[key] = Entry{std::move(index_factory), std::move(stats_factory)};
+  return Status::OK();
+}
+
+Result<OdciIndexFactory> ImplementationRegistry::GetIndexFactory(
+    const std::string& name) const {
+  auto it = entries_.find(ToLower(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("no registered index implementation: " + name);
+  }
+  return it->second.index_factory;
+}
+
+Result<OdciStatsFactory> ImplementationRegistry::GetStatsFactory(
+    const std::string& name) const {
+  auto it = entries_.find(ToLower(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("no registered index implementation: " + name);
+  }
+  return it->second.stats_factory;
+}
+
+bool ImplementationRegistry::Contains(const std::string& name) const {
+  return entries_.count(ToLower(name)) > 0;
+}
+
+Status ImplementationRegistry::Unregister(const std::string& name) {
+  if (entries_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("no registered index implementation: " + name);
+  }
+  return Status::OK();
+}
+
+}  // namespace exi

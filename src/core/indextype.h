@@ -1,0 +1,66 @@
+#ifndef EXTIDX_CORE_INDEXTYPE_H_
+#define EXTIDX_CORE_INDEXTYPE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/odci.h"
+
+namespace exi {
+
+// An operator an indextype can evaluate, with the signature from
+// `CREATE INDEXTYPE ... FOR Contains(VARCHAR2, VARCHAR2)`.
+struct SupportedOperator {
+  std::string operator_name;
+  std::vector<DataType> arg_types;
+};
+
+// Indextype schema object (§2.2.4): names the supported operators and the
+// registered implementation type providing the ODCIIndex routines.
+struct IndexTypeDef {
+  std::string name;
+  std::vector<SupportedOperator> operators;
+  std::string implementation;  // registered OdciIndex implementation type
+
+  // True if this indextype supports `op` over a first argument (the indexed
+  // column) of type `column_type`.
+  bool Supports(const std::string& op, const DataType& column_type) const;
+};
+
+// Factory for ODCIIndex implementation instances.  Each domain index gets
+// its own instance (created at CREATE INDEX time), mirroring one set of
+// index structures per index.
+using OdciIndexFactory = std::function<std::shared_ptr<OdciIndex>()>;
+
+// Factory for the optional optimizer-statistics companion.
+using OdciStatsFactory = std::function<std::shared_ptr<OdciStats>()>;
+
+// Registry of implementation types: the analogue of the object types
+// (`CREATE TYPE TextIndexMethods ...`) that hold the ODCIIndex routines in
+// Oracle.  A cartridge registers its C++ implementation class under a name;
+// `CREATE INDEXTYPE ... USING <name>` resolves here.
+class ImplementationRegistry {
+ public:
+  Status Register(const std::string& name, OdciIndexFactory index_factory,
+                  OdciStatsFactory stats_factory = nullptr);
+  Result<OdciIndexFactory> GetIndexFactory(const std::string& name) const;
+  // Returns nullptr factory if the implementation has no stats companion.
+  Result<OdciStatsFactory> GetStatsFactory(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  Status Unregister(const std::string& name);
+
+ private:
+  struct Entry {
+    OdciIndexFactory index_factory;
+    OdciStatsFactory stats_factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_CORE_INDEXTYPE_H_

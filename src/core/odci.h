@@ -1,0 +1,254 @@
+#ifndef EXTIDX_CORE_ODCI_H_
+#define EXTIDX_CORE_ODCI_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "index/key.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace exi {
+
+// ---------------------------------------------------------------------------
+// ODCIIndex: the paper's extensible indexing interface (§2.2.3).
+//
+// A cartridge developer implements this interface once per indexing scheme;
+// the server invokes it implicitly on CREATE/ALTER/TRUNCATE/DROP INDEX, on
+// DML against the base table, and during query execution when the optimizer
+// selects a domain-index scan for an operator predicate.
+// ---------------------------------------------------------------------------
+
+// Metadata about the domain index, passed to every ODCIIndex routine
+// (paper: "index name, table name, and names of the indexed columns and
+// their data types, are passed in as arguments to all the ODCIIndex
+// routines").
+struct OdciIndexInfo {
+  std::string index_name;
+  std::string table_name;
+  std::vector<std::string> column_names;
+  std::vector<DataType> column_types;
+  // Positions of the indexed columns within base-table rows, so index
+  // routines can pick the indexed value out of rows handed to them by
+  // ScanBaseTable during an index build.
+  std::vector<int> column_positions;
+  // The uninterpreted PARAMETERS string from CREATE/ALTER INDEX.
+  std::string parameters;
+
+  // Position of the (single) indexed column, or -1.
+  int indexed_position() const {
+    return column_positions.empty() ? -1 : column_positions[0];
+  }
+};
+
+// Describes the operator predicate an index scan must evaluate:
+//   op(column, args...) relop <value>
+// normalized to a [lower, upper] bound on the operator's return value
+// (§2.4.2: "predicates which can be represented by a range of lower and
+// upper bounds on the operator return values").
+struct OdciPredInfo {
+  std::string operator_name;
+  // Operator arguments after the indexed column (e.g. the keyword text for
+  // Contains, the query geometry for Sdo_Relate).
+  ValueList args;
+  std::optional<Value> lower_bound;
+  bool lower_inclusive = true;
+  std::optional<Value> upper_bound;
+  bool upper_inclusive = true;
+
+  // Convenience for the common boolean form `op(...) = TRUE` (paper
+  // footnote 1: Contains(...) = 1).
+  static OdciPredInfo BooleanTrue(std::string op, ValueList args);
+};
+
+// Scan context shared across Start/Fetch/Close (§2.2.3).  Exactly one of
+// the two mechanisms is used per scan:
+//
+//  * Return State: the (small) user state is serialized into `state` and
+//    copied in and out of every routine invocation, modeling Oracle
+//    passing the scan-context object type by value.
+//  * Return Handle: the user state lives in a framework-owned workspace
+//    (core/scan_context.h); only the 8-byte `handle` crosses the interface.
+struct OdciScanContext {
+  std::vector<uint8_t> state;  // Return State payload (may be empty)
+  uint64_t handle = 0;         // Return Handle id (0 = none)
+
+  bool uses_handle() const { return handle != 0; }
+};
+
+// One batch of results from ODCIIndexFetch.  An empty `rids` batch signals
+// end-of-scan (the paper's "null row identifier").  `ancillary`, when
+// non-empty, carries one auxiliary value per rid (e.g. a relevance score —
+// the paper's ancillary operator data) and must be the same length as
+// `rids`.
+struct OdciFetchBatch {
+  std::vector<RowId> rids;
+  ValueList ancillary;
+
+  bool end_of_scan() const { return rids.empty(); }
+};
+
+// Which class of ODCI routine is currently executing; determines which
+// server callbacks are legal (§2.5 restrictions, enforced by ServerContext).
+enum class CallbackMode {
+  kNone,         // no ODCI routine active
+  kDefinition,   // Create/Alter/Truncate/Drop: no restrictions
+  kMaintenance,  // Insert/Update/Delete: no DDL, no base-table updates
+  kScan,         // Start/Fetch/Close: read-only (query statements only)
+};
+
+const char* CallbackModeName(CallbackMode mode);
+
+// ---------------------------------------------------------------------------
+// ServerContext: the paper's "server callbacks".
+//
+// Index routines store their index data in ordinary database objects (heap
+// tables, index-organized tables, LOBs) or external files, and access them
+// through this interface.  Every in-database mutation made through the
+// context is (a) checked against the active CallbackMode and (b) recorded
+// in the enclosing transaction's undo log, which is how domain-index
+// updates inherit "the same transactional boundaries as updates to the base
+// table" (§2.5).  The external FileStore is deliberately exempt from both:
+// that exemption is the §5 limitation reproduced by experiment E9.
+// ---------------------------------------------------------------------------
+class ServerContext {
+ public:
+  virtual ~ServerContext() = default;
+
+  virtual CallbackMode mode() const = 0;
+
+  // ---- index-organized tables (DDL requires kDefinition) ----
+  virtual Status CreateIot(const std::string& name, Schema schema,
+                           size_t key_columns) = 0;
+  virtual Status DropIot(const std::string& name) = 0;
+  virtual bool IotExists(const std::string& name) const = 0;
+  virtual Status IotTruncate(const std::string& name) = 0;
+
+  // ---- IOT DML (requires kDefinition or kMaintenance) ----
+  virtual Status IotInsert(const std::string& name, Row row) = 0;
+  virtual Status IotUpsert(const std::string& name, Row row) = 0;
+  virtual Status IotDelete(const std::string& name,
+                           const CompositeKey& key) = 0;
+
+  // ---- IOT queries (any mode) ----
+  virtual Result<Row> IotGet(const std::string& name,
+                             const CompositeKey& key) const = 0;
+  virtual Status IotScanPrefix(
+      const std::string& name, const CompositeKey& prefix,
+      const std::function<bool(const Row&)>& visit) const = 0;
+  virtual Status IotScanRange(
+      const std::string& name, const CompositeKey* lo, bool lo_inclusive,
+      const CompositeKey* hi, bool hi_inclusive,
+      const std::function<bool(const Row&)>& visit) const = 0;
+  virtual Result<uint64_t> IotRowCount(const std::string& name) const = 0;
+
+  // ---- heap tables for index data (same mode rules as IOTs) ----
+  virtual Status CreateIndexTable(const std::string& name, Schema schema) = 0;
+  virtual Status DropIndexTable(const std::string& name) = 0;
+  virtual bool IndexTableExists(const std::string& name) const = 0;
+  virtual Status IndexTableTruncate(const std::string& name) = 0;
+  virtual Result<RowId> IndexTableInsert(const std::string& name,
+                                         Row row) = 0;
+  virtual Status IndexTableDelete(const std::string& name, RowId rid) = 0;
+  virtual Status IndexTableScan(
+      const std::string& name,
+      const std::function<bool(RowId, const Row&)>& visit) const = 0;
+
+  // ---- LOBs (create requires kDefinition; writes kDefinition or
+  //      kMaintenance; reads any mode) ----
+  virtual Result<LobId> CreateLob() = 0;
+  virtual Status DropLob(LobId id) = 0;
+  virtual Status WriteLob(LobId id, uint64_t offset,
+                          const std::vector<uint8_t>& data) = 0;
+  virtual Status AppendLob(LobId id, const std::vector<uint8_t>& data) = 0;
+  virtual Result<std::vector<uint8_t>> ReadLob(LobId id, uint64_t offset,
+                                               uint64_t len) const = 0;
+  virtual Result<std::vector<uint8_t>> ReadLobAll(LobId id) const = 0;
+  virtual Result<uint64_t> LobSize(LobId id) const = 0;
+
+  // ---- external file storage (§5: outside the database, unguarded and
+  //      NOT transactional) ----
+  virtual Result<class FileStore*> ExternalFiles(
+      const std::string& store_name) = 0;
+
+  // ---- base-table access for index builds (read-only; the definition
+  //      routine scans the base table to build the initial index) ----
+  virtual Status ScanBaseTable(
+      const std::string& table_name,
+      const std::function<bool(RowId, const Row&)>& visit) const = 0;
+
+  // Point fetch of a base-table row (read-only; used by two-phase filters
+  // that re-check candidates against the exact column value, e.g. the
+  // spatial exact-relate phase, §3.2.2).
+  virtual Result<Row> GetBaseTableRow(const std::string& table_name,
+                                      RowId rid) const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// OdciIndex: one instance manages one domain index.
+// ---------------------------------------------------------------------------
+class OdciIndex {
+ public:
+  virtual ~OdciIndex() = default;
+
+  // ---- index definition (§2.2.3 "ODCIIndex definition methods") ----
+  virtual Status Create(const OdciIndexInfo& info, ServerContext& ctx) = 0;
+  virtual Status Alter(const OdciIndexInfo& info, ServerContext& ctx) = 0;
+  virtual Status Truncate(const OdciIndexInfo& info, ServerContext& ctx) = 0;
+  virtual Status Drop(const OdciIndexInfo& info, ServerContext& ctx) = 0;
+
+  // ---- index maintenance (§2.2.3 "ODCIIndex maintenance methods") ----
+  virtual Status Insert(const OdciIndexInfo& info, RowId rid,
+                        const Value& new_value, ServerContext& ctx) = 0;
+  virtual Status Delete(const OdciIndexInfo& info, RowId rid,
+                        const Value& old_value, ServerContext& ctx) = 0;
+  virtual Status Update(const OdciIndexInfo& info, RowId rid,
+                        const Value& old_value, const Value& new_value,
+                        ServerContext& ctx) = 0;
+
+  // ---- index scan (§2.2.3 "ODCIIndex scan methods") ----
+  virtual Result<OdciScanContext> Start(const OdciIndexInfo& info,
+                                        const OdciPredInfo& pred,
+                                        ServerContext& ctx) = 0;
+  // Appends up to `max_rows` row ids to `out`; an empty batch means the
+  // scan is exhausted.
+  virtual Status Fetch(const OdciIndexInfo& info, OdciScanContext& sctx,
+                       size_t max_rows, OdciFetchBatch* out,
+                       ServerContext& ctx) = 0;
+  virtual Status Close(const OdciIndexInfo& info, OdciScanContext& sctx,
+                       ServerContext& ctx) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// OdciStats: optimizer extensibility (§2.4.2, [ODC99]).  Supplied by the
+// indextype so the cost-based optimizer can price a domain-index scan
+// against other access paths.
+// ---------------------------------------------------------------------------
+class OdciStats {
+ public:
+  virtual ~OdciStats() = default;
+
+  // Fraction of base-table rows expected to satisfy the predicate, in
+  // [0, 1].
+  virtual Result<double> Selectivity(const OdciIndexInfo& info,
+                                     const OdciPredInfo& pred,
+                                     uint64_t table_rows,
+                                     ServerContext& ctx) = 0;
+
+  // Abstract cost of the domain-index scan (same unit as the engine cost
+  // model: one unit ~ one row/page touch).
+  virtual Result<double> IndexCost(const OdciIndexInfo& info,
+                                   const OdciPredInfo& pred,
+                                   double selectivity, uint64_t table_rows,
+                                   ServerContext& ctx) = 0;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_CORE_ODCI_H_

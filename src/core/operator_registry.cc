@@ -1,0 +1,66 @@
+#include "core/operator_registry.h"
+
+#include "common/strings.h"
+
+namespace exi {
+
+namespace {
+
+bool TagAccepts(const DataType& declared, TypeTag actual) {
+  if (actual == TypeTag::kNull) return true;  // NULL conforms to any type
+  switch (declared.tag()) {
+    case TypeTag::kDouble:
+      return actual == TypeTag::kDouble || actual == TypeTag::kInteger;
+    default:
+      return declared.tag() == actual;
+  }
+}
+
+}  // namespace
+
+int OperatorDef::MatchBinding(const std::vector<TypeTag>& arg_tags) const {
+  for (size_t b = 0; b < bindings.size(); ++b) {
+    const OperatorBinding& binding = bindings[b];
+    if (binding.arg_types.size() != arg_tags.size()) continue;
+    bool all = true;
+    for (size_t i = 0; i < arg_tags.size(); ++i) {
+      if (!TagAccepts(binding.arg_types[i], arg_tags[i])) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return int(b);
+  }
+  return -1;
+}
+
+Status FunctionRegistry::Register(const std::string& name,
+                                  OperatorFunction fn) {
+  std::string key = ToLower(name);
+  if (functions_.count(key) > 0) {
+    return Status::AlreadyExists("function already registered: " + name);
+  }
+  functions_[key] = std::move(fn);
+  return Status::OK();
+}
+
+Result<OperatorFunction> FunctionRegistry::Get(const std::string& name) const {
+  auto it = functions_.find(ToLower(name));
+  if (it == functions_.end()) {
+    return Status::NotFound("no registered function: " + name);
+  }
+  return it->second;
+}
+
+bool FunctionRegistry::Contains(const std::string& name) const {
+  return functions_.count(ToLower(name)) > 0;
+}
+
+Status FunctionRegistry::Unregister(const std::string& name) {
+  if (functions_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("no registered function: " + name);
+  }
+  return Status::OK();
+}
+
+}  // namespace exi

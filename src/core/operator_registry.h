@@ -1,0 +1,56 @@
+#ifndef EXTIDX_CORE_OPERATOR_REGISTRY_H_
+#define EXTIDX_CORE_OPERATOR_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/datatype.h"
+#include "types/value.h"
+
+namespace exi {
+
+// Functional implementation of a user-defined operator (§2.2.1): invoked
+// per row when the optimizer does NOT choose a domain-index scan.  Pure
+// over its argument values.
+using OperatorFunction = std::function<Result<Value>(const ValueList& args)>;
+
+// One binding of an operator: a signature plus the function implementing it
+// (§2.2.2: "An operator binding identifies the operator with a unique
+// signature (via argument data types), and allows associating a function").
+struct OperatorBinding {
+  std::vector<DataType> arg_types;
+  DataType return_type;
+  std::string function_name;  // registered implementation function
+};
+
+// A user-defined operator schema object.
+struct OperatorDef {
+  std::string name;
+  std::vector<OperatorBinding> bindings;
+
+  // Index of the first binding whose arity matches and whose argument types
+  // accept `arg_tags` (NULL/unknown tags match anything); -1 if none.
+  int MatchBinding(const std::vector<TypeTag>& arg_tags) const;
+};
+
+// Registry of named implementation functions.  The cartridge developer
+// registers C++ functions here; SQL `CREATE OPERATOR ... USING <name>`
+// resolves against it (the paper's language-independent implementation
+// hook — PL/SQL, C, or Java in Oracle; C++ callables here).
+class FunctionRegistry {
+ public:
+  Status Register(const std::string& name, OperatorFunction fn);
+  Result<OperatorFunction> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  Status Unregister(const std::string& name);
+
+ private:
+  std::map<std::string, OperatorFunction> functions_;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_CORE_OPERATOR_REGISTRY_H_

@@ -1,0 +1,59 @@
+#include "core/scan_context.h"
+
+#include "core/odci.h"
+
+namespace exi {
+
+OdciPredInfo OdciPredInfo::BooleanTrue(std::string op, ValueList args) {
+  OdciPredInfo pred;
+  pred.operator_name = std::move(op);
+  pred.args = std::move(args);
+  pred.lower_bound = Value::Boolean(true);
+  pred.upper_bound = Value::Boolean(true);
+  return pred;
+}
+
+const char* CallbackModeName(CallbackMode mode) {
+  switch (mode) {
+    case CallbackMode::kNone:
+      return "none";
+    case CallbackMode::kDefinition:
+      return "definition";
+    case CallbackMode::kMaintenance:
+      return "maintenance";
+    case CallbackMode::kScan:
+      return "scan";
+  }
+  return "unknown";
+}
+
+uint64_t ScanWorkspaceRegistry::Allocate(std::shared_ptr<void> workspace) {
+  uint64_t handle = next_handle_++;
+  workspaces_[handle] = std::move(workspace);
+  return handle;
+}
+
+Result<std::shared_ptr<void>> ScanWorkspaceRegistry::Get(
+    uint64_t handle) const {
+  auto it = workspaces_.find(handle);
+  if (it == workspaces_.end()) {
+    return Status::NotFound("no scan workspace with handle " +
+                            std::to_string(handle));
+  }
+  return it->second;
+}
+
+Status ScanWorkspaceRegistry::Release(uint64_t handle) {
+  if (workspaces_.erase(handle) == 0) {
+    return Status::NotFound("releasing unknown scan workspace handle " +
+                            std::to_string(handle));
+  }
+  return Status::OK();
+}
+
+ScanWorkspaceRegistry& ScanWorkspaceRegistry::Global() {
+  static ScanWorkspaceRegistry* registry = new ScanWorkspaceRegistry();
+  return *registry;
+}
+
+}  // namespace exi

@@ -1,0 +1,461 @@
+#include "engine/connection.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "exec/evaluator.h"
+#include "exec/expression.h"
+#include "index/bitmap_index.h"
+#include "index/bptree.h"
+#include "index/hash_index.h"
+#include "optimizer/stats.h"
+#include "sql/parser.h"
+
+namespace exi {
+
+using sql::Statement;
+using sql::StmtKind;
+
+Result<QueryResult> Connection::Execute(const std::string& sql_text) {
+  EXI_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
+                       sql::Parse(sql_text));
+  return Dispatch(stmt.get());
+}
+
+Result<QueryResult> Connection::ExecuteScript(const std::string& sql_text) {
+  EXI_ASSIGN_OR_RETURN(std::vector<std::unique_ptr<Statement>> stmts,
+                       sql::ParseScript(sql_text));
+  QueryResult last;
+  for (auto& stmt : stmts) {
+    EXI_ASSIGN_OR_RETURN(last, Dispatch(stmt.get()));
+  }
+  return last;
+}
+
+QueryResult Connection::MustExecute(const std::string& sql_text) {
+  Result<QueryResult> result = Execute(sql_text);
+  if (!result.ok()) {
+    std::fprintf(stderr, "MustExecute failed: %s\n  SQL: %s\n",
+                 result.status().ToString().c_str(), sql_text.c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+Status Connection::CommitBeforeDdl() {
+  if (db_->txns().InTransaction()) {
+    return db_->txns().Commit();
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Connection::WithStatementTxn(
+    const std::function<Result<QueryResult>(Transaction*)>& body) {
+  TransactionManager& tm = db_->txns();
+  bool implicit = tm.EnsureStatementTransaction();
+  Transaction* txn = tm.current();
+  size_t savepoint = txn->Savepoint();
+  Result<QueryResult> result = body(txn);
+  if (result.ok()) {
+    if (implicit) EXI_RETURN_IF_ERROR(tm.Commit());
+    return result;
+  }
+  // Statement-level rollback: undo only this statement's mutations.
+  if (implicit) {
+    (void)tm.Rollback();
+  } else {
+    txn->RollbackTo(savepoint);
+  }
+  return result;
+}
+
+Result<QueryResult> Connection::Dispatch(Statement* stmt) {
+  switch (stmt->kind) {
+    case StmtKind::kCreateTable:
+      EXI_RETURN_IF_ERROR(CommitBeforeDdl());
+      return RunCreateTable(static_cast<sql::CreateTableStmt*>(stmt));
+    case StmtKind::kDropTable: {
+      EXI_RETURN_IF_ERROR(CommitBeforeDdl());
+      auto* s = static_cast<sql::DropTableStmt*>(stmt);
+      EXI_RETURN_IF_ERROR(db_->DropTableCascade(s->table, nullptr));
+      QueryResult r;
+      r.message = "table dropped: " + s->table;
+      return r;
+    }
+    case StmtKind::kTruncateTable: {
+      EXI_RETURN_IF_ERROR(CommitBeforeDdl());
+      auto* s = static_cast<sql::TruncateTableStmt*>(stmt);
+      EXI_RETURN_IF_ERROR(db_->TruncateTable(s->table, nullptr));
+      QueryResult r;
+      r.message = "table truncated: " + s->table;
+      return r;
+    }
+    case StmtKind::kCreateIndex:
+      EXI_RETURN_IF_ERROR(CommitBeforeDdl());
+      return RunCreateIndex(static_cast<sql::CreateIndexStmt*>(stmt));
+    case StmtKind::kAlterIndex: {
+      EXI_RETURN_IF_ERROR(CommitBeforeDdl());
+      auto* s = static_cast<sql::AlterIndexStmt*>(stmt);
+      EXI_RETURN_IF_ERROR(
+          db_->domains().AlterIndex(s->index, s->parameters, nullptr));
+      QueryResult r;
+      r.message = "index altered: " + s->index;
+      return r;
+    }
+    case StmtKind::kDropIndex: {
+      EXI_RETURN_IF_ERROR(CommitBeforeDdl());
+      auto* s = static_cast<sql::DropIndexStmt*>(stmt);
+      EXI_ASSIGN_OR_RETURN(IndexInfo * info,
+                           db_->catalog().GetIndex(s->index));
+      if (info->is_domain()) {
+        EXI_RETURN_IF_ERROR(db_->domains().DropIndex(s->index, nullptr));
+      } else {
+        EXI_RETURN_IF_ERROR(db_->catalog().RemoveIndex(s->index));
+      }
+      QueryResult r;
+      r.message = "index dropped: " + s->index;
+      return r;
+    }
+    case StmtKind::kCreateOperator:
+      EXI_RETURN_IF_ERROR(CommitBeforeDdl());
+      return RunCreateOperator(static_cast<sql::CreateOperatorStmt*>(stmt));
+    case StmtKind::kDropOperator: {
+      EXI_RETURN_IF_ERROR(CommitBeforeDdl());
+      auto* s = static_cast<sql::DropOperatorStmt*>(stmt);
+      EXI_RETURN_IF_ERROR(db_->catalog().DropOperator(s->name));
+      QueryResult r;
+      r.message = "operator dropped: " + s->name;
+      return r;
+    }
+    case StmtKind::kCreateIndexType:
+      EXI_RETURN_IF_ERROR(CommitBeforeDdl());
+      return RunCreateIndexType(
+          static_cast<sql::CreateIndexTypeStmt*>(stmt));
+    case StmtKind::kDropIndexType: {
+      EXI_RETURN_IF_ERROR(CommitBeforeDdl());
+      auto* s = static_cast<sql::DropIndexTypeStmt*>(stmt);
+      EXI_RETURN_IF_ERROR(db_->catalog().DropIndexType(s->name));
+      QueryResult r;
+      r.message = "indextype dropped: " + s->name;
+      return r;
+    }
+    case StmtKind::kAnalyze: {
+      auto* s = static_cast<sql::AnalyzeStmt*>(stmt);
+      EXI_RETURN_IF_ERROR(AnalyzeTable(&db_->catalog(), s->table));
+      QueryResult r;
+      r.message = "table analyzed: " + s->table;
+      return r;
+    }
+    case StmtKind::kInsert:
+      return RunInsert(static_cast<sql::InsertStmt*>(stmt));
+    case StmtKind::kUpdate:
+      return RunUpdate(static_cast<sql::UpdateStmt*>(stmt));
+    case StmtKind::kDelete:
+      return RunDelete(static_cast<sql::DeleteStmt*>(stmt));
+    case StmtKind::kSelect:
+      return RunSelect(static_cast<sql::SelectStmt*>(stmt));
+    case StmtKind::kBegin: {
+      EXI_RETURN_IF_ERROR(db_->txns().Begin());
+      QueryResult r;
+      r.message = "transaction started";
+      return r;
+    }
+    case StmtKind::kCommit: {
+      EXI_RETURN_IF_ERROR(db_->txns().Commit());
+      QueryResult r;
+      r.message = "committed";
+      return r;
+    }
+    case StmtKind::kRollback: {
+      EXI_RETURN_IF_ERROR(db_->txns().Rollback());
+      QueryResult r;
+      r.message = "rolled back";
+      return r;
+    }
+    case StmtKind::kExplain:
+      return RunExplain(static_cast<sql::ExplainStmt*>(stmt));
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<QueryResult> Connection::RunCreateTable(sql::CreateTableStmt* stmt) {
+  Schema schema;
+  for (const sql::ColumnDef& def : stmt->columns) {
+    EXI_ASSIGN_OR_RETURN(DataType type, DataType::FromString(def.type_text));
+    if (type.tag() == TypeTag::kObject) {
+      EXI_RETURN_IF_ERROR(
+          db_->catalog().GetObjectType(type.object_type()).status());
+    }
+    schema.AddColumn(Column{def.name, type, def.not_null});
+  }
+  EXI_RETURN_IF_ERROR(db_->catalog().CreateTable(stmt->table, schema));
+  QueryResult r;
+  r.message = "table created: " + stmt->table;
+  return r;
+}
+
+Result<QueryResult> Connection::RunCreateIndex(sql::CreateIndexStmt* stmt) {
+  if (!stmt->indextype.empty()) {
+    // Domain index: one indexed column (Oracle8i domain indexes are
+    // single-column).
+    if (stmt->columns.size() != 1) {
+      return Status::NotSupported(
+          "domain indexes support exactly one column");
+    }
+    EXI_RETURN_IF_ERROR(db_->domains().CreateIndex(
+        stmt->index, stmt->table, stmt->columns[0], stmt->indextype,
+        stmt->parameters, nullptr));
+    QueryResult r;
+    r.message = "domain index created: " + stmt->index + " (indextype " +
+                stmt->indextype + ")";
+    return r;
+  }
+  // Built-in index.
+  EXI_ASSIGN_OR_RETURN(HeapTable * table,
+                       db_->catalog().GetTable(stmt->table));
+  auto info = std::make_unique<IndexInfo>();
+  info->name = stmt->index;
+  info->table = stmt->table;
+  for (const std::string& col : stmt->columns) {
+    int c = table->schema().FindColumn(col);
+    if (c < 0) {
+      return Status::NotFound("no column " + col + " in " + stmt->table);
+    }
+    const DataType& t = table->schema().column(c).type;
+    if (!t.is_scalar()) {
+      return Status::InvalidArgument(
+          "built-in indexes apply only to scalar columns; column " + col +
+          " is " + t.ToString() + " (define an indextype instead, §3.1)");
+    }
+    info->columns.push_back(table->schema().column(c).name);
+  }
+  if (stmt->method == "BTREE") {
+    info->builtin = std::make_unique<BTreeIndex>(stmt->index);
+  } else if (stmt->method == "HASH") {
+    info->builtin = std::make_unique<HashIndex>(stmt->index);
+  } else if (stmt->method == "BITMAP") {
+    info->builtin = std::make_unique<BitmapIndex>(stmt->index);
+  } else {
+    return Status::InvalidArgument("unknown index method: " + stmt->method);
+  }
+  // Backfill from existing rows.
+  BuiltinIndex* bidx = info->builtin.get();
+  for (auto it = table->Scan(); it.Valid(); it.Next()) {
+    CompositeKey key;
+    bool null_key = false;
+    for (const std::string& col : info->columns) {
+      int c = table->schema().FindColumn(col);
+      key.push_back(it.row()[c]);
+    }
+    if (!key.empty() && key[0].is_null()) null_key = true;
+    if (!null_key) bidx->Insert(key, it.row_id());
+  }
+  EXI_RETURN_IF_ERROR(db_->catalog().AddIndex(std::move(info)));
+  QueryResult r;
+  r.message = "index created: " + stmt->index;
+  return r;
+}
+
+Result<QueryResult> Connection::RunCreateOperator(
+    sql::CreateOperatorStmt* stmt) {
+  OperatorDef def;
+  def.name = stmt->name;
+  for (const sql::OperatorBindingDef& b : stmt->bindings) {
+    OperatorBinding binding;
+    for (const std::string& t : b.arg_types) {
+      EXI_ASSIGN_OR_RETURN(DataType dt, DataType::FromString(t));
+      binding.arg_types.push_back(dt);
+    }
+    EXI_ASSIGN_OR_RETURN(binding.return_type,
+                         DataType::FromString(b.return_type));
+    binding.function_name = b.function;
+    def.bindings.push_back(std::move(binding));
+  }
+  EXI_RETURN_IF_ERROR(db_->catalog().CreateOperator(std::move(def)));
+  QueryResult r;
+  r.message = "operator created: " + stmt->name;
+  return r;
+}
+
+Result<QueryResult> Connection::RunCreateIndexType(
+    sql::CreateIndexTypeStmt* stmt) {
+  IndexTypeDef def;
+  def.name = stmt->name;
+  for (const sql::IndexTypeOpDef& op : stmt->operators) {
+    SupportedOperator so;
+    so.operator_name = op.op;
+    for (const std::string& t : op.arg_types) {
+      EXI_ASSIGN_OR_RETURN(DataType dt, DataType::FromString(t));
+      so.arg_types.push_back(dt);
+    }
+    def.operators.push_back(std::move(so));
+  }
+  def.implementation = stmt->implementation;
+  EXI_RETURN_IF_ERROR(db_->catalog().CreateIndexType(std::move(def)));
+  QueryResult r;
+  r.message = "indextype created: " + stmt->name;
+  return r;
+}
+
+Result<QueryResult> Connection::RunInsert(sql::InsertStmt* stmt) {
+  return WithStatementTxn([&](Transaction* txn) -> Result<QueryResult> {
+    EXI_ASSIGN_OR_RETURN(HeapTable * table,
+                         db_->catalog().GetTable(stmt->table));
+    const Schema& schema = table->schema();
+    Binder binder(&db_->catalog());
+    Evaluator eval(&db_->catalog());
+
+    // Map column names to schema positions (empty list = positional).
+    std::vector<int> positions;
+    if (stmt->columns.empty()) {
+      for (size_t i = 0; i < schema.size(); ++i) positions.push_back(int(i));
+    } else {
+      for (const std::string& col : stmt->columns) {
+        int c = schema.FindColumn(col);
+        if (c < 0) {
+          return Status::NotFound("no column " + col + " in " + stmt->table);
+        }
+        positions.push_back(c);
+      }
+    }
+
+    uint64_t inserted = 0;
+    for (auto& exprs : stmt->rows) {
+      if (exprs.size() != positions.size()) {
+        return Status::InvalidArgument(
+            "VALUES arity does not match column list");
+      }
+      Row row(schema.size(), Value::Null());
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        EXI_RETURN_IF_ERROR(binder.BindConstant(exprs[i].get()));
+        EXI_ASSIGN_OR_RETURN(Value v, eval.Eval(*exprs[i], {}));
+        row[positions[i]] = std::move(v);
+      }
+      EXI_RETURN_IF_ERROR(db_->InsertRow(stmt->table, std::move(row), txn)
+                              .status());
+      ++inserted;
+    }
+    QueryResult r;
+    r.affected_rows = inserted;
+    r.message = std::to_string(inserted) + " row(s) inserted";
+    return r;
+  });
+}
+
+Result<std::vector<std::pair<RowId, Row>>> Connection::CollectMatches(
+    const std::string& table_name, sql::Expr* where) {
+  EXI_ASSIGN_OR_RETURN(HeapTable * table,
+                       db_->catalog().GetTable(table_name));
+  Binder binder(&db_->catalog());
+  Evaluator eval(&db_->catalog());
+  std::vector<BoundTable> tables = {
+      BoundTable{table->name(), table_name, &table->schema(), 0}};
+  if (where != nullptr) {
+    EXI_RETURN_IF_ERROR(binder.Bind(where, tables));
+  }
+  std::vector<std::pair<RowId, Row>> matches;
+  for (auto it = table->Scan(); it.Valid(); it.Next()) {
+    if (where != nullptr) {
+      EXI_ASSIGN_OR_RETURN(bool pass, eval.EvalPredicate(*where, it.row()));
+      if (!pass) continue;
+    }
+    matches.emplace_back(it.row_id(), it.row());
+  }
+  return matches;
+}
+
+Result<QueryResult> Connection::RunUpdate(sql::UpdateStmt* stmt) {
+  return WithStatementTxn([&](Transaction* txn) -> Result<QueryResult> {
+    EXI_ASSIGN_OR_RETURN(HeapTable * table,
+                         db_->catalog().GetTable(stmt->table));
+    const Schema& schema = table->schema();
+    Binder binder(&db_->catalog());
+    Evaluator eval(&db_->catalog());
+    std::vector<BoundTable> tables = {
+        BoundTable{table->name(), stmt->table, &schema, 0}};
+
+    std::vector<std::pair<int, sql::Expr*>> sets;
+    for (auto& [col, expr] : stmt->assignments) {
+      int c = schema.FindColumn(col);
+      if (c < 0) {
+        return Status::NotFound("no column " + col + " in " + stmt->table);
+      }
+      EXI_RETURN_IF_ERROR(binder.Bind(expr.get(), tables));
+      sets.emplace_back(c, expr.get());
+    }
+
+    EXI_ASSIGN_OR_RETURN(auto matches,
+                         CollectMatches(stmt->table, stmt->where.get()));
+    for (auto& [rid, old_row] : matches) {
+      Row new_row = old_row;
+      for (auto& [c, expr] : sets) {
+        EXI_ASSIGN_OR_RETURN(Value v, eval.Eval(*expr, old_row));
+        new_row[c] = std::move(v);
+      }
+      EXI_RETURN_IF_ERROR(
+          db_->UpdateRow(stmt->table, rid, std::move(new_row), txn));
+    }
+    QueryResult r;
+    r.affected_rows = matches.size();
+    r.message = std::to_string(matches.size()) + " row(s) updated";
+    return r;
+  });
+}
+
+Result<QueryResult> Connection::RunDelete(sql::DeleteStmt* stmt) {
+  return WithStatementTxn([&](Transaction* txn) -> Result<QueryResult> {
+    EXI_ASSIGN_OR_RETURN(auto matches,
+                         CollectMatches(stmt->table, stmt->where.get()));
+    for (auto& [rid, row] : matches) {
+      EXI_RETURN_IF_ERROR(db_->DeleteRow(stmt->table, rid, txn));
+    }
+    QueryResult r;
+    r.affected_rows = matches.size();
+    r.message = std::to_string(matches.size()) + " row(s) deleted";
+    return r;
+  });
+}
+
+Result<QueryResult> Connection::RunSelect(sql::SelectStmt* stmt) {
+  // Lazily materialize the dictionary views when a query names one.
+  for (const sql::TableRef& ref : stmt->from) {
+    if (Database::IsDictionaryView(ref.table)) {
+      EXI_RETURN_IF_ERROR(db_->RefreshDictionaryViews());
+      break;
+    }
+  }
+  Planner planner(&db_->catalog(), &db_->domains(), db_->fetch_batch_size());
+  EXI_ASSIGN_OR_RETURN(PlannedSelect plan, planner.PlanSelect(stmt));
+  QueryResult r;
+  r.column_names = plan.column_names;
+  EXI_RETURN_IF_ERROR(plan.root->Open());
+  ExecRow row;
+  bool any_ancillary = false;
+  while (true) {
+    EXI_ASSIGN_OR_RETURN(bool have, plan.root->Next(&row));
+    if (!have) break;
+    r.rows.push_back(row.values);
+    r.ancillary.push_back(row.ancillary);
+    if (!row.ancillary.is_null()) any_ancillary = true;
+  }
+  EXI_RETURN_IF_ERROR(plan.root->Close());
+  if (!any_ancillary) r.ancillary.clear();
+  r.affected_rows = r.rows.size();
+  return r;
+}
+
+Result<QueryResult> Connection::RunExplain(sql::ExplainStmt* stmt) {
+  if (stmt->inner->kind != StmtKind::kSelect) {
+    return Status::NotSupported("EXPLAIN supports SELECT only");
+  }
+  Planner planner(&db_->catalog(), &db_->domains(), db_->fetch_batch_size());
+  EXI_ASSIGN_OR_RETURN(
+      PlannedSelect plan,
+      planner.PlanSelect(static_cast<sql::SelectStmt*>(stmt->inner.get())));
+  QueryResult r;
+  r.message = plan.explain;
+  return r;
+}
+
+}  // namespace exi

@@ -1,0 +1,242 @@
+#include "engine/database.h"
+
+#include "common/strings.h"
+
+namespace exi {
+
+namespace {
+constexpr const char* kDictionaryViews[] = {
+    "user_tables", "user_indexes", "user_operators", "user_indextypes"};
+}  // namespace
+
+bool Database::IsDictionaryView(const std::string& table_name) {
+  for (const char* view : kDictionaryViews) {
+    if (EqualsIgnoreCase(table_name, view)) return true;
+  }
+  return false;
+}
+
+Status Database::RefreshDictionaryViews() {
+  // Rebuild from scratch each time; dictionary views are tiny.
+  for (const char* view : kDictionaryViews) {
+    if (catalog_.TableExists(view)) {
+      EXI_RETURN_IF_ERROR(catalog_.DropTable(view));
+    }
+  }
+
+  Schema tables_schema;
+  tables_schema.AddColumn(Column{"table_name", DataType::Varchar(128), true});
+  tables_schema.AddColumn(Column{"num_rows", DataType::Integer(), true});
+  tables_schema.AddColumn(Column{"num_columns", DataType::Integer(), true});
+  tables_schema.AddColumn(Column{"analyzed", DataType::Boolean(), true});
+  EXI_RETURN_IF_ERROR(catalog_.CreateTable("user_tables", tables_schema));
+
+  Schema indexes_schema;
+  indexes_schema.AddColumn(Column{"index_name", DataType::Varchar(128), true});
+  indexes_schema.AddColumn(Column{"table_name", DataType::Varchar(128), true});
+  indexes_schema.AddColumn(Column{"column_name", DataType::Varchar(128),
+                                  false});
+  indexes_schema.AddColumn(Column{"index_type", DataType::Varchar(64), true});
+  indexes_schema.AddColumn(Column{"parameters", DataType::Varchar(1000),
+                                  false});
+  EXI_RETURN_IF_ERROR(catalog_.CreateTable("user_indexes", indexes_schema));
+
+  Schema ops_schema;
+  ops_schema.AddColumn(Column{"operator_name", DataType::Varchar(128), true});
+  ops_schema.AddColumn(Column{"num_bindings", DataType::Integer(), true});
+  EXI_RETURN_IF_ERROR(catalog_.CreateTable("user_operators", ops_schema));
+
+  Schema it_schema;
+  it_schema.AddColumn(Column{"indextype_name", DataType::Varchar(128), true});
+  it_schema.AddColumn(Column{"implementation", DataType::Varchar(128), true});
+  it_schema.AddColumn(Column{"operators", DataType::Varchar(1000), true});
+  EXI_RETURN_IF_ERROR(catalog_.CreateTable("user_indextypes", it_schema));
+
+  for (const std::string& name : catalog_.TableNames()) {
+    if (IsDictionaryView(name)) continue;
+    TableInfo* info = *catalog_.GetTableInfo(name);
+    EXI_RETURN_IF_ERROR(
+        InsertRow("user_tables",
+                  {Value::Varchar(name),
+                   Value::Integer(int64_t(info->heap->row_count())),
+                   Value::Integer(int64_t(info->heap->schema().size())),
+                   Value::Boolean(info->stats.analyzed)},
+                  nullptr)
+            .status());
+  }
+  for (const IndexInfo* idx : catalog_.Indexes()) {
+    EXI_RETURN_IF_ERROR(
+        InsertRow("user_indexes",
+                  {Value::Varchar(idx->name), Value::Varchar(idx->table),
+                   idx->columns.empty() ? Value::Null()
+                                        : Value::Varchar(idx->columns[0]),
+                   Value::Varchar(idx->is_domain() ? idx->indextype
+                                                   : idx->builtin->kind()),
+                   idx->parameters.empty() ? Value::Null()
+                                           : Value::Varchar(idx->parameters)},
+                  nullptr)
+            .status());
+  }
+  for (const OperatorDef* op : catalog_.Operators()) {
+    EXI_RETURN_IF_ERROR(
+        InsertRow("user_operators",
+                  {Value::Varchar(op->name),
+                   Value::Integer(int64_t(op->bindings.size()))},
+                  nullptr)
+            .status());
+  }
+  for (const IndexTypeDef* it : catalog_.IndexTypes()) {
+    std::vector<std::string> ops;
+    for (const SupportedOperator& so : it->operators) {
+      ops.push_back(so.operator_name);
+    }
+    EXI_RETURN_IF_ERROR(
+        InsertRow("user_indextypes",
+                  {Value::Varchar(it->name),
+                   Value::Varchar(it->implementation),
+                   Value::Varchar(Join(ops, ", "))},
+                  nullptr)
+            .status());
+  }
+  return Status::OK();
+}
+
+Database::Database()
+    : txns_(&events_), domains_(&catalog_) {}
+
+Database::~Database() = default;
+
+Result<std::optional<CompositeKey>> Database::KeyFor(
+    const IndexInfo& index, const Schema& schema, const Row& row) const {
+  CompositeKey key;
+  for (const std::string& col : index.columns) {
+    int c = schema.FindColumn(col);
+    if (c < 0) {
+      return Status::Internal("index " + index.name +
+                              " references missing column " + col);
+    }
+    key.push_back(row[c]);
+  }
+  if (!key.empty() && key[0].is_null()) {
+    return std::optional<CompositeKey>();  // NULL keys are not indexed
+  }
+  return std::optional<CompositeKey>(std::move(key));
+}
+
+Status Database::MaintainBuiltinOnInsert(const std::string& table_name,
+                                         RowId rid, const Row& row,
+                                         Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
+  for (IndexInfo* index : catalog_.IndexesOnTable(table_name)) {
+    if (index->is_domain()) continue;
+    EXI_ASSIGN_OR_RETURN(std::optional<CompositeKey> key,
+                         KeyFor(*index, table->schema(), row));
+    if (!key.has_value()) continue;
+    BuiltinIndex* bidx = index->builtin.get();
+    bidx->Insert(*key, rid);
+    if (txn != nullptr) {
+      CompositeKey k = *key;
+      txn->PushUndo([bidx, k, rid] { bidx->Delete(k, rid); });
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::MaintainBuiltinOnDelete(const std::string& table_name,
+                                         RowId rid, const Row& row,
+                                         Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
+  for (IndexInfo* index : catalog_.IndexesOnTable(table_name)) {
+    if (index->is_domain()) continue;
+    EXI_ASSIGN_OR_RETURN(std::optional<CompositeKey> key,
+                         KeyFor(*index, table->schema(), row));
+    if (!key.has_value()) continue;
+    BuiltinIndex* bidx = index->builtin.get();
+    bidx->Delete(*key, rid);
+    if (txn != nullptr) {
+      CompositeKey k = *key;
+      txn->PushUndo([bidx, k, rid] { bidx->Insert(k, rid); });
+    }
+  }
+  return Status::OK();
+}
+
+Result<RowId> Database::InsertRow(const std::string& table_name, Row row,
+                                  Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
+  EXI_ASSIGN_OR_RETURN(RowId rid, table->Insert(row));
+  if (txn != nullptr) {
+    txn->PushUndo([table, rid] { (void)table->Delete(rid); });
+  }
+  EXI_RETURN_IF_ERROR(MaintainBuiltinOnInsert(table_name, rid, row, txn));
+  EXI_RETURN_IF_ERROR(domains_.OnInsert(table_name, rid, row, txn));
+  return rid;
+}
+
+Status Database::UpdateRow(const std::string& table_name, RowId rid,
+                           Row new_row, Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
+  EXI_ASSIGN_OR_RETURN(Row old_row, table->Get(rid));
+  EXI_RETURN_IF_ERROR(table->Update(rid, new_row));
+  if (txn != nullptr) {
+    Row old_copy = old_row;
+    txn->PushUndo(
+        [table, rid, old_copy] { (void)table->Update(rid, old_copy); });
+  }
+  EXI_RETURN_IF_ERROR(MaintainBuiltinOnDelete(table_name, rid, old_row, txn));
+  EXI_RETURN_IF_ERROR(MaintainBuiltinOnInsert(table_name, rid, new_row, txn));
+  EXI_RETURN_IF_ERROR(
+      domains_.OnUpdate(table_name, rid, old_row, new_row, txn));
+  return Status::OK();
+}
+
+Status Database::DeleteRow(const std::string& table_name, RowId rid,
+                           Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
+  EXI_ASSIGN_OR_RETURN(Row old_row, table->Get(rid));
+  EXI_RETURN_IF_ERROR(table->Delete(rid));
+  if (txn != nullptr) {
+    Row old_copy = old_row;
+    txn->PushUndo(
+        [table, rid, old_copy] { (void)table->Resurrect(rid, old_copy); });
+  }
+  EXI_RETURN_IF_ERROR(MaintainBuiltinOnDelete(table_name, rid, old_row, txn));
+  EXI_RETURN_IF_ERROR(domains_.OnDelete(table_name, rid, old_row, txn));
+  return Status::OK();
+}
+
+Status Database::TruncateTable(const std::string& table_name,
+                               Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
+  table->Truncate();
+  for (IndexInfo* index : catalog_.IndexesOnTable(table_name)) {
+    if (index->is_domain()) {
+      // "when the corresponding table is truncated, the truncate method
+      // specified as part of the indextype is invoked" (§2.4.1).
+      EXI_RETURN_IF_ERROR(domains_.TruncateIndex(index->name, txn));
+    } else {
+      index->builtin->Truncate();
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::DropTableCascade(const std::string& table_name,
+                                  Transaction* txn) {
+  // Copy names: dropping mutates the index list.
+  std::vector<std::string> names;
+  for (IndexInfo* index : catalog_.IndexesOnTable(table_name)) {
+    names.push_back(index->name);
+  }
+  for (const std::string& name : names) {
+    EXI_ASSIGN_OR_RETURN(IndexInfo * index, catalog_.GetIndex(name));
+    if (index->is_domain()) {
+      EXI_RETURN_IF_ERROR(domains_.DropIndex(name, txn));
+    } else {
+      EXI_RETURN_IF_ERROR(catalog_.RemoveIndex(name));
+    }
+  }
+  return catalog_.DropTable(table_name);
+}
+
+}  // namespace exi

@@ -1,0 +1,89 @@
+#ifndef EXTIDX_ENGINE_DATABASE_H_
+#define EXTIDX_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "core/domain_index.h"
+#include "txn/events.h"
+#include "txn/transaction.h"
+
+namespace exi {
+
+// The embedded database instance: catalog + transaction machinery + the
+// extensible-indexing dispatch layer.  Cartridges register their C++ hooks
+// (implementation types, operator functions, object types) against the
+// catalog, then SQL DDL creates the corresponding schema objects.
+//
+// Single-session, single-threaded by design (DESIGN.md §5); open one
+// Connection at a time.
+class Database {
+ public:
+  Database();
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  EventManager& events() { return events_; }
+  TransactionManager& txns() { return txns_; }
+  DomainIndexManager& domains() { return domains_; }
+
+  // ODCIIndexFetch batch size used by planned domain-index scans
+  // (§2.5 batch interface; experiment E7 sweeps it).
+  size_t fetch_batch_size() const { return fetch_batch_size_; }
+  void set_fetch_batch_size(size_t n) { fetch_batch_size_ = n ? n : 1; }
+
+  // ---- row mutation with implicit index maintenance (§2.4.1) ----
+  // Every mutation maintains built-in indexes natively and domain indexes
+  // through ODCIIndex maintenance routines, and logs undo into `txn`.
+
+  Result<RowId> InsertRow(const std::string& table_name, Row row,
+                          Transaction* txn);
+  Status UpdateRow(const std::string& table_name, RowId rid, Row new_row,
+                   Transaction* txn);
+  Status DeleteRow(const std::string& table_name, RowId rid,
+                   Transaction* txn);
+
+  // Truncates the table and all its indexes (built-in natively, domain via
+  // ODCIIndexTruncate).
+  Status TruncateTable(const std::string& table_name, Transaction* txn);
+
+  // Drops the table after dropping all its indexes.
+  Status DropTableCascade(const std::string& table_name, Transaction* txn);
+
+  // (Re)materializes the Oracle-flavored dictionary views — USER_TABLES,
+  // USER_INDEXES, USER_OPERATORS, USER_INDEXTYPES — as ordinary queryable
+  // tables.  Connection refreshes them lazily whenever a query's FROM list
+  // names one.
+  Status RefreshDictionaryViews();
+
+  // True if `table_name` is one of the dictionary view names.
+  static bool IsDictionaryView(const std::string& table_name);
+
+ private:
+  // Maintains built-in indexes for one mutation, logging undo.
+  Status MaintainBuiltinOnInsert(const std::string& table_name, RowId rid,
+                                 const Row& row, Transaction* txn);
+  Status MaintainBuiltinOnDelete(const std::string& table_name, RowId rid,
+                                 const Row& row, Transaction* txn);
+
+  // Builds the composite key for an index from a base-table row; returns
+  // an empty optional when the leading key value is NULL (NULLs are not
+  // indexed, Oracle B-tree semantics).
+  Result<std::optional<CompositeKey>> KeyFor(const IndexInfo& index,
+                                             const Schema& schema,
+                                             const Row& row) const;
+
+  Catalog catalog_;
+  EventManager events_;
+  TransactionManager txns_;
+  DomainIndexManager domains_;
+  size_t fetch_batch_size_ = 64;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_ENGINE_DATABASE_H_

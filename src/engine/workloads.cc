@@ -1,0 +1,168 @@
+#include "engine/workloads.h"
+#include <functional>
+
+#include <sstream>
+
+namespace exi::workload {
+
+// ---- text ----
+
+std::string TextCorpus::NextDocument(size_t words) {
+  std::string doc;
+  for (size_t i = 0; i < words; ++i) {
+    if (i) doc += " ";
+    doc += WordForRank(zipf_.Next());
+  }
+  return doc;
+}
+
+Status BuildTextTable(Connection* conn, const std::string& table,
+                      uint64_t docs, size_t words_per_doc,
+                      uint64_t vocabulary, double theta, uint64_t seed) {
+  EXI_RETURN_IF_ERROR(
+      conn->Execute("CREATE TABLE " + table +
+                    " (id INTEGER, body VARCHAR(4000))")
+          .status());
+  TextCorpus corpus(vocabulary, theta, seed);
+  Database* db = conn->db();
+  for (uint64_t i = 0; i < docs; ++i) {
+    EXI_RETURN_IF_ERROR(
+        db->InsertRow(table,
+                      {Value::Integer(int64_t(i)),
+                       Value::Varchar(corpus.NextDocument(words_per_doc))},
+                      nullptr)
+            .status());
+  }
+  return Status::OK();
+}
+
+// ---- spatial ----
+
+spatial::Geometry RandomRect(Rng* rng, double max_edge) {
+  spatial::Geometry g;
+  double w = rng->NextDouble() * max_edge;
+  double h = rng->NextDouble() * max_edge;
+  g.xmin = rng->NextDouble() * (spatial::kWorldSize - w);
+  g.ymin = rng->NextDouble() * (spatial::kWorldSize - h);
+  g.xmax = g.xmin + w;
+  g.ymax = g.ymin + h;
+  return g;
+}
+
+Status BuildSpatialTable(Connection* conn, const std::string& table,
+                         uint64_t rows, double max_edge, uint64_t seed) {
+  EXI_RETURN_IF_ERROR(
+      conn->Execute("CREATE TABLE " + table +
+                    " (gid INTEGER, geometry OBJECT SDO_GEOMETRY)")
+          .status());
+  Rng rng(seed);
+  Database* db = conn->db();
+  for (uint64_t i = 0; i < rows; ++i) {
+    spatial::Geometry g = RandomRect(&rng, max_edge);
+    EXI_RETURN_IF_ERROR(
+        db->InsertRow(table,
+                      {Value::Integer(int64_t(i)), spatial::ToValue(g)},
+                      nullptr)
+            .status());
+  }
+  return Status::OK();
+}
+
+// ---- images ----
+
+SignatureSource::SignatureSource(int clusters, double spread, uint64_t seed)
+    : spread_(spread), rng_(seed) {
+  for (int c = 0; c < clusters; ++c) {
+    vir::Signature center;
+    for (size_t i = 0; i < vir::kSignatureDims; ++i) {
+      center[i] = rng_.NextDouble();
+    }
+    centers_.push_back(center);
+  }
+}
+
+vir::Signature SignatureSource::Next() {
+  const vir::Signature& center =
+      centers_[rng_.Uniform(centers_.size())];
+  vir::Signature sig;
+  for (size_t i = 0; i < vir::kSignatureDims; ++i) {
+    double v = center[i] + rng_.NextGaussian() * spread_;
+    if (v < 0.0) v = 0.0;
+    if (v > 1.0) v = 1.0;
+    sig[i] = v;
+  }
+  return sig;
+}
+
+Status BuildImageTable(Connection* conn, const std::string& table,
+                       uint64_t rows, int clusters, double spread,
+                       uint64_t seed) {
+  EXI_RETURN_IF_ERROR(
+      conn->Execute("CREATE TABLE " + table +
+                    " (id INTEGER, img OBJECT IMAGE_T)")
+          .status());
+  SignatureSource source(clusters, spread, seed);
+  Database* db = conn->db();
+  for (uint64_t i = 0; i < rows; ++i) {
+    EXI_RETURN_IF_ERROR(
+        db->InsertRow(table,
+                      {Value::Integer(int64_t(i)),
+                       vir::ToValue(source.Next())},
+                      nullptr)
+            .status());
+  }
+  return Status::OK();
+}
+
+// ---- molecules ----
+
+std::string RandomSmiles(Rng* rng, int atoms) {
+  static const char* kElements[] = {"C", "C", "C", "C", "N",
+                                    "O", "O", "S", "Cl"};
+  std::ostringstream os;
+  int remaining = atoms;
+  // Grow a random tree: chain with occasional branches and double bonds.
+  std::function<void(int)> grow = [&](int depth) {
+    while (remaining > 0) {
+      os << kElements[rng->Uniform(9)];
+      --remaining;
+      if (remaining == 0) break;
+      uint64_t roll = rng->Uniform(10);
+      if (roll < 2 && depth < 3 && remaining > 2) {
+        os << "(";
+        int keep = remaining;
+        remaining = 1 + int(rng->Uniform(uint64_t(keep > 3 ? 3 : keep)));
+        int saved = keep - remaining;
+        grow(depth + 1);
+        os << ")";
+        remaining = saved;
+      } else if (roll < 4) {
+        os << "=";
+      }
+    }
+  };
+  grow(0);
+  return os.str();
+}
+
+Status BuildMoleculeTable(Connection* conn, const std::string& table,
+                          uint64_t rows, int atoms, uint64_t seed) {
+  EXI_RETURN_IF_ERROR(
+      conn->Execute("CREATE TABLE " + table +
+                    " (id INTEGER, smiles VARCHAR(400))")
+          .status());
+  Rng rng(seed);
+  Database* db = conn->db();
+  for (uint64_t i = 0; i < rows; ++i) {
+    int n = atoms / 2 + int(rng.Uniform(uint64_t(atoms)));
+    EXI_RETURN_IF_ERROR(
+        db->InsertRow(table,
+                      {Value::Integer(int64_t(i)),
+                       Value::Varchar(RandomSmiles(&rng, n))},
+                      nullptr)
+            .status());
+  }
+  return Status::OK();
+}
+
+}  // namespace exi::workload

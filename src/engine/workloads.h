@@ -1,0 +1,91 @@
+#ifndef EXTIDX_ENGINE_WORKLOADS_H_
+#define EXTIDX_ENGINE_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "cartridge/spatial/geometry.h"
+#include "cartridge/spatial/tiling.h"
+#include "cartridge/vir/signature.h"
+#include "common/rng.h"
+#include "engine/connection.h"
+
+namespace exi::workload {
+
+// Deterministic synthetic workload generators standing in for the paper's
+// proprietary data sets (resumes, maps, images, molecule libraries) — the
+// substitutions are documented in DESIGN.md §2.  Every generator takes an
+// explicit seed so experiments replay exactly.
+
+// ---- text (E1/E2/E6/E7/E8) ----
+
+// Zipf-distributed synthetic vocabulary corpus.  Word w<k> has rank k, so
+// 'w0' is the most frequent term and large ranks are rare — query-term
+// selectivity is controlled by rank.
+class TextCorpus {
+ public:
+  TextCorpus(uint64_t vocabulary, double theta, uint64_t seed)
+      : zipf_(vocabulary, theta, seed), rng_(seed ^ 0x9e37) {}
+
+  std::string NextDocument(size_t words);
+
+  static std::string WordForRank(uint64_t rank) {
+    return "w" + std::to_string(rank);
+  }
+
+ private:
+  ZipfGenerator zipf_;
+  Rng rng_;
+};
+
+// Creates `table`(id INTEGER, body VARCHAR) and fills it with `docs`
+// documents of `words_per_doc` words each.
+Status BuildTextTable(Connection* conn, const std::string& table,
+                      uint64_t docs, size_t words_per_doc,
+                      uint64_t vocabulary, double theta, uint64_t seed);
+
+// ---- spatial (E3) ----
+
+// Uniformly placed rectangles with the given edge-length scale inside the
+// spatial world square.
+spatial::Geometry RandomRect(Rng* rng, double max_edge);
+
+// Creates `table`(gid INTEGER, geometry OBJECT SDO_GEOMETRY) with `rows`
+// random rectangles.  Requires the spatial cartridge to be installed.
+Status BuildSpatialTable(Connection* conn, const std::string& table,
+                         uint64_t rows, double max_edge, uint64_t seed);
+
+// ---- images (E4) ----
+
+// Signatures drawn from a mixture of `clusters` Gaussian blobs (images of
+// the same scene type look alike), clamped to [0,1].
+class SignatureSource {
+ public:
+  SignatureSource(int clusters, double spread, uint64_t seed);
+  vir::Signature Next();
+
+ private:
+  std::vector<vir::Signature> centers_;
+  double spread_;
+  Rng rng_;
+};
+
+// Creates `table`(id INTEGER, img OBJECT IMAGE_T) with `rows` clustered
+// signatures.  Requires the VIR cartridge.
+Status BuildImageTable(Connection* conn, const std::string& table,
+                       uint64_t rows, int clusters, double spread,
+                       uint64_t seed);
+
+// ---- molecules (E5/E9) ----
+
+// Random branched acyclic SMILES of roughly `atoms` heavy atoms
+// (parseable by construction).
+std::string RandomSmiles(Rng* rng, int atoms);
+
+// Creates `table`(id INTEGER, smiles VARCHAR) with `rows` molecules.
+Status BuildMoleculeTable(Connection* conn, const std::string& table,
+                          uint64_t rows, int atoms, uint64_t seed);
+
+}  // namespace exi::workload
+
+#endif  // EXTIDX_ENGINE_WORKLOADS_H_

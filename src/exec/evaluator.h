@@ -1,0 +1,53 @@
+#ifndef EXTIDX_EXEC_EVALUATOR_H_
+#define EXTIDX_EXEC_EVALUATOR_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "sql/ast.h"
+#include "types/value.h"
+
+namespace exi {
+
+// Evaluates bound expressions against a flattened input row.
+//
+// Semantics: SQL-style NULL propagation — comparisons and arithmetic over
+// NULL yield NULL; AND/OR use three-valued logic; a predicate holds only if
+// its value is definitely true.  A user-defined operator evaluated here is
+// the *functional* implementation path (§2.2.1) — the per-row fallback used
+// when the optimizer does not pick a domain-index scan — and is counted in
+// StorageMetrics::functional_evaluations.
+class Evaluator {
+ public:
+  explicit Evaluator(const Catalog* catalog) : catalog_(catalog) {}
+
+  // `ancillary` feeds the Score() pseudo-function with the row's
+  // domain-index ancillary value; nullptr means Score() is unavailable in
+  // this context (e.g. DML predicates) and evaluates to an error.
+  Result<Value> Eval(const sql::Expr& expr, const Row& row,
+                     const Value* ancillary = nullptr) const;
+
+  // True iff the expression evaluates to a definitely-true value
+  // (Boolean TRUE, or a nonzero number — the paper's Contains(...)=1 form).
+  Result<bool> EvalPredicate(const sql::Expr& expr, const Row& row,
+                             const Value* ancillary = nullptr) const;
+
+  // Shared truthiness rule for operator return values.
+  static bool IsTruthy(const Value& v);
+
+  // SQL LIKE with % (any run) and _ (any single character).
+  static bool LikeMatch(const std::string& text, const std::string& pattern);
+
+ private:
+  Result<Value> EvalBinary(const sql::Expr& expr, const Row& row,
+                           const Value* ancillary) const;
+  Result<Value> EvalFunction(const sql::Expr& expr, const Row& row,
+                             const Value* ancillary) const;
+
+  const Catalog* catalog_;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_EXEC_EVALUATOR_H_

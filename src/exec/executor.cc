@@ -1,0 +1,795 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/metrics.h"
+#include "index/key.h"
+
+namespace exi {
+
+namespace {
+
+void DescribeRec(const ExecNode& node, int depth, std::ostringstream& os) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << node.Describe() << "\n";
+  for (const ExecNode* child : node.Children()) {
+    DescribeRec(*child, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string DescribePlan(const ExecNode& root) {
+  std::ostringstream os;
+  DescribeRec(root, 0, os);
+  return os.str();
+}
+
+// ---- SeqScanNode ----
+
+SeqScanNode::SeqScanNode(const HeapTable* table) : table_(table) {}
+
+Status SeqScanNode::Open() {
+  it_ = std::make_unique<HeapTable::Iterator>(table_->Scan());
+  return Status::OK();
+}
+
+Result<bool> SeqScanNode::Next(ExecRow* out) {
+  if (!it_->Valid()) return false;
+  out->values = it_->row();
+  out->rid = it_->row_id();
+  out->ancillary = Value::Null();
+  GlobalMetrics().table_rows_read++;
+  it_->Next();
+  return true;
+}
+
+Status SeqScanNode::Close() {
+  it_.reset();
+  return Status::OK();
+}
+
+std::string SeqScanNode::Describe() const {
+  return "SeqScan(" + table_->name() + ")";
+}
+
+// ---- RowIdListScanNode ----
+
+RowIdListScanNode::RowIdListScanNode(const HeapTable* table,
+                                     std::vector<RowId> rids,
+                                     std::string label)
+    : table_(table), rids_(std::move(rids)), label_(std::move(label)) {}
+
+Status RowIdListScanNode::Open() {
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> RowIdListScanNode::Next(ExecRow* out) {
+  while (pos_ < rids_.size()) {
+    RowId rid = rids_[pos_++];
+    Result<Row> row = table_->Get(rid);
+    if (!row.ok()) continue;  // row deleted since index lookup
+    out->values = std::move(row).value();
+    out->rid = rid;
+    out->ancillary = Value::Null();
+    return true;
+  }
+  return false;
+}
+
+Status RowIdListScanNode::Close() { return Status::OK(); }
+
+std::string RowIdListScanNode::Describe() const {
+  return label_ + " -> fetch " + table_->name() + " (" +
+         std::to_string(rids_.size()) + " rowids)";
+}
+
+// ---- DomainIndexScanNode ----
+
+DomainIndexScanNode::DomainIndexScanNode(DomainIndexManager* manager,
+                                         const HeapTable* table,
+                                         std::string index_name,
+                                         OdciPredInfo pred, size_t batch_size)
+    : manager_(manager),
+      table_(table),
+      index_name_(std::move(index_name)),
+      pred_(std::move(pred)),
+      batch_size_(batch_size) {}
+
+Status DomainIndexScanNode::Open() {
+  EXI_ASSIGN_OR_RETURN(scan_, manager_->StartScan(index_name_, pred_));
+  batch_pos_ = 0;
+  batch_.rids.clear();
+  batch_.ancillary.clear();
+  exhausted_ = false;
+  return Status::OK();
+}
+
+Result<bool> DomainIndexScanNode::Next(ExecRow* out) {
+  while (true) {
+    if (batch_pos_ >= batch_.rids.size()) {
+      if (exhausted_) return false;
+      EXI_RETURN_IF_ERROR(scan_->NextBatch(batch_size_, &batch_));
+      batch_pos_ = 0;
+      if (batch_.end_of_scan()) {
+        exhausted_ = true;
+        return false;
+      }
+    }
+    RowId rid = batch_.rids[batch_pos_];
+    Value anc = batch_pos_ < batch_.ancillary.size()
+                    ? batch_.ancillary[batch_pos_]
+                    : Value::Null();
+    ++batch_pos_;
+    Result<Row> row = table_->Get(rid);
+    if (!row.ok()) continue;  // stale rowid
+    out->values = std::move(row).value();
+    out->rid = rid;
+    out->ancillary = std::move(anc);
+    return true;
+  }
+}
+
+Status DomainIndexScanNode::Close() {
+  if (scan_ != nullptr) {
+    Status st = scan_->Close();
+    scan_.reset();
+    return st;
+  }
+  return Status::OK();
+}
+
+std::string DomainIndexScanNode::Describe() const {
+  return "DomainIndexScan(" + index_name_ + ", op=" + pred_.operator_name +
+         ", batch=" + std::to_string(batch_size_) + ")";
+}
+
+// ---- FilterNode ----
+
+FilterNode::FilterNode(std::unique_ptr<ExecNode> child,
+                       const sql::Expr* predicate, const Catalog* catalog)
+    : child_(std::move(child)), predicate_(predicate), evaluator_(catalog) {}
+
+Status FilterNode::Open() { return child_->Open(); }
+
+Result<bool> FilterNode::Next(ExecRow* out) {
+  while (true) {
+    EXI_ASSIGN_OR_RETURN(bool have, child_->Next(out));
+    if (!have) return false;
+    EXI_ASSIGN_OR_RETURN(
+        bool pass,
+        evaluator_.EvalPredicate(*predicate_, out->values,
+                                 &out->ancillary));
+    if (pass) return true;
+  }
+}
+
+Status FilterNode::Close() { return child_->Close(); }
+
+std::string FilterNode::Describe() const {
+  return "Filter(" + predicate_->ToString() + ")";
+}
+
+std::vector<const ExecNode*> FilterNode::Children() const {
+  return {child_.get()};
+}
+
+// ---- ProjectNode ----
+
+ProjectNode::ProjectNode(std::unique_ptr<ExecNode> child,
+                         std::vector<const sql::Expr*> exprs,
+                         const Catalog* catalog)
+    : child_(std::move(child)), exprs_(std::move(exprs)),
+      evaluator_(catalog) {}
+
+Status ProjectNode::Open() { return child_->Open(); }
+
+Result<bool> ProjectNode::Next(ExecRow* out) {
+  ExecRow in;
+  EXI_ASSIGN_OR_RETURN(bool have, child_->Next(&in));
+  if (!have) return false;
+  out->values.clear();
+  out->values.reserve(exprs_.size());
+  for (const sql::Expr* e : exprs_) {
+    EXI_ASSIGN_OR_RETURN(Value v,
+                         evaluator_.Eval(*e, in.values, &in.ancillary));
+    out->values.push_back(std::move(v));
+  }
+  out->rid = in.rid;
+  out->ancillary = in.ancillary;
+  return true;
+}
+
+Status ProjectNode::Close() { return child_->Close(); }
+
+std::string ProjectNode::Describe() const {
+  std::string s = "Project(";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i) s += ", ";
+    s += exprs_[i]->ToString();
+  }
+  return s + ")";
+}
+
+std::vector<const ExecNode*> ProjectNode::Children() const {
+  return {child_.get()};
+}
+
+// ---- NestedLoopJoinNode ----
+
+NestedLoopJoinNode::NestedLoopJoinNode(std::unique_ptr<ExecNode> left,
+                                       std::unique_ptr<ExecNode> right)
+    : left_(std::move(left)), right_(std::move(right)) {}
+
+Status NestedLoopJoinNode::Open() {
+  EXI_RETURN_IF_ERROR(left_->Open());
+  EXI_RETURN_IF_ERROR(right_->Open());
+  right_rows_.clear();
+  ExecRow row;
+  while (true) {
+    EXI_ASSIGN_OR_RETURN(bool have, right_->Next(&row));
+    if (!have) break;
+    right_rows_.push_back(row.values);
+  }
+  EXI_RETURN_IF_ERROR(right_->Close());
+  have_left_ = false;
+  right_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinNode::Next(ExecRow* out) {
+  while (true) {
+    if (!have_left_) {
+      EXI_ASSIGN_OR_RETURN(bool have, left_->Next(&left_row_));
+      if (!have) return false;
+      have_left_ = true;
+      right_pos_ = 0;
+    }
+    if (right_pos_ >= right_rows_.size()) {
+      have_left_ = false;
+      continue;
+    }
+    const Row& right = right_rows_[right_pos_++];
+    out->values = left_row_.values;
+    out->values.insert(out->values.end(), right.begin(), right.end());
+    out->rid = kInvalidRowId;
+    out->ancillary = Value::Null();
+    return true;
+  }
+}
+
+Status NestedLoopJoinNode::Close() { return left_->Close(); }
+
+std::string NestedLoopJoinNode::Describe() const { return "NestedLoopJoin"; }
+
+std::vector<const ExecNode*> NestedLoopJoinNode::Children() const {
+  return {left_.get(), right_.get()};
+}
+
+// ---- IndexJoinNode ----
+
+IndexJoinNode::IndexJoinNode(std::unique_ptr<ExecNode> left,
+                             const HeapTable* inner,
+                             const BuiltinIndex* inner_index,
+                             const sql::Expr* key_expr,
+                             const Catalog* catalog)
+    : left_(std::move(left)),
+      inner_(inner),
+      inner_index_(inner_index),
+      key_expr_(key_expr),
+      evaluator_(catalog) {}
+
+Status IndexJoinNode::Open() {
+  EXI_RETURN_IF_ERROR(left_->Open());
+  have_left_ = false;
+  matches_.clear();
+  match_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> IndexJoinNode::Next(ExecRow* out) {
+  while (true) {
+    if (!have_left_) {
+      EXI_ASSIGN_OR_RETURN(bool have, left_->Next(&left_row_));
+      if (!have) return false;
+      have_left_ = true;
+      EXI_ASSIGN_OR_RETURN(Value key,
+                           evaluator_.Eval(*key_expr_, left_row_.values));
+      matches_ = key.is_null() ? std::vector<RowId>{}
+                               : inner_index_->ScanEqual({key});
+      match_pos_ = 0;
+    }
+    while (match_pos_ < matches_.size()) {
+      RowId rid = matches_[match_pos_++];
+      Result<Row> row = inner_->Get(rid);
+      if (!row.ok()) continue;
+      out->values = left_row_.values;
+      out->values.insert(out->values.end(), row->begin(), row->end());
+      out->rid = kInvalidRowId;
+      out->ancillary = Value::Null();
+      return true;
+    }
+    have_left_ = false;
+  }
+}
+
+Status IndexJoinNode::Close() { return left_->Close(); }
+
+std::string IndexJoinNode::Describe() const {
+  return "IndexJoin(inner=" + inner_->name() + " via " +
+         inner_index_->name() + ", key=" + key_expr_->ToString() + ")";
+}
+
+std::vector<const ExecNode*> IndexJoinNode::Children() const {
+  return {left_.get()};
+}
+
+// ---- DomainIndexJoinNode ----
+
+DomainIndexJoinNode::DomainIndexJoinNode(
+    std::unique_ptr<ExecNode> outer, size_t outer_offset, size_t outer_width,
+    DomainIndexManager* manager, const HeapTable* inner, size_t inner_offset,
+    size_t inner_width, std::string index_name, std::string op_name,
+    std::vector<const sql::Expr*> arg_exprs, const Catalog* catalog,
+    size_t batch_size)
+    : outer_(std::move(outer)),
+      outer_offset_(outer_offset),
+      outer_width_(outer_width),
+      manager_(manager),
+      inner_(inner),
+      inner_offset_(inner_offset),
+      inner_width_(inner_width),
+      index_name_(std::move(index_name)),
+      op_name_(std::move(op_name)),
+      arg_exprs_(std::move(arg_exprs)),
+      evaluator_(catalog),
+      batch_size_(batch_size) {}
+
+Status DomainIndexJoinNode::Open() {
+  EXI_RETURN_IF_ERROR(outer_->Open());
+  padded_.assign(outer_width_ + inner_width_, Value::Null());
+  inner_exhausted_ = true;
+  scan_.reset();
+  return Status::OK();
+}
+
+Result<bool> DomainIndexJoinNode::AdvanceOuter() {
+  if (scan_ != nullptr) {
+    EXI_RETURN_IF_ERROR(scan_->Close());
+    scan_.reset();
+  }
+  ExecRow outer_row;
+  EXI_ASSIGN_OR_RETURN(bool have, outer_->Next(&outer_row));
+  if (!have) return false;
+  // Install outer values into the full-width padded row.
+  std::fill(padded_.begin(), padded_.end(), Value::Null());
+  for (size_t i = 0; i < outer_row.values.size(); ++i) {
+    padded_[outer_offset_ + i] = std::move(outer_row.values[i]);
+  }
+  // Build the per-probe predicate from the outer row.
+  OdciPredInfo pred;
+  pred.operator_name = op_name_;
+  for (const sql::Expr* e : arg_exprs_) {
+    EXI_ASSIGN_OR_RETURN(Value v, evaluator_.Eval(*e, padded_));
+    pred.args.push_back(std::move(v));
+  }
+  pred.lower_bound = Value::Boolean(true);
+  pred.upper_bound = Value::Boolean(true);
+  EXI_ASSIGN_OR_RETURN(scan_, manager_->StartScan(index_name_, pred));
+  batch_.rids.clear();
+  batch_.ancillary.clear();
+  batch_pos_ = 0;
+  inner_exhausted_ = false;
+  return true;
+}
+
+Result<bool> DomainIndexJoinNode::Next(ExecRow* out) {
+  while (true) {
+    if (inner_exhausted_) {
+      EXI_ASSIGN_OR_RETURN(bool have, AdvanceOuter());
+      if (!have) return false;
+    }
+    if (batch_pos_ >= batch_.rids.size()) {
+      EXI_RETURN_IF_ERROR(scan_->NextBatch(batch_size_, &batch_));
+      batch_pos_ = 0;
+      if (batch_.end_of_scan()) {
+        inner_exhausted_ = true;
+        continue;
+      }
+    }
+    RowId rid = batch_.rids[batch_pos_++];
+    Result<Row> inner_row = inner_->Get(rid);
+    if (!inner_row.ok()) continue;
+    out->values = padded_;
+    for (size_t i = 0; i < inner_row->size(); ++i) {
+      out->values[inner_offset_ + i] = std::move((*inner_row)[i]);
+    }
+    out->rid = kInvalidRowId;
+    out->ancillary = Value::Null();
+    return true;
+  }
+}
+
+Status DomainIndexJoinNode::Close() {
+  if (scan_ != nullptr) {
+    EXI_RETURN_IF_ERROR(scan_->Close());
+    scan_.reset();
+  }
+  return outer_->Close();
+}
+
+std::string DomainIndexJoinNode::Describe() const {
+  return "DomainIndexJoin(inner=" + inner_->name() + " via " + index_name_ +
+         ", op=" + op_name_ + ")";
+}
+
+std::vector<const ExecNode*> DomainIndexJoinNode::Children() const {
+  return {outer_.get()};
+}
+
+// ---- SortNode ----
+
+SortNode::SortNode(std::unique_ptr<ExecNode> child,
+                   std::vector<const sql::Expr*> keys,
+                   std::vector<bool> ascending, const Catalog* catalog)
+    : child_(std::move(child)),
+      keys_(std::move(keys)),
+      ascending_(std::move(ascending)),
+      evaluator_(catalog) {}
+
+Status SortNode::Open() {
+  EXI_RETURN_IF_ERROR(child_->Open());
+  rows_.clear();
+  ExecRow row;
+  while (true) {
+    EXI_ASSIGN_OR_RETURN(bool have, child_->Next(&row));
+    if (!have) break;
+    rows_.push_back(row);
+  }
+  EXI_RETURN_IF_ERROR(child_->Close());
+
+  // Precompute sort keys, then order rows by them.
+  struct Keyed {
+    size_t index;
+    Row keys;
+  };
+  std::vector<Keyed> keyed(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    keyed[i].index = i;
+    for (const sql::Expr* k : keys_) {
+      EXI_ASSIGN_OR_RETURN(
+          Value v,
+          evaluator_.Eval(*k, rows_[i].values, &rows_[i].ancillary));
+      keyed[i].keys.push_back(std::move(v));
+    }
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [this](const Keyed& a, const Keyed& b) {
+                     for (size_t k = 0; k < a.keys.size(); ++k) {
+                       int c = TotalOrderCompare(a.keys[k], b.keys[k]);
+                       if (c != 0) return ascending_[k] ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  std::vector<ExecRow> sorted;
+  sorted.reserve(rows_.size());
+  for (const Keyed& k : keyed) sorted.push_back(std::move(rows_[k.index]));
+  rows_ = std::move(sorted);
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SortNode::Next(ExecRow* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = std::move(rows_[pos_++]);
+  return true;
+}
+
+Status SortNode::Close() { return Status::OK(); }
+
+std::string SortNode::Describe() const {
+  std::string s = "Sort(";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i) s += ", ";
+    s += keys_[i]->ToString();
+    s += ascending_[i] ? " ASC" : " DESC";
+  }
+  return s + ")";
+}
+
+std::vector<const ExecNode*> SortNode::Children() const {
+  return {child_.get()};
+}
+
+// ---- DistinctNode ----
+
+DistinctNode::DistinctNode(std::unique_ptr<ExecNode> child)
+    : child_(std::move(child)) {}
+
+Status DistinctNode::Open() {
+  seen_.clear();
+  return child_->Open();
+}
+
+Result<bool> DistinctNode::Next(ExecRow* out) {
+  while (true) {
+    EXI_ASSIGN_OR_RETURN(bool have, child_->Next(out));
+    if (!have) return false;
+    if (seen_.insert(out->values).second) return true;
+  }
+}
+
+Status DistinctNode::Close() { return child_->Close(); }
+
+std::string DistinctNode::Describe() const { return "Distinct"; }
+
+std::vector<const ExecNode*> DistinctNode::Children() const {
+  return {child_.get()};
+}
+
+// ---- LimitNode ----
+
+LimitNode::LimitNode(std::unique_ptr<ExecNode> child, int64_t limit)
+    : child_(std::move(child)), limit_(limit) {}
+
+Status LimitNode::Open() {
+  emitted_ = 0;
+  return child_->Open();
+}
+
+Result<bool> LimitNode::Next(ExecRow* out) {
+  if (emitted_ >= limit_) return false;
+  EXI_ASSIGN_OR_RETURN(bool have, child_->Next(out));
+  if (!have) return false;
+  ++emitted_;
+  return true;
+}
+
+Status LimitNode::Close() { return child_->Close(); }
+
+std::string LimitNode::Describe() const {
+  return "Limit(" + std::to_string(limit_) + ")";
+}
+
+std::vector<const ExecNode*> LimitNode::Children() const {
+  return {child_.get()};
+}
+
+// ---- GroupByNode ----
+
+namespace {
+
+// Shared aggregate accumulator (also used conceptually by AggregateNode;
+// kept local to each node for clarity).
+struct AggAcc {
+  int64_t count = 0;
+  double sum = 0.0;
+  bool any = false;
+  Value min, max;
+
+  void Add(const Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    if (DataType(v.tag()).is_numeric()) sum += v.AsDouble();
+    if (!any) {
+      min = v;
+      max = v;
+      any = true;
+    } else {
+      if (TotalOrderCompare(v, min) < 0) min = v;
+      if (TotalOrderCompare(v, max) > 0) max = v;
+    }
+  }
+
+  Value Finish(sql::AggFunc fn) const {
+    switch (fn) {
+      case sql::AggFunc::kCount:
+        return Value::Integer(count);
+      case sql::AggFunc::kSum:
+        return count ? Value::Double(sum) : Value::Null();
+      case sql::AggFunc::kAvg:
+        return count ? Value::Double(sum / double(count)) : Value::Null();
+      case sql::AggFunc::kMin:
+        return any ? min : Value::Null();
+      case sql::AggFunc::kMax:
+        return any ? max : Value::Null();
+    }
+    return Value::Null();
+  }
+};
+
+struct KeyLess {
+  bool operator()(const Row& a, const Row& b) const {
+    return CompareKeys(a, b) < 0;
+  }
+};
+
+}  // namespace
+
+GroupByNode::GroupByNode(std::unique_ptr<ExecNode> child,
+                         std::vector<const sql::Expr*> keys,
+                         std::vector<const sql::Expr*> aggs,
+                         std::vector<Output> outputs, const Catalog* catalog)
+    : child_(std::move(child)),
+      keys_(std::move(keys)),
+      aggs_(std::move(aggs)),
+      outputs_(std::move(outputs)),
+      evaluator_(catalog) {}
+
+Status GroupByNode::Open() {
+  EXI_RETURN_IF_ERROR(child_->Open());
+  std::map<Row, std::vector<AggAcc>, KeyLess> groups;
+  ExecRow row;
+  while (true) {
+    EXI_ASSIGN_OR_RETURN(bool have, child_->Next(&row));
+    if (!have) break;
+    Row key;
+    key.reserve(keys_.size());
+    for (const sql::Expr* k : keys_) {
+      EXI_ASSIGN_OR_RETURN(Value v,
+                           evaluator_.Eval(*k, row.values, &row.ancillary));
+      key.push_back(std::move(v));
+    }
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) it->second.resize(aggs_.size());
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const sql::Expr* e = aggs_[a];
+      if (e->agg_star) {
+        it->second[a].count++;
+        continue;
+      }
+      EXI_ASSIGN_OR_RETURN(
+          Value v,
+          evaluator_.Eval(*e->children[0], row.values, &row.ancillary));
+      it->second[a].Add(v);
+    }
+  }
+  EXI_RETURN_IF_ERROR(child_->Close());
+
+  results_.clear();
+  results_.reserve(groups.size());
+  for (const auto& [key, accs] : groups) {
+    Row out;
+    out.reserve(outputs_.size());
+    for (const Output& o : outputs_) {
+      if (o.is_aggregate) {
+        out.push_back(accs[o.index].Finish(aggs_[o.index]->agg));
+      } else {
+        out.push_back(key[o.index]);
+      }
+    }
+    results_.push_back(std::move(out));
+  }
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> GroupByNode::Next(ExecRow* out) {
+  if (pos_ >= results_.size()) return false;
+  out->values = std::move(results_[pos_++]);
+  out->rid = kInvalidRowId;
+  out->ancillary = Value::Null();
+  return true;
+}
+
+Status GroupByNode::Close() { return Status::OK(); }
+
+std::string GroupByNode::Describe() const {
+  std::string s = "GroupBy(keys=";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i) s += ", ";
+    s += keys_[i]->ToString();
+  }
+  s += "; aggs=";
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (i) s += ", ";
+    s += aggs_[i]->ToString();
+  }
+  return s + ")";
+}
+
+std::vector<const ExecNode*> GroupByNode::Children() const {
+  return {child_.get()};
+}
+
+// ---- AggregateNode ----
+
+AggregateNode::AggregateNode(std::unique_ptr<ExecNode> child,
+                             std::vector<const sql::Expr*> aggs,
+                             const Catalog* catalog)
+    : child_(std::move(child)), aggs_(std::move(aggs)), evaluator_(catalog) {}
+
+Status AggregateNode::Open() {
+  EXI_RETURN_IF_ERROR(child_->Open());
+  done_ = false;
+  computed_ = false;
+  return Status::OK();
+}
+
+Result<bool> AggregateNode::Next(ExecRow* out) {
+  if (done_) return false;
+  if (!computed_) {
+    struct Acc {
+      int64_t count = 0;
+      double sum = 0.0;
+      bool any = false;
+      Value min, max;
+    };
+    std::vector<Acc> accs(aggs_.size());
+    ExecRow row;
+    while (true) {
+      EXI_ASSIGN_OR_RETURN(bool have, child_->Next(&row));
+      if (!have) break;
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        const sql::Expr* e = aggs_[i];
+        if (e->agg_star) {
+          accs[i].count++;
+          continue;
+        }
+        EXI_ASSIGN_OR_RETURN(Value v,
+                             evaluator_.Eval(*e->children[0], row.values));
+        if (v.is_null()) continue;
+        Acc& a = accs[i];
+        a.count++;
+        if (DataType(v.tag()).is_numeric()) a.sum += v.AsDouble();
+        if (!a.any) {
+          a.min = v;
+          a.max = v;
+          a.any = true;
+        } else {
+          if (TotalOrderCompare(v, a.min) < 0) a.min = v;
+          if (TotalOrderCompare(v, a.max) > 0) a.max = v;
+        }
+      }
+    }
+    EXI_RETURN_IF_ERROR(child_->Close());
+    result_.clear();
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      const Acc& a = accs[i];
+      switch (aggs_[i]->agg) {
+        case sql::AggFunc::kCount:
+          result_.push_back(Value::Integer(a.count));
+          break;
+        case sql::AggFunc::kSum:
+          result_.push_back(a.count ? Value::Double(a.sum) : Value::Null());
+          break;
+        case sql::AggFunc::kAvg:
+          result_.push_back(a.count ? Value::Double(a.sum / double(a.count))
+                                    : Value::Null());
+          break;
+        case sql::AggFunc::kMin:
+          result_.push_back(a.any ? a.min : Value::Null());
+          break;
+        case sql::AggFunc::kMax:
+          result_.push_back(a.any ? a.max : Value::Null());
+          break;
+      }
+    }
+    computed_ = true;
+  }
+  out->values = result_;
+  out->rid = kInvalidRowId;
+  out->ancillary = Value::Null();
+  done_ = true;
+  return true;
+}
+
+Status AggregateNode::Close() { return Status::OK(); }
+
+std::string AggregateNode::Describe() const {
+  std::string s = "Aggregate(";
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (i) s += ", ";
+    s += aggs_[i]->ToString();
+  }
+  return s + ")";
+}
+
+std::vector<const ExecNode*> AggregateNode::Children() const {
+  return {child_.get()};
+}
+
+}  // namespace exi

@@ -1,0 +1,363 @@
+#ifndef EXTIDX_EXEC_EXECUTOR_H_
+#define EXTIDX_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "index/key.h"
+#include "common/result.h"
+#include "core/domain_index.h"
+#include "exec/evaluator.h"
+#include "sql/ast.h"
+#include "types/value.h"
+
+namespace exi {
+
+// A row flowing through the executor: flattened column values, the RowId of
+// the driving table (single-table plans; kInvalidRowId after joins or
+// projection), and an optional ancillary value from a domain-index scan
+// (e.g. a relevance score — the paper's ancillary operator data).
+struct ExecRow {
+  Row values;
+  RowId rid = kInvalidRowId;
+  Value ancillary;
+};
+
+// Volcano-style iterator.  Open -> Next* -> Close; Next returns false when
+// exhausted.  Nodes are single-use.
+class ExecNode {
+ public:
+  virtual ~ExecNode() = default;
+
+  virtual Status Open() = 0;
+  virtual Result<bool> Next(ExecRow* out) = 0;
+  virtual Status Close() = 0;
+
+  // One line describing this node for EXPLAIN output.
+  virtual std::string Describe() const = 0;
+  virtual std::vector<const ExecNode*> Children() const { return {}; }
+};
+
+// Renders a plan tree (for EXPLAIN).
+std::string DescribePlan(const ExecNode& root);
+
+// ---- scans ----
+
+// Full scan of a heap table.
+class SeqScanNode : public ExecNode {
+ public:
+  explicit SeqScanNode(const HeapTable* table);
+
+  Status Open() override;
+  Result<bool> Next(ExecRow* out) override;
+  Status Close() override;
+  std::string Describe() const override;
+
+ private:
+  const HeapTable* table_;
+  std::unique_ptr<HeapTable::Iterator> it_;
+};
+
+// Fetches an explicit RowId list from a heap table (the output of a
+// built-in index scan).
+class RowIdListScanNode : public ExecNode {
+ public:
+  RowIdListScanNode(const HeapTable* table, std::vector<RowId> rids,
+                    std::string label);
+
+  Status Open() override;
+  Result<bool> Next(ExecRow* out) override;
+  Status Close() override;
+  std::string Describe() const override;
+
+ private:
+  const HeapTable* table_;
+  std::vector<RowId> rids_;
+  std::string label_;
+  size_t pos_ = 0;
+};
+
+// Domain-index scan (§2.4.2): drives ODCIIndexStart/Fetch/Close through the
+// DomainIndexManager and pipelines the returned RowIds into base-table
+// fetches.  `batch_size` is the ODCIIndexFetch batch size (§2.5 batch
+// interface).
+class DomainIndexScanNode : public ExecNode {
+ public:
+  DomainIndexScanNode(DomainIndexManager* manager, const HeapTable* table,
+                      std::string index_name, OdciPredInfo pred,
+                      size_t batch_size = 64);
+
+  Status Open() override;
+  Result<bool> Next(ExecRow* out) override;
+  Status Close() override;
+  std::string Describe() const override;
+
+ private:
+  DomainIndexManager* manager_;
+  const HeapTable* table_;
+  std::string index_name_;
+  OdciPredInfo pred_;
+  size_t batch_size_;
+  std::unique_ptr<DomainIndexManager::Scan> scan_;
+  OdciFetchBatch batch_;
+  size_t batch_pos_ = 0;
+  bool exhausted_ = false;
+};
+
+// ---- relational operators ----
+
+class FilterNode : public ExecNode {
+ public:
+  FilterNode(std::unique_ptr<ExecNode> child, const sql::Expr* predicate,
+             const Catalog* catalog);
+
+  Status Open() override;
+  Result<bool> Next(ExecRow* out) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const ExecNode*> Children() const override;
+
+ private:
+  std::unique_ptr<ExecNode> child_;
+  const sql::Expr* predicate_;
+  Evaluator evaluator_;
+};
+
+class ProjectNode : public ExecNode {
+ public:
+  ProjectNode(std::unique_ptr<ExecNode> child,
+              std::vector<const sql::Expr*> exprs, const Catalog* catalog);
+
+  Status Open() override;
+  Result<bool> Next(ExecRow* out) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const ExecNode*> Children() const override;
+
+ private:
+  std::unique_ptr<ExecNode> child_;
+  std::vector<const sql::Expr*> exprs_;
+  Evaluator evaluator_;
+};
+
+// Block nested-loop join: materializes the right input at Open, then emits
+// left x right concatenations (the join predicate lives in a FilterNode
+// above).
+class NestedLoopJoinNode : public ExecNode {
+ public:
+  NestedLoopJoinNode(std::unique_ptr<ExecNode> left,
+                     std::unique_ptr<ExecNode> right);
+
+  Status Open() override;
+  Result<bool> Next(ExecRow* out) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const ExecNode*> Children() const override;
+
+ private:
+  std::unique_ptr<ExecNode> left_;
+  std::unique_ptr<ExecNode> right_;
+  std::vector<Row> right_rows_;
+  ExecRow left_row_;
+  bool have_left_ = false;
+  size_t right_pos_ = 0;
+};
+
+// Index nested-loop join: for each left row, evaluates `key_expr` and
+// probes a built-in index on the inner table, concatenating matching inner
+// rows.
+class IndexJoinNode : public ExecNode {
+ public:
+  IndexJoinNode(std::unique_ptr<ExecNode> left, const HeapTable* inner,
+                const BuiltinIndex* inner_index, const sql::Expr* key_expr,
+                const Catalog* catalog);
+
+  Status Open() override;
+  Result<bool> Next(ExecRow* out) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const ExecNode*> Children() const override;
+
+ private:
+  std::unique_ptr<ExecNode> left_;
+  const HeapTable* inner_;
+  const BuiltinIndex* inner_index_;
+  const sql::Expr* key_expr_;
+  Evaluator evaluator_;
+  ExecRow left_row_;
+  bool have_left_ = false;
+  std::vector<RowId> matches_;
+  size_t match_pos_ = 0;
+};
+
+// Domain-index nested-loop join (the paper's spatial layer join, §3.2.2):
+// for each outer row, re-executes a domain-index scan on the inner table's
+// index, passing the outer row's operator arguments in the predicate —
+// e.g. Sdo_Relate(parks.geometry, roads.geometry, 'mask=OVERLAPS') probes
+// the parks index once per roads row.
+//
+// Output rows are full-width in FROM order regardless of which side drives:
+// outer values land at `outer_offset`, inner values at `inner_offset`.
+class DomainIndexJoinNode : public ExecNode {
+ public:
+  DomainIndexJoinNode(std::unique_ptr<ExecNode> outer, size_t outer_offset,
+                      size_t outer_width, DomainIndexManager* manager,
+                      const HeapTable* inner, size_t inner_offset,
+                      size_t inner_width, std::string index_name,
+                      std::string op_name,
+                      std::vector<const sql::Expr*> arg_exprs,
+                      const Catalog* catalog, size_t batch_size = 64);
+
+  Status Open() override;
+  Result<bool> Next(ExecRow* out) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const ExecNode*> Children() const override;
+
+ private:
+  // Advances to the next outer row and starts its inner scan.
+  Result<bool> AdvanceOuter();
+
+  std::unique_ptr<ExecNode> outer_;
+  size_t outer_offset_;
+  size_t outer_width_;
+  DomainIndexManager* manager_;
+  const HeapTable* inner_;
+  size_t inner_offset_;
+  size_t inner_width_;
+  std::string index_name_;
+  std::string op_name_;
+  std::vector<const sql::Expr*> arg_exprs_;
+  Evaluator evaluator_;
+  size_t batch_size_;
+
+  Row padded_;  // full-width row holding the current outer values
+  std::unique_ptr<DomainIndexManager::Scan> scan_;
+  OdciFetchBatch batch_;
+  size_t batch_pos_ = 0;
+  bool inner_exhausted_ = true;
+};
+
+class SortNode : public ExecNode {
+ public:
+  SortNode(std::unique_ptr<ExecNode> child,
+           std::vector<const sql::Expr*> keys, std::vector<bool> ascending,
+           const Catalog* catalog);
+
+  Status Open() override;
+  Result<bool> Next(ExecRow* out) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const ExecNode*> Children() const override;
+
+ private:
+  std::unique_ptr<ExecNode> child_;
+  std::vector<const sql::Expr*> keys_;
+  std::vector<bool> ascending_;
+  Evaluator evaluator_;
+  std::vector<ExecRow> rows_;
+  size_t pos_ = 0;
+};
+
+// Duplicate elimination over fully-projected rows (SELECT DISTINCT — the
+// paper's pre-8i spatial join is written with it).  Streams rows, keeping
+// a set of seen keys.
+class DistinctNode : public ExecNode {
+ public:
+  explicit DistinctNode(std::unique_ptr<ExecNode> child);
+
+  Status Open() override;
+  Result<bool> Next(ExecRow* out) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const ExecNode*> Children() const override;
+
+ private:
+  struct RowLess {
+    bool operator()(const Row& a, const Row& b) const {
+      return CompareKeys(a, b) < 0;
+    }
+  };
+
+  std::unique_ptr<ExecNode> child_;
+  std::set<Row, RowLess> seen_;
+};
+
+class LimitNode : public ExecNode {
+ public:
+  LimitNode(std::unique_ptr<ExecNode> child, int64_t limit);
+
+  Status Open() override;
+  Result<bool> Next(ExecRow* out) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const ExecNode*> Children() const override;
+
+ private:
+  std::unique_ptr<ExecNode> child_;
+  int64_t limit_;
+  int64_t emitted_ = 0;
+};
+
+// Hash aggregation with GROUP BY: groups input rows by the key
+// expressions, accumulates aggregates per group, and emits one row per
+// group laid out according to `outputs` (each output slot is either a
+// group key or an aggregate).  Groups are emitted in key order.
+class GroupByNode : public ExecNode {
+ public:
+  // Output slot: references either keys[index] (is_aggregate=false) or
+  // aggs[index] (is_aggregate=true).
+  struct Output {
+    bool is_aggregate;
+    size_t index;
+  };
+
+  GroupByNode(std::unique_ptr<ExecNode> child,
+              std::vector<const sql::Expr*> keys,
+              std::vector<const sql::Expr*> aggs,
+              std::vector<Output> outputs, const Catalog* catalog);
+
+  Status Open() override;
+  Result<bool> Next(ExecRow* out) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const ExecNode*> Children() const override;
+
+ private:
+  std::unique_ptr<ExecNode> child_;
+  std::vector<const sql::Expr*> keys_;
+  std::vector<const sql::Expr*> aggs_;
+  std::vector<Output> outputs_;
+  Evaluator evaluator_;
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+// Whole-input aggregation (no GROUP BY): consumes the child and emits one
+// row with one value per aggregate expression.
+class AggregateNode : public ExecNode {
+ public:
+  AggregateNode(std::unique_ptr<ExecNode> child,
+                std::vector<const sql::Expr*> aggs, const Catalog* catalog);
+
+  Status Open() override;
+  Result<bool> Next(ExecRow* out) override;
+  Status Close() override;
+  std::string Describe() const override;
+  std::vector<const ExecNode*> Children() const override;
+
+ private:
+  std::unique_ptr<ExecNode> child_;
+  std::vector<const sql::Expr*> aggs_;
+  Evaluator evaluator_;
+  Row result_;
+  bool done_ = false;
+  bool computed_ = false;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_EXEC_EXECUTOR_H_

@@ -1,0 +1,115 @@
+#include "index/bitmap_index.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/metrics.h"
+
+namespace exi {
+
+void RowIdBitmap::Set(RowId rid) {
+  size_t word = rid / 64;
+  if (words_.size() <= word) words_.resize(word + 1, 0);
+  words_[word] |= (1ULL << (rid % 64));
+}
+
+void RowIdBitmap::Clear(RowId rid) {
+  size_t word = rid / 64;
+  if (word < words_.size()) words_[word] &= ~(1ULL << (rid % 64));
+}
+
+bool RowIdBitmap::Test(RowId rid) const {
+  size_t word = rid / 64;
+  return word < words_.size() && (words_[word] & (1ULL << (rid % 64))) != 0;
+}
+
+uint64_t RowIdBitmap::Count() const {
+  uint64_t n = 0;
+  for (uint64_t w : words_) n += static_cast<uint64_t>(std::popcount(w));
+  return n;
+}
+
+RowIdBitmap RowIdBitmap::And(const RowIdBitmap& other) const {
+  RowIdBitmap out;
+  size_t n = std::min(words_.size(), other.words_.size());
+  out.words_.resize(n);
+  for (size_t i = 0; i < n; ++i) out.words_[i] = words_[i] & other.words_[i];
+  return out;
+}
+
+RowIdBitmap RowIdBitmap::Or(const RowIdBitmap& other) const {
+  RowIdBitmap out;
+  size_t n = std::max(words_.size(), other.words_.size());
+  out.words_.resize(n, 0);
+  for (size_t i = 0; i < words_.size(); ++i) out.words_[i] |= words_[i];
+  for (size_t i = 0; i < other.words_.size(); ++i) {
+    out.words_[i] |= other.words_[i];
+  }
+  return out;
+}
+
+RowIdBitmap RowIdBitmap::AndNot(const RowIdBitmap& other) const {
+  RowIdBitmap out;
+  out.words_ = words_;
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) out.words_[i] &= ~other.words_[i];
+  return out;
+}
+
+std::vector<RowId> RowIdBitmap::ToRowIds() const {
+  std::vector<RowId> out;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      int bit = std::countr_zero(word);
+      out.push_back(static_cast<RowId>(w * 64 + bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+void BitmapIndex::Insert(const CompositeKey& key, RowId rid) {
+  bitmaps_[key].Set(rid);
+  ++entry_count_;
+  GlobalMetrics().index_entries_written++;
+}
+
+void BitmapIndex::Delete(const CompositeKey& key, RowId rid) {
+  auto it = bitmaps_.find(key);
+  if (it == bitmaps_.end() || !it->second.Test(rid)) return;
+  it->second.Clear(rid);
+  --entry_count_;
+  GlobalMetrics().index_entries_written++;
+  if (it->second.Empty()) bitmaps_.erase(it);
+}
+
+std::vector<RowId> BitmapIndex::ScanEqual(const CompositeKey& key) const {
+  GlobalMetrics().index_nodes_read++;
+  auto it = bitmaps_.find(key);
+  if (it == bitmaps_.end()) return {};
+  return it->second.ToRowIds();
+}
+
+Result<std::vector<RowId>> BitmapIndex::ScanRange(
+    const std::optional<KeyBound>& lo,
+    const std::optional<KeyBound>& hi) const {
+  (void)lo;
+  (void)hi;
+  return Status::NotSupported("bitmap index " + name_ +
+                              " does not support range scans");
+}
+
+void BitmapIndex::Truncate() {
+  bitmaps_.clear();
+  entry_count_ = 0;
+}
+
+RowIdBitmap BitmapIndex::GetBitmap(const CompositeKey& key) const {
+  GlobalMetrics().index_nodes_read++;
+  auto it = bitmaps_.find(key);
+  if (it == bitmaps_.end()) return RowIdBitmap();
+  return it->second;
+}
+
+}  // namespace exi

@@ -1,0 +1,285 @@
+#ifndef EXTIDX_INDEX_BPLUS_TREE_H_
+#define EXTIDX_INDEX_BPLUS_TREE_H_
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "index/key.h"
+
+namespace exi {
+
+// In-memory B+-tree over composite Value keys, parameterized by the leaf
+// payload.  Shared by the native B-tree index (payload = posting list of
+// RowIds) and by index-organized tables (payload = full row, the paper's
+// "index entry is the row" metaphor).
+//
+// Structure: classic order-`kMaxKeys` tree; leaves are chained for range
+// scans.  Deletion is lazy (entries are removed from leaves, underfull
+// leaves are tolerated and empty ones unlinked), the same strategy
+// PostgreSQL uses; lookup and scan costs are unaffected because node reads
+// are metered per node actually visited.
+template <typename Payload>
+class BPlusTree {
+ public:
+  static constexpr size_t kMaxKeys = 64;
+
+  BPlusTree() : root_(NewNode(/*leaf=*/true)) {}
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  size_t size() const { return size_; }
+  size_t height() const { return height_; }
+
+  // Returns the payload for `key`, or nullptr.
+  Payload* Find(const CompositeKey& key) {
+    Node* leaf = DescendToLeaf(key);
+    size_t pos = LowerBound(leaf->keys, key);
+    if (pos < leaf->keys.size() && CompareKeys(leaf->keys[pos], key) == 0) {
+      return &leaf->payloads[pos];
+    }
+    return nullptr;
+  }
+  const Payload* Find(const CompositeKey& key) const {
+    return const_cast<BPlusTree*>(this)->Find(key);
+  }
+
+  // Returns the payload slot for `key`, inserting a default-constructed
+  // payload (and splitting nodes) if absent.
+  Payload& GetOrInsert(const CompositeKey& key) {
+    InsertResult res = InsertRec(root_.get(), key);
+    if (res.split) {
+      // Root split: grow the tree by one level.
+      auto new_root = NewNode(/*leaf=*/false);
+      new_root->keys.push_back(res.split->first);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(res.split->second));
+      root_ = std::move(new_root);
+      ++height_;
+      // The payload pointer may live in either child; re-find it.
+      Payload* p = Find(key);
+      assert(p != nullptr);
+      return *p;
+    }
+    return *res.payload;
+  }
+
+  // Removes the entry for `key`.  Returns false if absent.
+  bool Erase(const CompositeKey& key) {
+    Node* leaf = DescendToLeaf(key);
+    size_t pos = LowerBound(leaf->keys, key);
+    if (pos >= leaf->keys.size() || CompareKeys(leaf->keys[pos], key) != 0) {
+      return false;
+    }
+    leaf->keys.erase(leaf->keys.begin() + pos);
+    leaf->payloads.erase(leaf->payloads.begin() + pos);
+    --size_;
+    return true;
+  }
+
+  void Clear() {
+    root_ = NewNode(/*leaf=*/true);
+    size_ = 0;
+    height_ = 1;
+  }
+
+  // Forward iterator over (key, payload) entries in key order.
+  class Iterator {
+   public:
+    Iterator() = default;
+
+    bool Valid() const { return leaf_ != nullptr && pos_ < leaf_->keys.size(); }
+    const CompositeKey& key() const { return leaf_->keys[pos_]; }
+    Payload& payload() const { return leaf_->payloads[pos_]; }
+
+    void Next() {
+      ++pos_;
+      SkipEmpty();
+    }
+
+   private:
+    friend class BPlusTree;
+
+    // Advances across empty / exhausted leaves to the next live entry.
+    void SkipEmpty() {
+      while (leaf_ != nullptr && pos_ >= leaf_->keys.size()) {
+        leaf_ = leaf_->next;
+        pos_ = 0;
+        if (leaf_ != nullptr) GlobalMetrics().index_nodes_read++;
+      }
+    }
+
+    typename BPlusTree::Node* leaf_ = nullptr;
+    size_t pos_ = 0;
+  };
+
+  // Iterator at the first entry with key >= `key`.
+  Iterator Seek(const CompositeKey& key) {
+    Iterator it;
+    it.leaf_ = DescendToLeaf(key);
+    it.pos_ = LowerBound(it.leaf_->keys, key);
+    // LowerBound may land past the last entry of this leaf.
+    it.SkipEmpty();
+    return it;
+  }
+
+  // Iterator at the smallest entry.
+  Iterator Begin() {
+    Node* n = root_.get();
+    GlobalMetrics().index_nodes_read++;
+    while (!n->leaf) {
+      n = n->children.front().get();
+      GlobalMetrics().index_nodes_read++;
+    }
+    Iterator it;
+    it.leaf_ = n;
+    it.pos_ = 0;
+    it.SkipEmpty();
+    return it;
+  }
+
+ private:
+  struct Node {
+    bool leaf;
+    std::vector<CompositeKey> keys;
+    std::vector<std::unique_ptr<Node>> children;  // internal nodes only
+    std::vector<Payload> payloads;                // leaves only
+    Node* next = nullptr;                         // leaf chain
+  };
+
+  struct InsertResult {
+    Payload* payload = nullptr;
+    // Present when this child split: separator key + new right sibling.
+    std::optional<std::pair<CompositeKey, std::unique_ptr<Node>>> split;
+  };
+
+  static std::unique_ptr<Node> NewNode(bool leaf) {
+    auto n = std::make_unique<Node>();
+    n->leaf = leaf;
+    return n;
+  }
+
+  // First position with keys[pos] >= key.
+  static size_t LowerBound(const std::vector<CompositeKey>& keys,
+                           const CompositeKey& key) {
+    size_t lo = 0;
+    size_t hi = keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (CompareKeys(keys[mid], key) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Child index to follow for `key` in an internal node: first separator
+  // strictly greater than key.
+  static size_t ChildIndex(const std::vector<CompositeKey>& seps,
+                           const CompositeKey& key) {
+    size_t lo = 0;
+    size_t hi = seps.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (CompareKeys(seps[mid], key) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  Node* DescendToLeaf(const CompositeKey& key) const {
+    Node* n = root_.get();
+    GlobalMetrics().index_nodes_read++;
+    while (!n->leaf) {
+      n = n->children[ChildIndex(n->keys, key)].get();
+      GlobalMetrics().index_nodes_read++;
+    }
+    return n;
+  }
+
+  InsertResult InsertRec(Node* node, const CompositeKey& key) {
+    if (node->leaf) {
+      size_t pos = LowerBound(node->keys, key);
+      if (pos < node->keys.size() &&
+          CompareKeys(node->keys[pos], key) == 0) {
+        return {&node->payloads[pos], std::nullopt};
+      }
+      node->keys.insert(node->keys.begin() + pos, key);
+      node->payloads.insert(node->payloads.begin() + pos, Payload());
+      ++size_;
+      if (node->keys.size() <= kMaxKeys) {
+        return {&node->payloads[pos], std::nullopt};
+      }
+      return SplitLeaf(node, pos);
+    }
+    size_t ci = ChildIndex(node->keys, key);
+    InsertResult child_res = InsertRec(node->children[ci].get(), key);
+    if (!child_res.split) return child_res;
+    // Absorb the child's split into this node.
+    node->keys.insert(node->keys.begin() + ci,
+                      std::move(child_res.split->first));
+    node->children.insert(node->children.begin() + ci + 1,
+                          std::move(child_res.split->second));
+    child_res.split.reset();
+    if (node->keys.size() <= kMaxKeys) {
+      return {child_res.payload, std::nullopt};
+    }
+    return SplitInternal(node, child_res.payload);
+  }
+
+  InsertResult SplitLeaf(Node* node, size_t inserted_pos) {
+    size_t mid = node->keys.size() / 2;
+    auto right = NewNode(/*leaf=*/true);
+    right->keys.assign(std::make_move_iterator(node->keys.begin() + mid),
+                       std::make_move_iterator(node->keys.end()));
+    right->payloads.assign(
+        std::make_move_iterator(node->payloads.begin() + mid),
+        std::make_move_iterator(node->payloads.end()));
+    node->keys.resize(mid);
+    node->payloads.resize(mid);
+    right->next = node->next;
+    node->next = right.get();
+    Payload* payload = inserted_pos < mid
+                           ? &node->payloads[inserted_pos]
+                           : &right->payloads[inserted_pos - mid];
+    CompositeKey sep = right->keys.front();
+    InsertResult res;
+    res.payload = payload;
+    res.split.emplace(std::move(sep), std::move(right));
+    return res;
+  }
+
+  InsertResult SplitInternal(Node* node, Payload* payload) {
+    size_t mid = node->keys.size() / 2;
+    CompositeKey sep = std::move(node->keys[mid]);
+    auto right = NewNode(/*leaf=*/false);
+    right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+                       std::make_move_iterator(node->keys.end()));
+    right->children.assign(
+        std::make_move_iterator(node->children.begin() + mid + 1),
+        std::make_move_iterator(node->children.end()));
+    node->keys.resize(mid);
+    node->children.resize(mid + 1);
+    InsertResult res;
+    res.payload = payload;
+    res.split.emplace(std::move(sep), std::move(right));
+    return res;
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  size_t height_ = 1;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_INDEX_BPLUS_TREE_H_

@@ -1,0 +1,72 @@
+#include "index/bptree.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace exi {
+
+void BTreeIndex::Insert(const CompositeKey& key, RowId rid) {
+  std::vector<RowId>& postings = tree_.GetOrInsert(key);
+  postings.push_back(rid);
+  ++entry_count_;
+  GlobalMetrics().index_entries_written++;
+}
+
+void BTreeIndex::Delete(const CompositeKey& key, RowId rid) {
+  std::vector<RowId>* postings = tree_.Find(key);
+  if (postings == nullptr) return;
+  auto it = std::find(postings->begin(), postings->end(), rid);
+  if (it == postings->end()) return;
+  postings->erase(it);
+  --entry_count_;
+  GlobalMetrics().index_entries_written++;
+  if (postings->empty()) tree_.Erase(key);
+}
+
+std::vector<RowId> BTreeIndex::ScanEqual(const CompositeKey& key) const {
+  const std::vector<RowId>* postings = tree_.Find(key);
+  if (postings == nullptr) return {};
+  return *postings;
+}
+
+Result<std::vector<RowId>> BTreeIndex::ScanRange(
+    const std::optional<KeyBound>& lo,
+    const std::optional<KeyBound>& hi) const {
+  std::vector<RowId> out;
+  auto it = lo.has_value() ? tree_.Seek(lo->key) : tree_.Begin();
+  for (; it.Valid(); it.Next()) {
+    if (lo.has_value() && !lo->inclusive &&
+        CompareKeys(it.key(), lo->key) == 0) {
+      continue;
+    }
+    if (hi.has_value()) {
+      int c = CompareKeys(it.key(), hi->key);
+      if (c > 0 || (c == 0 && !hi->inclusive)) break;
+    }
+    const std::vector<RowId>& postings = it.payload();
+    out.insert(out.end(), postings.begin(), postings.end());
+  }
+  return out;
+}
+
+Result<std::vector<RowId>> BTreeIndex::ScanLeadingPrefix(
+    const CompositeKey& prefix) const {
+  std::vector<RowId> out;
+  for (auto it = tree_.Seek(prefix); it.Valid(); it.Next()) {
+    const CompositeKey& key = it.key();
+    if (key.size() < prefix.size()) break;
+    CompositeKey head(key.begin(), key.begin() + prefix.size());
+    if (CompareKeys(head, prefix) != 0) break;
+    const std::vector<RowId>& postings = it.payload();
+    out.insert(out.end(), postings.begin(), postings.end());
+  }
+  return out;
+}
+
+void BTreeIndex::Truncate() {
+  tree_.Clear();
+  entry_count_ = 0;
+}
+
+}  // namespace exi

@@ -1,0 +1,65 @@
+#ifndef EXTIDX_INDEX_BUILTIN_INDEX_H_
+#define EXTIDX_INDEX_BUILTIN_INDEX_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/key.h"
+#include "types/value.h"
+
+namespace exi {
+
+// Range-scan bound: key value + inclusivity.
+struct KeyBound {
+  CompositeKey key;
+  bool inclusive = true;
+};
+
+// Interface shared by the natively implemented index kinds (B-tree, hash,
+// bitmap).  Domain indexes intentionally do NOT implement this: they are
+// driven through the ODCIIndex protocol (src/core/odci.h), which is the
+// paper's point — user index code is invoked by the server, not modeled as
+// a native access method.
+class BuiltinIndex {
+ public:
+  virtual ~BuiltinIndex() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // "BTREE" / "HASH" / "BITMAP".
+  virtual const char* kind() const = 0;
+
+  virtual void Insert(const CompositeKey& key, RowId rid) = 0;
+  virtual void Delete(const CompositeKey& key, RowId rid) = 0;
+
+  // True if the index can serve <, <=, >, >= predicates.
+  virtual bool SupportsRange() const = 0;
+
+  // RowIds of rows whose key equals `key`.
+  virtual std::vector<RowId> ScanEqual(const CompositeKey& key) const = 0;
+
+  // RowIds of rows within [lo, hi]; absent bound = unbounded side.
+  virtual Result<std::vector<RowId>> ScanRange(
+      const std::optional<KeyBound>& lo,
+      const std::optional<KeyBound>& hi) const = 0;
+
+  // RowIds of rows whose leading key components equal `prefix` (for
+  // multi-column indexes answering predicates on a key prefix).  Ordered
+  // structures override this; hash/bitmap cannot serve prefixes.
+  virtual Result<std::vector<RowId>> ScanLeadingPrefix(
+      const CompositeKey& prefix) const {
+    (void)prefix;
+    return Status::NotSupported(name() + " (" + kind() +
+                                ") cannot scan by key prefix");
+  }
+
+  virtual void Truncate() = 0;
+
+  virtual uint64_t entry_count() const = 0;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_INDEX_BUILTIN_INDEX_H_

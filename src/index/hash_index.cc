@@ -1,0 +1,86 @@
+#include "index/hash_index.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace exi {
+
+uint64_t HashIndex::HashKey(const CompositeKey& key) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Value& v : key) h = h * 1099511628211ULL ^ v.Hash();
+  return h;
+}
+
+namespace {
+
+bool KeysEqual(const CompositeKey& a, const CompositeKey& b) {
+  return CompareKeys(a, b) == 0;
+}
+
+}  // namespace
+
+void HashIndex::Insert(const CompositeKey& key, RowId rid) {
+  std::vector<Entry>& entries = buckets_[HashKey(key)];
+  for (Entry& e : entries) {
+    if (KeysEqual(e.key, key)) {
+      e.postings.push_back(rid);
+      ++entry_count_;
+      GlobalMetrics().index_entries_written++;
+      return;
+    }
+  }
+  entries.push_back(Entry{key, {rid}});
+  ++entry_count_;
+  GlobalMetrics().index_entries_written++;
+}
+
+void HashIndex::Delete(const CompositeKey& key, RowId rid) {
+  auto bucket_it = buckets_.find(HashKey(key));
+  if (bucket_it == buckets_.end()) return;
+  std::vector<Entry>& entries = bucket_it->second;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (!KeysEqual(entries[i].key, key)) continue;
+    auto& postings = entries[i].postings;
+    auto it = std::find(postings.begin(), postings.end(), rid);
+    if (it == postings.end()) return;
+    postings.erase(it);
+    --entry_count_;
+    GlobalMetrics().index_entries_written++;
+    if (postings.empty()) entries.erase(entries.begin() + i);
+    if (entries.empty()) buckets_.erase(bucket_it);
+    return;
+  }
+}
+
+std::vector<RowId> HashIndex::ScanEqual(const CompositeKey& key) const {
+  GlobalMetrics().index_nodes_read++;
+  auto bucket_it = buckets_.find(HashKey(key));
+  if (bucket_it == buckets_.end()) return {};
+  for (const Entry& e : bucket_it->second) {
+    if (KeysEqual(e.key, key)) return e.postings;
+  }
+  return {};
+}
+
+Result<std::vector<RowId>> HashIndex::ScanRange(
+    const std::optional<KeyBound>& lo,
+    const std::optional<KeyBound>& hi) const {
+  (void)lo;
+  (void)hi;
+  return Status::NotSupported("hash index " + name_ +
+                              " does not support range scans");
+}
+
+void HashIndex::Truncate() {
+  buckets_.clear();
+  entry_count_ = 0;
+}
+
+uint64_t HashIndex::distinct_keys() const {
+  uint64_t n = 0;
+  for (const auto& [hash, entries] : buckets_) n += entries.size();
+  return n;
+}
+
+}  // namespace exi

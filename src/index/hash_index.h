@@ -1,0 +1,54 @@
+#ifndef EXTIDX_INDEX_HASH_INDEX_H_
+#define EXTIDX_INDEX_HASH_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/builtin_index.h"
+
+namespace exi {
+
+// Native hash index: equality lookups only.  Collisions are resolved by
+// exact key comparison inside each bucket, so hash-equal-but-distinct keys
+// never alias.
+class HashIndex : public BuiltinIndex {
+ public:
+  explicit HashIndex(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+  const char* kind() const override { return "HASH"; }
+
+  void Insert(const CompositeKey& key, RowId rid) override;
+  void Delete(const CompositeKey& key, RowId rid) override;
+
+  bool SupportsRange() const override { return false; }
+
+  std::vector<RowId> ScanEqual(const CompositeKey& key) const override;
+
+  Result<std::vector<RowId>> ScanRange(
+      const std::optional<KeyBound>& lo,
+      const std::optional<KeyBound>& hi) const override;
+
+  void Truncate() override;
+
+  uint64_t entry_count() const override { return entry_count_; }
+  uint64_t distinct_keys() const;
+
+ private:
+  struct Entry {
+    CompositeKey key;
+    std::vector<RowId> postings;
+  };
+
+  static uint64_t HashKey(const CompositeKey& key);
+
+  std::string name_;
+  // hash -> entries whose keys share the hash.
+  std::unordered_map<uint64_t, std::vector<Entry>> buckets_;
+  uint64_t entry_count_ = 0;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_INDEX_HASH_INDEX_H_

@@ -1,0 +1,83 @@
+#include "index/iot.h"
+
+#include <cassert>
+
+#include "common/metrics.h"
+
+namespace exi {
+
+Iot::Iot(std::string name, Schema schema, size_t key_columns)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      key_columns_(key_columns) {
+  assert(key_columns_ > 0 && key_columns_ <= schema_.size());
+}
+
+CompositeKey Iot::KeyOf(const Row& row) const {
+  return CompositeKey(row.begin(), row.begin() + key_columns_);
+}
+
+Status Iot::Insert(Row row) {
+  EXI_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  CompositeKey key = KeyOf(row);
+  if (tree_.Find(key) != nullptr) {
+    return Status::AlreadyExists("duplicate key " + KeyToString(key) +
+                                 " in IOT " + name_);
+  }
+  tree_.GetOrInsert(key) = std::move(row);
+  GlobalMetrics().index_entries_written++;
+  return Status::OK();
+}
+
+Status Iot::Upsert(Row row) {
+  EXI_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  CompositeKey key = KeyOf(row);
+  tree_.GetOrInsert(key) = std::move(row);
+  GlobalMetrics().index_entries_written++;
+  return Status::OK();
+}
+
+Status Iot::Delete(const CompositeKey& key) {
+  if (!tree_.Erase(key)) {
+    return Status::NotFound("no key " + KeyToString(key) + " in IOT " + name_);
+  }
+  GlobalMetrics().index_entries_written++;
+  return Status::OK();
+}
+
+Result<Row> Iot::Get(const CompositeKey& key) const {
+  const Row* row = tree_.Find(key);
+  if (row == nullptr) {
+    return Status::NotFound("no key " + KeyToString(key) + " in IOT " + name_);
+  }
+  return *row;
+}
+
+void Iot::ScanPrefix(const CompositeKey& prefix,
+                     const std::function<bool(const Row&)>& visit) const {
+  for (auto it = tree_.Seek(prefix); it.Valid(); it.Next()) {
+    const CompositeKey& key = it.key();
+    if (key.size() < prefix.size()) break;
+    CompositeKey head(key.begin(), key.begin() + prefix.size());
+    if (CompareKeys(head, prefix) != 0) break;
+    if (!visit(it.payload())) break;
+  }
+}
+
+void Iot::ScanRange(const CompositeKey* lo, bool lo_inclusive,
+                    const CompositeKey* hi, bool hi_inclusive,
+                    const std::function<bool(const Row&)>& visit) const {
+  auto it = lo != nullptr ? tree_.Seek(*lo) : tree_.Begin();
+  for (; it.Valid(); it.Next()) {
+    if (lo != nullptr && !lo_inclusive && CompareKeys(it.key(), *lo) == 0) {
+      continue;
+    }
+    if (hi != nullptr) {
+      int c = CompareKeys(it.key(), *hi);
+      if (c > 0 || (c == 0 && !hi_inclusive)) break;
+    }
+    if (!visit(it.payload())) break;
+  }
+}
+
+}  // namespace exi

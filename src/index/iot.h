@@ -1,0 +1,68 @@
+#ifndef EXTIDX_INDEX_IOT_H_
+#define EXTIDX_INDEX_IOT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/bplus_tree.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace exi {
+
+// Index-organized table: the paper's "index modeled as a table, where each
+// row is an index entry".  Rows live in B+-tree leaves, keyed by the first
+// `key_columns` schema columns (the primary key).  Cartridges use IOTs as
+// the canonical store for index data — e.g. the text cartridge's inverted
+// index is an IOT keyed (token, doc_rowid).
+class Iot {
+ public:
+  Iot(std::string name, Schema schema, size_t key_columns);
+
+  Iot(const Iot&) = delete;
+  Iot& operator=(const Iot&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t key_columns() const { return key_columns_; }
+  uint64_t row_count() const { return tree_.size(); }
+
+  // Inserts; errors with AlreadyExists on duplicate primary key.
+  Status Insert(Row row);
+
+  // Inserts or replaces by primary key.
+  Status Upsert(Row row);
+
+  // Deletes by primary key. Errors with NotFound if absent.
+  Status Delete(const CompositeKey& key);
+
+  // Fetches the row with exactly this primary key.
+  Result<Row> Get(const CompositeKey& key) const;
+
+  // Visits rows whose leading key columns equal `prefix`, in key order.
+  // The visitor returns false to stop early (supports incremental scans).
+  void ScanPrefix(const CompositeKey& prefix,
+                  const std::function<bool(const Row&)>& visit) const;
+
+  // Visits rows with key in [lo, hi] (nullptr = unbounded), in key order.
+  void ScanRange(const CompositeKey* lo, bool lo_inclusive,
+                 const CompositeKey* hi, bool hi_inclusive,
+                 const std::function<bool(const Row&)>& visit) const;
+
+  void Truncate() { tree_.Clear(); }
+
+  // Extracts the primary-key values from a full row.
+  CompositeKey KeyOf(const Row& row) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  size_t key_columns_;
+  mutable BPlusTree<Row> tree_;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_INDEX_IOT_H_

@@ -1,0 +1,782 @@
+#include "optimizer/planner.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/strings.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/stats.h"
+
+namespace exi {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::SelectStmt;
+
+namespace {
+
+bool HasColumnRef(const Expr& e) {
+  if (e.kind == ExprKind::kColumnRef) return true;
+  for (const auto& c : e.children) {
+    if (HasColumnRef(*c)) return true;
+  }
+  return false;
+}
+
+bool HasUserOperator(const Expr& e) {
+  if (e.kind == ExprKind::kFunctionCall && e.is_user_operator) return true;
+  for (const auto& c : e.children) {
+    if (HasUserOperator(*c)) return true;
+  }
+  return false;
+}
+
+// True if every column reference falls in slot range [lo, hi).
+bool RefsOnlyRange(const Expr& e, size_t lo, size_t hi) {
+  if (e.kind == ExprKind::kColumnRef) {
+    return e.slot >= 0 && size_t(e.slot) >= lo && size_t(e.slot) < hi;
+  }
+  for (const auto& c : e.children) {
+    if (!RefsOnlyRange(*c, lo, hi)) return false;
+  }
+  return true;
+}
+
+bool IsConstant(const Expr& e) {
+  return !HasColumnRef(e) && e.kind != ExprKind::kAggregate &&
+         e.kind != ExprKind::kStar;
+}
+
+// `col relop constant` over the given table's slot range.
+struct ColumnComparison {
+  int local_column;  // index within the table schema
+  std::string column_name;
+  BinaryOp op;  // normalized so the column is on the left
+  Value bound;
+};
+
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;
+  }
+}
+
+Result<std::optional<ColumnComparison>> MatchColumnComparison(
+    const Evaluator& eval, Expr* e, const BoundTable& table) {
+  if (e->kind != ExprKind::kBinary) return std::optional<ColumnComparison>();
+  switch (e->bop) {
+    case BinaryOp::kEq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      break;
+    default:
+      return std::optional<ColumnComparison>();
+  }
+  Expr* lhs = e->children[0].get();
+  Expr* rhs = e->children[1].get();
+  Expr* col = nullptr;
+  Expr* constant = nullptr;
+  BinaryOp op = e->bop;
+  auto is_plain_col = [&table](const Expr& x) {
+    return x.kind == ExprKind::kColumnRef && x.attr_index < 0 &&
+           x.slot >= 0 && size_t(x.slot) >= table.slot_offset &&
+           size_t(x.slot) < table.slot_offset + table.schema->size();
+  };
+  if (is_plain_col(*lhs) && IsConstant(*rhs)) {
+    col = lhs;
+    constant = rhs;
+  } else if (is_plain_col(*rhs) && IsConstant(*lhs)) {
+    col = rhs;
+    constant = lhs;
+    op = FlipComparison(op);
+  } else {
+    return std::optional<ColumnComparison>();
+  }
+  EXI_ASSIGN_OR_RETURN(Value bound, eval.Eval(*constant, {}));
+  ColumnComparison cc;
+  cc.local_column = col->slot - int(table.slot_offset);
+  cc.column_name = table.schema->column(cc.local_column).name;
+  cc.op = op;
+  // Coerce boolean/numeric bounds to the column's family so index keys
+  // match (mirrors the evaluator's comparison coercion).
+  const DataType& col_type = table.schema->column(cc.local_column).type;
+  if (col_type.tag() == TypeTag::kBoolean &&
+      DataType(bound.tag()).is_numeric()) {
+    bound = Value::Boolean(bound.AsDouble() != 0.0);
+  } else if (col_type.is_numeric() && bound.tag() == TypeTag::kBoolean) {
+    bound = Value::Integer(bound.AsBoolean() ? 1 : 0);
+  }
+  cc.bound = std::move(bound);
+  return std::optional<ColumnComparison>(std::move(cc));
+}
+
+// A user-operator predicate evaluable by a domain index on this table:
+// either a bare call `Op(col, const...)` (truth-valued, paper footnote 1)
+// or `Op(col, const...) relop const`.
+struct DomainOpMatch {
+  std::string operator_name;
+  int local_column;
+  std::string column_name;
+  ValueList args;  // operator arguments after the column, folded
+  OdciPredInfo pred;
+};
+
+Result<std::optional<DomainOpMatch>> MatchDomainOp(const Evaluator& eval,
+                                                   Expr* e,
+                                                   const BoundTable& table) {
+  Expr* call = nullptr;
+  std::optional<Value> lower;
+  std::optional<Value> upper;
+  bool lower_incl = true;
+  bool upper_incl = true;
+
+  auto fold_bounds = [&](BinaryOp op, Value bound) {
+    switch (op) {
+      case BinaryOp::kEq:
+        lower = bound;
+        upper = bound;
+        break;
+      case BinaryOp::kGe:
+        lower = bound;
+        break;
+      case BinaryOp::kGt:
+        lower = bound;
+        lower_incl = false;
+        break;
+      case BinaryOp::kLe:
+        upper = bound;
+        break;
+      case BinaryOp::kLt:
+        upper = bound;
+        upper_incl = false;
+        break;
+      default:
+        break;
+    }
+  };
+
+  if (e->kind == ExprKind::kFunctionCall && e->is_user_operator) {
+    call = e;
+    lower = Value::Boolean(true);
+    upper = Value::Boolean(true);
+  } else if (e->kind == ExprKind::kBinary) {
+    switch (e->bop) {
+      case BinaryOp::kEq:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        break;
+      default:
+        return std::optional<DomainOpMatch>();
+    }
+    Expr* lhs = e->children[0].get();
+    Expr* rhs = e->children[1].get();
+    BinaryOp op = e->bop;
+    if (lhs->kind == ExprKind::kFunctionCall && lhs->is_user_operator &&
+        IsConstant(*rhs)) {
+      call = lhs;
+      EXI_ASSIGN_OR_RETURN(Value b, eval.Eval(*rhs, {}));
+      fold_bounds(op, std::move(b));
+    } else if (rhs->kind == ExprKind::kFunctionCall &&
+               rhs->is_user_operator && IsConstant(*lhs)) {
+      call = rhs;
+      EXI_ASSIGN_OR_RETURN(Value b, eval.Eval(*lhs, {}));
+      fold_bounds(FlipComparison(op), std::move(b));
+    } else {
+      return std::optional<DomainOpMatch>();
+    }
+  } else {
+    return std::optional<DomainOpMatch>();
+  }
+
+  if (call->children.empty()) return std::optional<DomainOpMatch>();
+  const Expr& first = *call->children[0];
+  if (first.kind != ExprKind::kColumnRef || first.slot < 0 ||
+      size_t(first.slot) < table.slot_offset ||
+      size_t(first.slot) >= table.slot_offset + table.schema->size()) {
+    return std::optional<DomainOpMatch>();
+  }
+  DomainOpMatch m;
+  m.operator_name = call->function;
+  m.local_column = first.slot - int(table.slot_offset);
+  m.column_name = table.schema->column(m.local_column).name;
+  for (size_t i = 1; i < call->children.size(); ++i) {
+    if (!IsConstant(*call->children[i])) {
+      return std::optional<DomainOpMatch>();
+    }
+    EXI_ASSIGN_OR_RETURN(Value v, eval.Eval(*call->children[i], {}));
+    m.args.push_back(std::move(v));
+  }
+  m.pred.operator_name = m.operator_name;
+  m.pred.args = m.args;
+  m.pred.lower_bound = lower;
+  m.pred.lower_inclusive = lower_incl;
+  m.pred.upper_bound = upper;
+  m.pred.upper_inclusive = upper_incl;
+  return std::optional<DomainOpMatch>(std::move(m));
+}
+
+// Residual predicate cost profile after consuming the given conjuncts.
+void CountResidual(const std::vector<Expr*>& conjuncts,
+                   const std::vector<int>& consumed, int* builtin,
+                   int* user) {
+  *builtin = 0;
+  *user = 0;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (std::find(consumed.begin(), consumed.end(), int(i)) !=
+        consumed.end()) {
+      continue;
+    }
+    if (HasUserOperator(*conjuncts[i])) {
+      ++*user;
+    } else {
+      ++*builtin;
+    }
+  }
+}
+
+// Bounds on one column accumulated from every comparison conjunct over it
+// (merging `v >= a AND v <= b` into a single bounded range scan).
+struct ColumnRange {
+  std::string column_name;
+  std::optional<KeyBound> lo;
+  std::optional<KeyBound> hi;
+  bool has_eq = false;
+  Value eq;
+  std::vector<int> conjuncts;  // indices absorbed into this range
+
+  void Absorb(int conjunct_index, const ColumnComparison& cc) {
+    conjuncts.push_back(conjunct_index);
+    column_name = cc.column_name;
+    switch (cc.op) {
+      case BinaryOp::kEq:
+        has_eq = true;
+        eq = cc.bound;
+        break;
+      case BinaryOp::kGt:
+      case BinaryOp::kGe: {
+        KeyBound nb{{cc.bound}, cc.op == BinaryOp::kGe};
+        if (!lo.has_value() || CompareKeys(nb.key, lo->key) > 0 ||
+            (CompareKeys(nb.key, lo->key) == 0 && !nb.inclusive)) {
+          lo = nb;
+        }
+        break;
+      }
+      case BinaryOp::kLt:
+      case BinaryOp::kLe: {
+        KeyBound nb{{cc.bound}, cc.op == BinaryOp::kLe};
+        if (!hi.has_value() || CompareKeys(nb.key, hi->key) < 0 ||
+            (CompareKeys(nb.key, hi->key) == 0 && !nb.inclusive)) {
+          hi = nb;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+void Planner::SplitConjuncts(Expr* expr, std::vector<Expr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kBinary && expr->bop == BinaryOp::kAnd) {
+    SplitConjuncts(expr->children[0].get(), out);
+    SplitConjuncts(expr->children[1].get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+Result<Planner::TableEnv> Planner::ResolveFrom(const SelectStmt& stmt) {
+  if (stmt.from.empty()) {
+    return Status::BindError("SELECT requires a FROM clause");
+  }
+  TableEnv env;
+  size_t offset = 0;
+  for (const sql::TableRef& ref : stmt.from) {
+    EXI_ASSIGN_OR_RETURN(HeapTable * heap, catalog_->GetTable(ref.table));
+    BoundTable bt;
+    bt.alias = ref.effective_name();
+    bt.table_name = ref.table;
+    bt.schema = &heap->schema();
+    bt.slot_offset = offset;
+    offset += heap->schema().size();
+    env.tables.push_back(std::move(bt));
+    env.heaps.push_back(heap);
+  }
+  env.total_width = offset;
+  return env;
+}
+
+Result<std::unique_ptr<ExecNode>> Planner::PlanTableAccess(
+    const BoundTable& table, const HeapTable* heap,
+    std::vector<Expr*>* conjuncts, std::string* explain) {
+  Evaluator eval(catalog_);
+  EXI_ASSIGN_OR_RETURN(TableInfo * tinfo,
+                       catalog_->GetTableInfo(table.table_name));
+  const TableStats& stats = tinfo->stats;
+  uint64_t n = heap->row_count();
+
+  struct Candidate {
+    double cost;
+    std::string desc;
+    std::vector<int> consumed;  // conjunct indices served by the access path
+    std::function<Result<std::unique_ptr<ExecNode>>()> build;
+  };
+  std::vector<Candidate> candidates;
+
+  // Sequential scan with per-row (possibly functional) evaluation.
+  {
+    int nb;
+    int nu;
+    CountResidual(*conjuncts, {}, &nb, &nu);
+    Candidate c;
+    c.cost = CostModel::SeqScan(n, nb, nu);
+    c.desc = "SeqScan(" + heap->name() + ")";
+    c.build = [heap]() -> Result<std::unique_ptr<ExecNode>> {
+      return std::unique_ptr<ExecNode>(new SeqScanNode(heap));
+    };
+    candidates.push_back(std::move(c));
+  }
+
+  // Accumulate comparison conjuncts into per-column ranges so that
+  // `v >= a AND v <= b` becomes one bounded scan.
+  std::map<int, ColumnRange> ranges;
+  for (size_t ci = 0; ci < conjuncts->size(); ++ci) {
+    EXI_ASSIGN_OR_RETURN(std::optional<ColumnComparison> cc,
+                         MatchColumnComparison(eval, (*conjuncts)[ci],
+                                               table));
+    if (cc.has_value()) ranges[cc->local_column].Absorb(int(ci), *cc);
+  }
+
+  for (auto& [local_column, range] : ranges) {
+    // Combined selectivity.
+    double sel;
+    if (range.has_eq) {
+      sel = EqualitySelectivity(stats, local_column);
+    } else {
+      double lo_sel = range.lo.has_value()
+                          ? RangeSelectivity(stats, local_column,
+                                             range.lo->inclusive ? 'g' : '>',
+                                             range.lo->key[0])
+                          : 1.0;
+      double hi_sel = range.hi.has_value()
+                          ? RangeSelectivity(stats, local_column,
+                                             range.hi->inclusive ? 'l' : '<',
+                                             range.hi->key[0])
+                          : 1.0;
+      sel = lo_sel + hi_sel - 1.0;
+      if (sel < 0.0005) sel = 0.0005;
+    }
+    for (IndexInfo* idx :
+         catalog_->IndexesOnColumn(table.table_name, range.column_name)) {
+      if (idx->is_domain()) continue;
+      if (!range.has_eq && !idx->builtin->SupportsRange()) continue;
+      // A multi-column index can only answer a single-column predicate on
+      // its leading column as a key-prefix scan, which requires an ordered
+      // structure and an equality bound.
+      bool is_prefix_probe = idx->columns.size() > 1;
+      if (is_prefix_probe &&
+          (!range.has_eq || !idx->builtin->SupportsRange())) {
+        continue;
+      }
+      int nb;
+      int nu;
+      CountResidual(*conjuncts, range.conjuncts, &nb, &nu);
+      double matches = sel * double(n);
+      Candidate c;
+      c.cost = CostModel::BuiltinIndexScan(3.0, matches, nb, nu);
+      c.desc = std::string(idx->builtin->kind()) + "(" + idx->name +
+               ") on " + range.column_name + " sel=" + std::to_string(sel);
+      c.consumed = range.conjuncts;
+      ColumnRange r = range;
+      BuiltinIndex* bidx = idx->builtin.get();
+      c.build = [heap, bidx, r,
+                 is_prefix_probe]() -> Result<std::unique_ptr<ExecNode>> {
+        std::vector<RowId> rids;
+        if (is_prefix_probe) {
+          EXI_ASSIGN_OR_RETURN(rids, bidx->ScanLeadingPrefix({r.eq}));
+        } else if (r.has_eq) {
+          rids = bidx->ScanEqual({r.eq});
+          // Residual bounds over an equality are unusual (e.g. v = 5 AND
+          // v < 3); re-check them here so consuming both stays correct.
+          if (r.lo.has_value() || r.hi.has_value()) {
+            CompositeKey key = {r.eq};
+            bool keep = true;
+            if (r.lo.has_value()) {
+              int cmp = CompareKeys(key, r.lo->key);
+              keep = keep && (cmp > 0 || (cmp == 0 && r.lo->inclusive));
+            }
+            if (r.hi.has_value()) {
+              int cmp = CompareKeys(key, r.hi->key);
+              keep = keep && (cmp < 0 || (cmp == 0 && r.hi->inclusive));
+            }
+            if (!keep) rids.clear();
+          }
+        } else {
+          EXI_ASSIGN_OR_RETURN(rids, bidx->ScanRange(r.lo, r.hi));
+        }
+        return std::unique_ptr<ExecNode>(new RowIdListScanNode(
+            heap, std::move(rids),
+            std::string(bidx->kind()) + "Scan(" + bidx->name() + ")"));
+      };
+      candidates.push_back(std::move(c));
+    }
+  }
+
+  for (size_t ci = 0; ci < conjuncts->size(); ++ci) {
+    Expr* conjunct = (*conjuncts)[ci];
+    // Domain index paths.
+    EXI_ASSIGN_OR_RETURN(std::optional<DomainOpMatch> dm,
+                         MatchDomainOp(eval, conjunct, table));
+    if (dm.has_value()) {
+      const DataType& col_type =
+          table.schema->column(dm->local_column).type;
+      for (IndexInfo* idx :
+           catalog_->IndexesOnColumn(table.table_name, dm->column_name)) {
+        if (!idx->is_domain()) continue;
+        EXI_ASSIGN_OR_RETURN(const IndexTypeDef* itype,
+                             catalog_->GetIndexType(idx->indextype));
+        if (!itype->Supports(dm->operator_name, col_type)) continue;
+        EXI_ASSIGN_OR_RETURN(
+            double sel, domains_->PredicateSelectivity(idx, dm->pred, n));
+        EXI_ASSIGN_OR_RETURN(
+            double odci_cost, domains_->ScanCost(idx, dm->pred, sel, n));
+        int nb;
+        int nu;
+        CountResidual(*conjuncts, {int(ci)}, &nb, &nu);
+        double matches = sel * double(n);
+        Candidate c;
+        c.cost = CostModel::DomainIndexScan(odci_cost, matches, nb, nu);
+        c.desc = "DomainIndex(" + idx->name + ") op=" + dm->operator_name +
+                 " sel=" + std::to_string(sel);
+        c.consumed = {int(ci)};
+        std::string index_name = idx->name;
+        OdciPredInfo pred = dm->pred;
+        DomainIndexManager* domains = domains_;
+        size_t batch = fetch_batch_;
+        c.build = [domains, heap, index_name, pred,
+                   batch]() -> Result<std::unique_ptr<ExecNode>> {
+          return std::unique_ptr<ExecNode>(new DomainIndexScanNode(
+              domains, heap, index_name, pred, batch));
+        };
+        candidates.push_back(std::move(c));
+      }
+    }
+  }
+
+  // Pick the cheapest.
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].cost < candidates[best].cost) best = i;
+  }
+  std::ostringstream os;
+  os << "access path candidates for " << table.alias << ":\n";
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    os << (i == best ? "  * " : "    ") << candidates[i].desc
+       << " cost=" << candidates[i].cost << "\n";
+  }
+  *explain += os.str();
+
+  EXI_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> node, candidates[best].build());
+  std::vector<int> consumed = candidates[best].consumed;
+  std::sort(consumed.rbegin(), consumed.rend());
+  for (int ci : consumed) conjuncts->erase(conjuncts->begin() + ci);
+  return node;
+}
+
+Result<std::unique_ptr<ExecNode>> Planner::TryDomainIndexJoin(
+    const TableEnv& env, std::vector<Expr*>* conjuncts,
+    std::string* explain) {
+  if (env.tables.size() != 2) return std::unique_ptr<ExecNode>();
+  for (size_t ci = 0; ci < conjuncts->size(); ++ci) {
+    Expr* e = (*conjuncts)[ci];
+    if (e->kind != ExprKind::kFunctionCall || !e->is_user_operator ||
+        e->children.empty()) {
+      continue;
+    }
+    const Expr& first = *e->children[0];
+    if (first.kind != ExprKind::kColumnRef || first.slot < 0) continue;
+    // Which table does the first (indexed) argument belong to?
+    int inner_idx = -1;
+    for (size_t t = 0; t < env.tables.size(); ++t) {
+      const BoundTable& bt = env.tables[t];
+      if (size_t(first.slot) >= bt.slot_offset &&
+          size_t(first.slot) < bt.slot_offset + bt.schema->size()) {
+        inner_idx = int(t);
+        break;
+      }
+    }
+    if (inner_idx < 0) continue;
+    int outer_idx = 1 - inner_idx;
+    const BoundTable& inner_t = env.tables[inner_idx];
+    const BoundTable& outer_t = env.tables[outer_idx];
+    // Remaining args must reference only the outer table (or constants).
+    bool args_ok = true;
+    for (size_t i = 1; i < e->children.size(); ++i) {
+      if (!RefsOnlyRange(*e->children[i], outer_t.slot_offset,
+                         outer_t.slot_offset + outer_t.schema->size())) {
+        args_ok = false;
+        break;
+      }
+    }
+    if (!args_ok) continue;
+    // A domain index on the first argument's column supporting the op?
+    std::string col_name =
+        inner_t.schema->column(first.slot - int(inner_t.slot_offset)).name;
+    const DataType& col_type =
+        inner_t.schema->column(first.slot - int(inner_t.slot_offset)).type;
+    for (IndexInfo* idx :
+         catalog_->IndexesOnColumn(inner_t.table_name, col_name)) {
+      if (!idx->is_domain()) continue;
+      EXI_ASSIGN_OR_RETURN(const IndexTypeDef* itype,
+                           catalog_->GetIndexType(idx->indextype));
+      if (!itype->Supports(e->function, col_type)) continue;
+      *explain += "domain-index join: probing " + idx->name +
+                  " once per " + outer_t.alias + " row (op=" + e->function +
+                  ")\n";
+      std::vector<const Expr*> arg_exprs;
+      for (size_t i = 1; i < e->children.size(); ++i) {
+        arg_exprs.push_back(e->children[i].get());
+      }
+      auto outer_scan =
+          std::make_unique<SeqScanNode>(env.heaps[outer_idx]);
+      auto node = std::make_unique<DomainIndexJoinNode>(
+          std::move(outer_scan), outer_t.slot_offset,
+          outer_t.schema->size(), domains_, env.heaps[inner_idx],
+          inner_t.slot_offset, inner_t.schema->size(), idx->name,
+          e->function, std::move(arg_exprs), catalog_, fetch_batch_);
+      conjuncts->erase(conjuncts->begin() + ci);
+      return std::unique_ptr<ExecNode>(std::move(node));
+    }
+  }
+  return std::unique_ptr<ExecNode>();
+}
+
+Result<PlannedSelect> Planner::PlanSelect(SelectStmt* stmt) {
+  EXI_ASSIGN_OR_RETURN(TableEnv env, ResolveFrom(*stmt));
+  Binder binder(catalog_);
+
+  // Bind all expressions against the flattened FROM schema.
+  for (sql::SelectItem& item : stmt->items) {
+    if (item.expr->kind == ExprKind::kStar) continue;
+    EXI_RETURN_IF_ERROR(binder.Bind(item.expr.get(), env.tables));
+  }
+  if (stmt->where != nullptr) {
+    EXI_RETURN_IF_ERROR(binder.Bind(stmt->where.get(), env.tables));
+  }
+  for (sql::OrderItem& item : stmt->order_by) {
+    EXI_RETURN_IF_ERROR(binder.Bind(item.expr.get(), env.tables));
+  }
+  for (auto& key : stmt->group_by) {
+    EXI_RETURN_IF_ERROR(binder.Bind(key.get(), env.tables));
+  }
+
+  PlannedSelect plan;
+  std::vector<Expr*> conjuncts;
+  SplitConjuncts(stmt->where.get(), &conjuncts);
+
+  std::unique_ptr<ExecNode> node;
+  if (env.tables.size() == 1) {
+    EXI_ASSIGN_OR_RETURN(
+        node, PlanTableAccess(env.tables[0], env.heaps[0], &conjuncts,
+                              &plan.explain));
+  } else {
+    EXI_ASSIGN_OR_RETURN(node,
+                         TryDomainIndexJoin(env, &conjuncts, &plan.explain));
+    if (node == nullptr) {
+      // Left-deep nested loops in FROM order.  The first table gets full
+      // access-path planning over its local conjuncts.
+      std::vector<Expr*> local0;
+      for (size_t i = 0; i < conjuncts.size();) {
+        if (RefsOnlyRange(*conjuncts[i], 0, env.tables[0].schema->size())) {
+          local0.push_back(conjuncts[i]);
+          conjuncts.erase(conjuncts.begin() + i);
+        } else {
+          ++i;
+        }
+      }
+      EXI_ASSIGN_OR_RETURN(
+          node, PlanTableAccess(env.tables[0], env.heaps[0], &local0,
+                                &plan.explain));
+      conjuncts.insert(conjuncts.end(), local0.begin(), local0.end());
+
+      for (size_t t = 1; t < env.tables.size(); ++t) {
+        const BoundTable& bt = env.tables[t];
+        size_t lo = bt.slot_offset;
+        size_t hi = bt.slot_offset + bt.schema->size();
+        // Look for an equi-join conjunct probing a built-in index on this
+        // table.
+        bool joined = false;
+        for (size_t ci = 0; ci < conjuncts.size() && !joined; ++ci) {
+          Expr* e = conjuncts[ci];
+          if (e->kind != ExprKind::kBinary || e->bop != BinaryOp::kEq) {
+            continue;
+          }
+          for (int side = 0; side < 2 && !joined; ++side) {
+            Expr* col_side = e->children[side].get();
+            Expr* key_side = e->children[1 - side].get();
+            if (col_side->kind != ExprKind::kColumnRef ||
+                col_side->attr_index >= 0 || col_side->slot < 0 ||
+                size_t(col_side->slot) < lo ||
+                size_t(col_side->slot) >= hi) {
+              continue;
+            }
+            if (!RefsOnlyRange(*key_side, 0, lo) ||
+                !HasColumnRef(*key_side)) {
+              continue;
+            }
+            std::string col_name =
+                bt.schema->column(col_side->slot - int(lo)).name;
+            for (IndexInfo* idx :
+                 catalog_->IndexesOnColumn(bt.table_name, col_name)) {
+              // Only single-column built-in indexes can be probed with the
+              // join key; composite ones would need a prefix probe per row.
+              if (idx->is_domain() || idx->columns.size() != 1) continue;
+              plan.explain += "index join: " + bt.alias + " via " +
+                              idx->name + "\n";
+              node = std::make_unique<IndexJoinNode>(
+                  std::move(node), env.heaps[t], idx->builtin.get(),
+                  key_side, catalog_);
+              conjuncts.erase(conjuncts.begin() + ci);
+              joined = true;
+              break;
+            }
+          }
+        }
+        if (!joined) {
+          plan.explain += "nested-loop join: " + bt.alias + "\n";
+          auto inner = std::make_unique<SeqScanNode>(env.heaps[t]);
+          node = std::make_unique<NestedLoopJoinNode>(std::move(node),
+                                                      std::move(inner));
+        }
+      }
+    }
+  }
+
+  // Residual predicates.
+  for (Expr* c : conjuncts) {
+    node = std::make_unique<FilterNode>(std::move(node), c, catalog_);
+  }
+
+  // Grouping, aggregation, or plain projection.
+  bool has_agg = false;
+  for (const sql::SelectItem& item : stmt->items) {
+    if (item.expr->kind == ExprKind::kAggregate) has_agg = true;
+  }
+  if (!stmt->group_by.empty()) {
+    if (!stmt->order_by.empty()) {
+      return Status::NotSupported(
+          "ORDER BY combined with GROUP BY is not supported");
+    }
+    std::vector<const Expr*> keys;
+    for (const auto& key : stmt->group_by) keys.push_back(key.get());
+    std::vector<const Expr*> aggs;
+    std::vector<GroupByNode::Output> outputs;
+    for (const sql::SelectItem& item : stmt->items) {
+      if (item.expr->kind == ExprKind::kStar) {
+        return Status::BindError("'*' is not valid with GROUP BY");
+      }
+      if (item.expr->kind == ExprKind::kAggregate) {
+        outputs.push_back(GroupByNode::Output{true, aggs.size()});
+        aggs.push_back(item.expr.get());
+      } else {
+        // Non-aggregates must match a grouping expression structurally.
+        int match = -1;
+        std::string text = item.expr->ToString();
+        for (size_t k = 0; k < keys.size(); ++k) {
+          if (keys[k]->ToString() == text) {
+            match = int(k);
+            break;
+          }
+        }
+        if (match < 0) {
+          return Status::BindError("expression " + text +
+                                   " must appear in the GROUP BY clause");
+        }
+        outputs.push_back(GroupByNode::Output{false, size_t(match)});
+      }
+      plan.column_names.push_back(
+          item.alias.empty() ? item.expr->ToString() : item.alias);
+    }
+    node = std::make_unique<GroupByNode>(std::move(node), keys, aggs,
+                                         std::move(outputs), catalog_);
+    if (stmt->limit.has_value()) {
+      node = std::make_unique<LimitNode>(std::move(node), *stmt->limit);
+    }
+  } else if (has_agg) {
+    std::vector<const Expr*> aggs;
+    for (const sql::SelectItem& item : stmt->items) {
+      if (item.expr->kind != ExprKind::kAggregate) {
+        return Status::BindError(
+            "mixing aggregates and scalar expressions requires GROUP BY, "
+            "which is not supported");
+      }
+      aggs.push_back(item.expr.get());
+      plan.column_names.push_back(
+          item.alias.empty() ? item.expr->ToString() : item.alias);
+    }
+    node = std::make_unique<AggregateNode>(std::move(node), aggs, catalog_);
+  } else {
+    // ORDER BY / LIMIT operate on full-width rows, before projection.
+    if (!stmt->order_by.empty()) {
+      std::vector<const Expr*> keys;
+      std::vector<bool> ascending;
+      for (const sql::OrderItem& item : stmt->order_by) {
+        keys.push_back(item.expr.get());
+        ascending.push_back(item.ascending);
+      }
+      node = std::make_unique<SortNode>(std::move(node), keys, ascending,
+                                        catalog_);
+    }
+    if (stmt->limit.has_value()) {
+      node = std::make_unique<LimitNode>(std::move(node), *stmt->limit);
+    }
+    std::vector<const Expr*> projections;
+    for (const sql::SelectItem& item : stmt->items) {
+      if (item.expr->kind == ExprKind::kStar) {
+        // Expand `*` to every column of every FROM table.
+        for (const BoundTable& bt : env.tables) {
+          for (size_t c = 0; c < bt.schema->size(); ++c) {
+            auto col = std::make_unique<Expr>();
+            col->kind = ExprKind::kColumnRef;
+            col->column = bt.schema->column(c).name;
+            col->slot = int(bt.slot_offset + c);
+            col->result_type = bt.schema->column(c).type;
+            projections.push_back(col.get());
+            plan.column_names.push_back(bt.schema->column(c).name);
+            plan.owned_exprs.push_back(std::move(col));
+          }
+        }
+      } else {
+        projections.push_back(item.expr.get());
+        plan.column_names.push_back(
+            item.alias.empty() ? item.expr->ToString() : item.alias);
+      }
+    }
+    node = std::make_unique<ProjectNode>(std::move(node), projections,
+                                         catalog_);
+    if (stmt->distinct) {
+      node = std::make_unique<DistinctNode>(std::move(node));
+    }
+  }
+
+  plan.explain += "plan:\n" + DescribePlan(*node);
+  plan.root = std::move(node);
+  return plan;
+}
+
+}  // namespace exi

@@ -1,0 +1,82 @@
+#ifndef EXTIDX_OPTIMIZER_PLANNER_H_
+#define EXTIDX_OPTIMIZER_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "core/domain_index.h"
+#include "exec/executor.h"
+#include "exec/expression.h"
+#include "sql/ast.h"
+
+namespace exi {
+
+// A planned SELECT: the executable plan plus labels and the optimizer's
+// explanation (every candidate access path with its estimated cost, and
+// which one won — the paper's §2.4.2 decision made visible).
+struct PlannedSelect {
+  std::unique_ptr<ExecNode> root;
+  std::vector<std::string> column_names;
+  std::string explain;
+
+  // Expressions the planner synthesized (e.g. for `*` expansion); plan
+  // nodes hold raw pointers into these and into the statement's AST, so the
+  // statement must outlive execution.
+  std::vector<std::unique_ptr<sql::Expr>> owned_exprs;
+};
+
+// Cost-based planner.  For each operator predicate in the WHERE clause it
+// weighs: sequential scan with per-row functional evaluation, built-in
+// index scans, and domain-index scans priced through the indextype's
+// ODCIStats routines.  Cheapest plan wins.
+class Planner {
+ public:
+  // `default_fetch_batch` is the ODCIIndexFetch batch size used by
+  // domain-index scan nodes (experiment E7 sweeps it).
+  Planner(Catalog* catalog, DomainIndexManager* domains,
+          size_t default_fetch_batch = 64)
+      : catalog_(catalog),
+        domains_(domains),
+        fetch_batch_(default_fetch_batch) {}
+
+  // Binds and plans the statement.  The statement is annotated in place and
+  // must outlive the returned plan.
+  Result<PlannedSelect> PlanSelect(sql::SelectStmt* stmt);
+
+  // Splits an expression into top-level AND conjuncts (exposed for tests).
+  static void SplitConjuncts(sql::Expr* expr, std::vector<sql::Expr*>* out);
+
+ private:
+  struct TableEnv {
+    std::vector<BoundTable> tables;
+    std::vector<const HeapTable*> heaps;
+    size_t total_width = 0;
+  };
+
+  Result<TableEnv> ResolveFrom(const sql::SelectStmt& stmt);
+
+  // Plans the access path for one table given the conjuncts that reference
+  // only that table (bound at slot offset `table.slot_offset`).  Appends
+  // candidate descriptions to `explain`.  Consumed conjuncts are removed
+  // from `conjuncts`.
+  Result<std::unique_ptr<ExecNode>> PlanTableAccess(
+      const BoundTable& table, const HeapTable* heap,
+      std::vector<sql::Expr*>* conjuncts, std::string* explain);
+
+  // Attempts the two-table domain-index join rewrite; returns nullptr if
+  // not applicable.
+  Result<std::unique_ptr<ExecNode>> TryDomainIndexJoin(
+      const TableEnv& env, std::vector<sql::Expr*>* conjuncts,
+      std::string* explain);
+
+  Catalog* catalog_;
+  DomainIndexManager* domains_;
+  size_t fetch_batch_;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_OPTIMIZER_PLANNER_H_

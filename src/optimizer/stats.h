@@ -1,0 +1,25 @@
+#ifndef EXTIDX_OPTIMIZER_STATS_H_
+#define EXTIDX_OPTIMIZER_STATS_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace exi {
+
+// ANALYZE <table>: gathers row count and per-column statistics (distinct
+// count, null count, min/max) into the dictionary for the cost-based
+// optimizer.
+Status AnalyzeTable(Catalog* catalog, const std::string& table_name);
+
+// Estimated fraction of rows with column == value.
+double EqualitySelectivity(const TableStats& stats, int column);
+
+// Estimated fraction of rows with column relop value, using min/max linear
+// interpolation for numeric columns; `op` is one of '<', '>', 'l' (<=),
+// 'g' (>=).
+double RangeSelectivity(const TableStats& stats, int column, char op,
+                        const Value& bound);
+
+}  // namespace exi
+
+#endif  // EXTIDX_OPTIMIZER_STATS_H_

@@ -1,0 +1,267 @@
+#ifndef EXTIDX_SQL_AST_H_
+#define EXTIDX_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "types/datatype.h"
+#include "types/value.h"
+
+namespace exi::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,   // [qualifier.]column[.attr...]
+  kBinary,
+  kUnary,
+  kFunctionCall,  // built-in function or user-defined operator
+  kIsNull,        // expr IS [NOT] NULL
+  kLike,          // expr [NOT] LIKE pattern
+  kAggregate,     // COUNT/SUM/MIN/MAX/AVG (no GROUP BY; whole-result)
+  kStar,          // `*` in a select list
+};
+
+enum class BinaryOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv,
+  kAnd, kOr,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+
+const char* BinaryOpName(BinaryOp op);
+
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  std::string qualifier;  // table name or alias; empty if unqualified
+  std::string column;
+  std::vector<std::string> attr_path;  // object attribute access chain
+
+  // kBinary / kUnary
+  BinaryOp bop = BinaryOp::kEq;
+  UnaryOp uop = UnaryOp::kNot;
+
+  // kFunctionCall
+  std::string function;
+
+  // kAggregate
+  AggFunc agg = AggFunc::kCount;
+  bool agg_star = false;  // COUNT(*)
+
+  // kIsNull / kLike negation (IS NOT NULL, NOT LIKE)
+  bool negated = false;
+
+  // Operands / arguments.
+  std::vector<std::unique_ptr<Expr>> children;
+
+  // ---- binder annotations ----
+  int slot = -1;           // input-row slot for resolved column refs
+  int attr_index = -1;     // first object-attribute index (single level)
+  DataType result_type;
+  bool is_user_operator = false;  // kFunctionCall bound to a user operator
+  int binding_index = -1;         // chosen operator binding
+  // kFunctionCall bound to the Score() pseudo-function, which reads the
+  // ancillary value produced by a domain-index scan (§2.4.2 ancillary
+  // operators, e.g. text relevance or image distance).
+  bool is_score = false;
+
+  std::string ToString() const;
+
+  static std::unique_ptr<Expr> MakeLiteral(Value v);
+  static std::unique_ptr<Expr> MakeColumn(std::string qualifier,
+                                          std::string column);
+  static std::unique_ptr<Expr> MakeBinary(BinaryOp op,
+                                          std::unique_ptr<Expr> lhs,
+                                          std::unique_ptr<Expr> rhs);
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  kCreateTable, kDropTable, kTruncateTable,
+  kCreateIndex, kAlterIndex, kDropIndex,
+  kCreateOperator, kDropOperator,
+  kCreateIndexType, kDropIndexType,
+  kAnalyze,
+  kInsert, kUpdate, kDelete, kSelect,
+  kBegin, kCommit, kRollback,
+  kExplain,
+};
+
+struct Statement {
+  virtual ~Statement() = default;
+  explicit Statement(StmtKind k) : kind(k) {}
+  StmtKind kind;
+};
+
+struct ColumnDef {
+  std::string name;
+  std::string type_text;  // parsed later by DataType::FromString
+  bool not_null = false;
+};
+
+struct CreateTableStmt : Statement {
+  CreateTableStmt() : Statement(StmtKind::kCreateTable) {}
+  std::string table;
+  std::vector<ColumnDef> columns;
+};
+
+struct DropTableStmt : Statement {
+  DropTableStmt() : Statement(StmtKind::kDropTable) {}
+  std::string table;
+};
+
+struct TruncateTableStmt : Statement {
+  TruncateTableStmt() : Statement(StmtKind::kTruncateTable) {}
+  std::string table;
+};
+
+// CREATE INDEX name ON table(col)
+//   [USING BTREE|HASH|BITMAP]                      -- built-in access method
+//   [INDEXTYPE IS typ [PARAMETERS ('...')]]        -- domain index (§2.3)
+struct CreateIndexStmt : Statement {
+  CreateIndexStmt() : Statement(StmtKind::kCreateIndex) {}
+  std::string index;
+  std::string table;
+  std::vector<std::string> columns;
+  std::string method = "BTREE";  // built-in kind when no INDEXTYPE clause
+  std::string indextype;         // non-empty => domain index
+  std::string parameters;
+};
+
+struct AlterIndexStmt : Statement {
+  AlterIndexStmt() : Statement(StmtKind::kAlterIndex) {}
+  std::string index;
+  std::string parameters;
+};
+
+struct DropIndexStmt : Statement {
+  DropIndexStmt() : Statement(StmtKind::kDropIndex) {}
+  std::string index;
+};
+
+struct OperatorBindingDef {
+  std::vector<std::string> arg_types;
+  std::string return_type;
+  std::string function;
+};
+
+// CREATE OPERATOR name BINDING (t1, t2) RETURN t USING fn [, BINDING ...]
+struct CreateOperatorStmt : Statement {
+  CreateOperatorStmt() : Statement(StmtKind::kCreateOperator) {}
+  std::string name;
+  std::vector<OperatorBindingDef> bindings;
+};
+
+struct DropOperatorStmt : Statement {
+  DropOperatorStmt() : Statement(StmtKind::kDropOperator) {}
+  std::string name;
+};
+
+struct IndexTypeOpDef {
+  std::string op;
+  std::vector<std::string> arg_types;
+};
+
+// CREATE INDEXTYPE name FOR op(t1, t2) [, op2(...)] USING impl
+struct CreateIndexTypeStmt : Statement {
+  CreateIndexTypeStmt() : Statement(StmtKind::kCreateIndexType) {}
+  std::string name;
+  std::vector<IndexTypeOpDef> operators;
+  std::string implementation;
+};
+
+struct DropIndexTypeStmt : Statement {
+  DropIndexTypeStmt() : Statement(StmtKind::kDropIndexType) {}
+  std::string name;
+};
+
+struct AnalyzeStmt : Statement {
+  AnalyzeStmt() : Statement(StmtKind::kAnalyze) {}
+  std::string table;
+};
+
+struct InsertStmt : Statement {
+  InsertStmt() : Statement(StmtKind::kInsert) {}
+  std::string table;
+  std::vector<std::string> columns;  // empty = positional
+  std::vector<std::vector<std::unique_ptr<Expr>>> rows;
+};
+
+struct UpdateStmt : Statement {
+  UpdateStmt() : Statement(StmtKind::kUpdate) {}
+  std::string table;
+  std::vector<std::pair<std::string, std::unique_ptr<Expr>>> assignments;
+  std::unique_ptr<Expr> where;  // may be null
+};
+
+struct DeleteStmt : Statement {
+  DeleteStmt() : Statement(StmtKind::kDelete) {}
+  std::string table;
+  std::unique_ptr<Expr> where;  // may be null
+};
+
+struct SelectItem {
+  std::unique_ptr<Expr> expr;
+  std::string alias;
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to table name
+
+  const std::string& effective_name() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool ascending = true;
+};
+
+struct SelectStmt : Statement {
+  SelectStmt() : Statement(StmtKind::kSelect) {}
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::unique_ptr<Expr> where;  // may be null
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+};
+
+struct BeginStmt : Statement {
+  BeginStmt() : Statement(StmtKind::kBegin) {}
+};
+struct CommitStmt : Statement {
+  CommitStmt() : Statement(StmtKind::kCommit) {}
+};
+struct RollbackStmt : Statement {
+  RollbackStmt() : Statement(StmtKind::kRollback) {}
+};
+
+struct ExplainStmt : Statement {
+  ExplainStmt() : Statement(StmtKind::kExplain) {}
+  std::unique_ptr<Statement> inner;
+};
+
+}  // namespace exi::sql
+
+#endif  // EXTIDX_SQL_AST_H_

@@ -1,0 +1,181 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/strings.h"
+
+namespace exi::sql {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kKeywords = new std::set<std::string>{
+      "SELECT",   "FROM",      "WHERE",     "AND",       "OR",
+      "NOT",      "INSERT",    "INTO",      "VALUES",    "UPDATE",
+      "SET",      "DELETE",    "CREATE",    "DROP",      "TABLE",
+      "INDEX",    "INDEXTYPE", "OPERATOR",  "BINDING",   "RETURN",
+      "USING",    "FOR",       "IS",        "PARAMETERS", "ON",
+      "ALTER",    "TRUNCATE",  "ORDER",     "BY",        "ASC",
+      "DESC",     "LIMIT",     "NULL",      "TRUE",      "FALSE",
+      "BEGIN",    "COMMIT",    "ROLLBACK",  "EXPLAIN",   "ANALYZE",
+      "LIKE",     "AS",        "VARRAY",    "OF",        "OBJECT",
+      "IN",       "BETWEEN",   "COUNT",     "SUM",       "MIN",
+      "GROUP",
+      "MAX",      "AVG",       "DISTINCT",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+}  // namespace
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+bool Token::IsOperator(const char* op) const {
+  return type == TokenType::kOperator && text == op;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      std::string word = input.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = word;
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      std::string num = input.substr(start, i - start);
+      if (is_double) {
+        tok.type = TokenType::kDouble;
+        tok.double_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kInteger;
+        tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      tok.text = num;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.position));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {  // quoted identifier
+      ++i;
+      size_t start = i;
+      while (i < n && input[i] != '"') ++i;
+      if (i >= n) {
+        return Status::ParseError("unterminated quoted identifier at offset " +
+                                  std::to_string(tok.position));
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = input.substr(start, i - start);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators.
+    auto two = (i + 1 < n) ? input.substr(i, 2) : std::string();
+    if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+      tok.type = TokenType::kOperator;
+      tok.text = (two == "!=") ? "<>" : two;
+      i += 2;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    static const std::string kSingle = "=<>+-*/().,;";
+    if (kSingle.find(c) != std::string::npos) {
+      tok.type = TokenType::kOperator;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace exi::sql

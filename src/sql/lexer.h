@@ -1,0 +1,39 @@
+#ifndef EXTIDX_SQL_LEXER_H_
+#define EXTIDX_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exi::sql {
+
+enum class TokenType {
+  kIdentifier,   // unquoted name (case-insensitive) or "quoted"
+  kKeyword,      // reserved word, normalized upper-case
+  kString,       // '...' literal (quotes stripped, '' unescaped)
+  kInteger,      // integer literal
+  kDouble,       // floating literal
+  kOperator,     // = <> != < <= > >= + - * / . ( ) , ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;  // keyword/operator normalized; identifier as written
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;  // byte offset in the statement, for error messages
+
+  bool IsKeyword(const char* kw) const;
+  bool IsOperator(const char* op) const;
+};
+
+// Tokenizes a SQL statement.  Keywords are recognized from a fixed list;
+// everything else alphanumeric is an identifier.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace exi::sql
+
+#endif  // EXTIDX_SQL_LEXER_H_

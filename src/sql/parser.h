@@ -1,0 +1,22 @@
+#ifndef EXTIDX_SQL_PARSER_H_
+#define EXTIDX_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace exi::sql {
+
+// Parses a single SQL statement (trailing ';' optional).
+Result<std::unique_ptr<Statement>> Parse(const std::string& text);
+
+// Parses a ';'-separated script into a statement list.
+Result<std::vector<std::unique_ptr<Statement>>> ParseScript(
+    const std::string& text);
+
+}  // namespace exi::sql
+
+#endif  // EXTIDX_SQL_PARSER_H_

@@ -1,0 +1,68 @@
+#include "storage/heap_table.h"
+
+#include "common/metrics.h"
+
+namespace exi {
+
+Result<RowId> HeapTable::Insert(Row row) {
+  EXI_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  slots_.emplace_back(std::move(row));
+  ++live_count_;
+  GlobalMetrics().table_rows_written++;
+  return static_cast<RowId>(slots_.size());
+}
+
+Status HeapTable::Update(RowId rid, Row row) {
+  if (!Exists(rid)) {
+    return Status::NotFound("no row " + std::to_string(rid) + " in " + name_);
+  }
+  EXI_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  slots_[rid - 1] = std::move(row);
+  GlobalMetrics().table_rows_written++;
+  return Status::OK();
+}
+
+Status HeapTable::Delete(RowId rid) {
+  if (!Exists(rid)) {
+    return Status::NotFound("no row " + std::to_string(rid) + " in " + name_);
+  }
+  slots_[rid - 1].reset();
+  --live_count_;
+  GlobalMetrics().table_rows_deleted++;
+  return Status::OK();
+}
+
+Status HeapTable::Resurrect(RowId rid, Row row) {
+  if (rid == kInvalidRowId || rid > slots_.size()) {
+    return Status::InvalidArgument("resurrect: rowid " + std::to_string(rid) +
+                                   " was never allocated in " + name_);
+  }
+  if (slots_[rid - 1].has_value()) {
+    return Status::AlreadyExists("resurrect: rowid " + std::to_string(rid) +
+                                 " is live in " + name_);
+  }
+  slots_[rid - 1] = std::move(row);
+  ++live_count_;
+  GlobalMetrics().table_rows_written++;
+  return Status::OK();
+}
+
+Result<Row> HeapTable::Get(RowId rid) const {
+  if (!Exists(rid)) {
+    return Status::NotFound("no row " + std::to_string(rid) + " in " + name_);
+  }
+  GlobalMetrics().table_rows_read++;
+  return *slots_[rid - 1];
+}
+
+bool HeapTable::Exists(RowId rid) const {
+  return rid != kInvalidRowId && rid <= slots_.size() &&
+         slots_[rid - 1].has_value();
+}
+
+void HeapTable::Truncate() {
+  for (auto& slot : slots_) slot.reset();
+  live_count_ = 0;
+}
+
+}  // namespace exi

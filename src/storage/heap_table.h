@@ -1,0 +1,88 @@
+#ifndef EXTIDX_STORAGE_HEAP_TABLE_H_
+#define EXTIDX_STORAGE_HEAP_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace exi {
+
+// Heap-organized table: unordered row storage addressed by stable RowIds.
+// RowIds are assigned monotonically at insert time and never reused, so a
+// domain index may durably reference them (the paper's rowid contract).
+//
+// The heap knows nothing about indexes or transactions; index maintenance
+// and undo logging are layered on top (src/core, src/txn).
+class HeapTable {
+ public:
+  HeapTable(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  HeapTable(const HeapTable&) = delete;
+  HeapTable& operator=(const HeapTable&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint64_t row_count() const { return live_count_; }
+
+  // Validates against the schema and stores the row. Returns the new RowId.
+  Result<RowId> Insert(Row row);
+
+  // Replaces the row at `rid`. Errors if the row does not exist.
+  Status Update(RowId rid, Row row);
+
+  // Removes the row at `rid`. Errors if the row does not exist.
+  Status Delete(RowId rid);
+
+  // Re-inserts a row under its original RowId (transaction undo of a
+  // delete). Errors if the slot is occupied.
+  Status Resurrect(RowId rid, Row row);
+
+  // Fetches a copy of the row, or NotFound.
+  Result<Row> Get(RowId rid) const;
+
+  bool Exists(RowId rid) const;
+
+  // Removes all rows. RowId counter keeps advancing (no reuse).
+  void Truncate();
+
+  // Forward iteration over live rows in RowId order.
+  class Iterator {
+   public:
+    explicit Iterator(const HeapTable* table) : table_(table) { SkipDead(); }
+
+    bool Valid() const { return pos_ < table_->slots_.size(); }
+    RowId row_id() const { return static_cast<RowId>(pos_ + 1); }
+    const Row& row() const { return *table_->slots_[pos_]; }
+    void Next() {
+      ++pos_;
+      SkipDead();
+    }
+
+   private:
+    void SkipDead() {
+      while (pos_ < table_->slots_.size() && !table_->slots_[pos_]) ++pos_;
+    }
+    const HeapTable* table_;
+    size_t pos_ = 0;
+  };
+
+  Iterator Scan() const { return Iterator(this); }
+
+ private:
+  friend class Iterator;
+
+  std::string name_;
+  Schema schema_;
+  // Slot i holds the row with RowId i+1; nullopt = deleted.
+  std::vector<std::optional<Row>> slots_;
+  uint64_t live_count_ = 0;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_STORAGE_HEAP_TABLE_H_

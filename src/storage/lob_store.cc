@@ -1,0 +1,93 @@
+#include "storage/lob_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/metrics.h"
+
+namespace exi {
+
+LobId LobStore::Create() {
+  LobId id = next_id_++;
+  lobs_[id] = {};
+  return id;
+}
+
+void LobStore::Drop(LobId id) { lobs_.erase(id); }
+
+bool LobStore::Exists(LobId id) const { return lobs_.count(id) > 0; }
+
+Result<uint64_t> LobStore::Size(LobId id) const {
+  auto it = lobs_.find(id);
+  if (it == lobs_.end()) {
+    return Status::NotFound("no LOB " + std::to_string(id));
+  }
+  return static_cast<uint64_t>(it->second.size());
+}
+
+Status LobStore::Write(LobId id, uint64_t offset,
+                       const std::vector<uint8_t>& data) {
+  auto it = lobs_.find(id);
+  if (it == lobs_.end()) {
+    return Status::NotFound("no LOB " + std::to_string(id));
+  }
+  std::vector<uint8_t>& lob = it->second;
+  uint64_t end = offset + data.size();
+  if (lob.size() < end) lob.resize(end, 0);
+  std::memcpy(lob.data() + offset, data.data(), data.size());
+  GlobalMetrics().lob_chunks_written += std::max<uint64_t>(
+      1, ChunkCount(data.size()));
+  GlobalMetrics().lob_bytes_written += data.size();
+  return Status::OK();
+}
+
+Status LobStore::Append(LobId id, const std::vector<uint8_t>& data) {
+  auto it = lobs_.find(id);
+  if (it == lobs_.end()) {
+    return Status::NotFound("no LOB " + std::to_string(id));
+  }
+  return Write(id, it->second.size(), data);
+}
+
+Result<std::vector<uint8_t>> LobStore::Read(LobId id, uint64_t offset,
+                                            uint64_t len) const {
+  auto it = lobs_.find(id);
+  if (it == lobs_.end()) {
+    return Status::NotFound("no LOB " + std::to_string(id));
+  }
+  const std::vector<uint8_t>& lob = it->second;
+  if (offset >= lob.size()) return std::vector<uint8_t>{};
+  uint64_t avail = lob.size() - offset;
+  uint64_t n = std::min(len, avail);
+  GlobalMetrics().lob_chunks_read += std::max<uint64_t>(1, ChunkCount(n));
+  return std::vector<uint8_t>(lob.begin() + offset, lob.begin() + offset + n);
+}
+
+Result<std::vector<uint8_t>> LobStore::ReadAll(LobId id) const {
+  auto it = lobs_.find(id);
+  if (it == lobs_.end()) {
+    return Status::NotFound("no LOB " + std::to_string(id));
+  }
+  GlobalMetrics().lob_chunks_read +=
+      std::max<uint64_t>(1, ChunkCount(it->second.size()));
+  return it->second;
+}
+
+Status LobStore::WriteAll(LobId id, std::vector<uint8_t> data) {
+  auto it = lobs_.find(id);
+  if (it == lobs_.end()) {
+    return Status::NotFound("no LOB " + std::to_string(id));
+  }
+  GlobalMetrics().lob_chunks_written +=
+      std::max<uint64_t>(1, ChunkCount(data.size()));
+  GlobalMetrics().lob_bytes_written += data.size();
+  it->second = std::move(data);
+  return Status::OK();
+}
+
+Status LobStore::Restore(LobId id, std::vector<uint8_t> contents) {
+  lobs_[id] = std::move(contents);
+  return Status::OK();
+}
+
+}  // namespace exi

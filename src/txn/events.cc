@@ -1,0 +1,19 @@
+#include "txn/events.h"
+
+namespace exi {
+
+uint64_t EventManager::Register(DbEventHandler handler) {
+  uint64_t id = next_id_++;
+  handlers_[id] = std::move(handler);
+  return id;
+}
+
+void EventManager::Unregister(uint64_t id) { handlers_.erase(id); }
+
+void EventManager::Fire(DbEvent event) {
+  // Copy so a handler may unregister itself while firing.
+  auto snapshot = handlers_;
+  for (auto& [id, handler] : snapshot) handler(event);
+}
+
+}  // namespace exi

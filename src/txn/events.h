@@ -1,0 +1,47 @@
+#ifndef EXTIDX_TXN_EVENTS_H_
+#define EXTIDX_TXN_EVENTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace exi {
+
+// Database events (§5 "Interacting with external data stores"): the paper
+// proposes letting an indextype designer "register functions for events
+// such as commit and rollback, which contain code to take appropriate
+// actions on index data stored externally".  The chemistry cartridge uses
+// this to keep its file-based index consistent across rollbacks
+// (experiment E9).
+enum class DbEvent {
+  kCommit,
+  kRollback,
+};
+
+using DbEventHandler = std::function<void(DbEvent)>;
+
+// Registry + dispatcher for database events.  Handlers fire after the
+// engine finishes the in-database part of commit/rollback.
+class EventManager {
+ public:
+  EventManager() = default;
+  EventManager(const EventManager&) = delete;
+  EventManager& operator=(const EventManager&) = delete;
+
+  // Registers a handler; returns an id for unregistration.
+  uint64_t Register(DbEventHandler handler);
+
+  void Unregister(uint64_t id);
+
+  void Fire(DbEvent event);
+
+  size_t handler_count() const { return handlers_.size(); }
+
+ private:
+  std::map<uint64_t, DbEventHandler> handlers_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_TXN_EVENTS_H_

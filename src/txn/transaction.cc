@@ -1,0 +1,56 @@
+#include "txn/transaction.h"
+
+#include <memory>
+
+namespace exi {
+
+void Transaction::RunUndo() {
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) (*it)();
+  undo_log_.clear();
+}
+
+void Transaction::RollbackTo(size_t savepoint) {
+  while (undo_log_.size() > savepoint) {
+    undo_log_.back()();
+    undo_log_.pop_back();
+  }
+}
+
+Status TransactionManager::Begin() {
+  if (current_ != nullptr && explicit_) {
+    return Status::InvalidArgument("transaction already open");
+  }
+  current_ = std::make_unique<Transaction>(next_id_++);
+  explicit_ = true;
+  return Status::OK();
+}
+
+Status TransactionManager::Commit() {
+  if (current_ == nullptr) {
+    return Status::InvalidArgument("no open transaction");
+  }
+  current_.reset();
+  explicit_ = false;
+  events_->Fire(DbEvent::kCommit);
+  return Status::OK();
+}
+
+Status TransactionManager::Rollback() {
+  if (current_ == nullptr) {
+    return Status::InvalidArgument("no open transaction");
+  }
+  current_->RunUndo();
+  current_.reset();
+  explicit_ = false;
+  events_->Fire(DbEvent::kRollback);
+  return Status::OK();
+}
+
+bool TransactionManager::EnsureStatementTransaction() {
+  if (current_ != nullptr) return false;
+  current_ = std::make_unique<Transaction>(next_id_++);
+  explicit_ = false;
+  return true;
+}
+
+}  // namespace exi

@@ -1,0 +1,108 @@
+#include "types/datatype.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace exi {
+
+const char* TypeTagName(TypeTag tag) {
+  switch (tag) {
+    case TypeTag::kNull:
+      return "NULL";
+    case TypeTag::kBoolean:
+      return "BOOLEAN";
+    case TypeTag::kInteger:
+      return "INTEGER";
+    case TypeTag::kDouble:
+      return "DOUBLE";
+    case TypeTag::kVarchar:
+      return "VARCHAR";
+    case TypeTag::kBlob:
+      return "BLOB";
+    case TypeTag::kLob:
+      return "LOB";
+    case TypeTag::kVarray:
+      return "VARRAY";
+    case TypeTag::kObject:
+      return "OBJECT";
+    case TypeTag::kRowId:
+      return "ROWID";
+  }
+  return "UNKNOWN";
+}
+
+bool DataType::EquivalentTo(const DataType& other) const {
+  if (tag_ != other.tag_) return false;
+  switch (tag_) {
+    case TypeTag::kVarray:
+      return element_ == other.element_;
+    case TypeTag::kObject:
+      return EqualsIgnoreCase(object_type_, other.object_type_);
+    default:
+      return true;
+  }
+}
+
+std::string DataType::ToString() const {
+  switch (tag_) {
+    case TypeTag::kVarchar: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "VARCHAR(%u)", varchar_len_);
+      return buf;
+    }
+    case TypeTag::kVarray:
+      return std::string("VARRAY OF ") + TypeTagName(element_);
+    case TypeTag::kObject:
+      return std::string("OBJECT ") + object_type_;
+    default:
+      return TypeTagName(tag_);
+  }
+}
+
+Result<DataType> DataType::FromString(const std::string& text) {
+  std::string u = ToUpper(std::string(Trim(text)));
+  if (u == "INTEGER" || u == "INT" || u == "BIGINT" || u == "NUMBER") {
+    return DataType::Integer();
+  }
+  if (u == "DOUBLE" || u == "FLOAT" || u == "REAL") return DataType::Double();
+  if (u == "BOOLEAN" || u == "BOOL") return DataType::Boolean();
+  if (u == "BLOB") return DataType::Blob();
+  if (u == "LOB" || u == "CLOB") return DataType::Lob();
+  if (u == "ROWID") return DataType::RowIdType();
+  if (StartsWith(u, "VARCHAR")) {
+    uint32_t len = 4000;
+    size_t open = u.find('(');
+    if (open != std::string::npos) {
+      len = static_cast<uint32_t>(std::strtoul(u.c_str() + open + 1,
+                                               nullptr, 10));
+      if (len == 0) {
+        return Status::ParseError("invalid VARCHAR length in: " + text);
+      }
+    }
+    return DataType::Varchar(len);
+  }
+  if (StartsWith(u, "VARRAY OF ")) {
+    std::string elem = u.substr(10);
+    EXI_ASSIGN_OR_RETURN(DataType et, DataType::FromString(elem));
+    if (!et.is_scalar()) {
+      return Status::ParseError("VARRAY element must be scalar: " + text);
+    }
+    return DataType::Varray(et.tag());
+  }
+  if (StartsWith(u, "OBJECT ")) {
+    std::string name = std::string(Trim(text.substr(7)));
+    if (name.empty()) return Status::ParseError("OBJECT needs a type name");
+    return DataType::Object(name);
+  }
+  return Status::ParseError("unknown data type: " + text);
+}
+
+int ObjectTypeDef::FindAttribute(const std::string& attr) const {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (EqualsIgnoreCase(attributes[i].first, attr)) return int(i);
+  }
+  return -1;
+}
+
+}  // namespace exi

@@ -1,0 +1,102 @@
+#ifndef EXTIDX_TYPES_DATATYPE_H_
+#define EXTIDX_TYPES_DATATYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace exi {
+
+// Physical type tags.  The paper's framework indexes scalar columns,
+// LOB columns, collection (VARRAY) columns, and object-type columns; the
+// type system covers all four families.
+enum class TypeTag : uint8_t {
+  kNull = 0,
+  kBoolean,
+  kInteger,   // 64-bit signed
+  kDouble,
+  kVarchar,
+  kBlob,      // inline byte string
+  kLob,       // reference into the LobStore (large, chunked, file-like API)
+  kVarray,    // collection of scalar elements
+  kObject,    // named object type with typed attributes
+  kRowId,     // physical row identifier (returned by index scans)
+};
+
+const char* TypeTagName(TypeTag tag);
+
+// A (possibly parameterized) logical data type.  Scalar types are fully
+// described by the tag; VARCHAR carries a length bound, VARRAY an element
+// type, OBJECT the name of a registered object type.
+class DataType {
+ public:
+  DataType() : tag_(TypeTag::kNull) {}
+  explicit DataType(TypeTag tag) : tag_(tag) {}
+
+  static DataType Null() { return DataType(TypeTag::kNull); }
+  static DataType Boolean() { return DataType(TypeTag::kBoolean); }
+  static DataType Integer() { return DataType(TypeTag::kInteger); }
+  static DataType Double() { return DataType(TypeTag::kDouble); }
+  static DataType Varchar(uint32_t max_len = 4000) {
+    DataType t(TypeTag::kVarchar);
+    t.varchar_len_ = max_len;
+    return t;
+  }
+  static DataType Blob() { return DataType(TypeTag::kBlob); }
+  static DataType Lob() { return DataType(TypeTag::kLob); }
+  static DataType Varray(TypeTag element) {
+    DataType t(TypeTag::kVarray);
+    t.element_ = element;
+    return t;
+  }
+  static DataType Object(std::string type_name) {
+    DataType t(TypeTag::kObject);
+    t.object_type_ = std::move(type_name);
+    return t;
+  }
+  static DataType RowIdType() { return DataType(TypeTag::kRowId); }
+
+  TypeTag tag() const { return tag_; }
+  uint32_t varchar_len() const { return varchar_len_; }
+  TypeTag element_tag() const { return element_; }
+  const std::string& object_type() const { return object_type_; }
+
+  bool is_numeric() const {
+    return tag_ == TypeTag::kInteger || tag_ == TypeTag::kDouble;
+  }
+  bool is_scalar() const {
+    return tag_ == TypeTag::kBoolean || tag_ == TypeTag::kInteger ||
+           tag_ == TypeTag::kDouble || tag_ == TypeTag::kVarchar;
+  }
+
+  // Structural equality (VARCHAR lengths are ignored for comparability).
+  bool EquivalentTo(const DataType& other) const;
+
+  std::string ToString() const;
+
+  // Parses "INTEGER", "VARCHAR(100)", "VARRAY OF VARCHAR", "OBJECT name" etc.
+  static Result<DataType> FromString(const std::string& text);
+
+ private:
+  TypeTag tag_;
+  uint32_t varchar_len_ = 0;
+  TypeTag element_ = TypeTag::kNull;
+  std::string object_type_;
+};
+
+// Definition of a registered object type: ordered, named, typed attributes.
+// Used by the spatial cartridge (geometry) and VIR cartridge (image).
+struct ObjectTypeDef {
+  std::string name;
+  std::vector<std::pair<std::string, DataType>> attributes;
+
+  // Index of the attribute or -1.
+  int FindAttribute(const std::string& attr) const;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_TYPES_DATATYPE_H_

@@ -1,0 +1,53 @@
+#include "types/schema.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace exi {
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return int(i);
+  }
+  return -1;
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    std::ostringstream os;
+    os << "row has " << row.size() << " values, schema has "
+       << columns_.size() << " columns";
+    return Status::TypeMismatch(os.str());
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = columns_[i];
+    if (row[i].is_null()) {
+      if (col.not_null) {
+        return Status::ConstraintViolation("column " + col.name +
+                                           " is NOT NULL");
+      }
+      continue;
+    }
+    if (!row[i].ConformsTo(col.type)) {
+      return Status::TypeMismatch("value " + row[i].ToString() +
+                                  " does not conform to column " + col.name +
+                                  " of type " + col.type.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os << ", ";
+    os << columns_[i].name << " " << columns_[i].type.ToString();
+    if (columns_[i].not_null) os << " NOT NULL";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace exi

@@ -1,0 +1,47 @@
+#ifndef EXTIDX_TYPES_SCHEMA_H_
+#define EXTIDX_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/datatype.h"
+#include "types/value.h"
+
+namespace exi {
+
+// A named, typed column.
+struct Column {
+  std::string name;
+  DataType type;
+  bool not_null = false;
+};
+
+// Ordered set of columns describing a table or intermediate result.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Case-insensitive lookup; returns -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  void AddColumn(Column col) { columns_.push_back(std::move(col)); }
+
+  // Validates that `row` has the right arity and each value conforms to its
+  // column type (including NOT NULL constraints).
+  Status ValidateRow(const Row& row) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_TYPES_SCHEMA_H_

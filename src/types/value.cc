@@ -1,0 +1,285 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace exi {
+
+Value Value::Boolean(bool b) {
+  Value v;
+  v.tag_ = TypeTag::kBoolean;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Integer(int64_t i) {
+  Value v;
+  v.tag_ = TypeTag::kInteger;
+  v.int_ = i;
+  return v;
+}
+
+Value Value::Double(double d) {
+  Value v;
+  v.tag_ = TypeTag::kDouble;
+  v.double_ = d;
+  return v;
+}
+
+Value Value::Varchar(std::string s) {
+  Value v;
+  v.tag_ = TypeTag::kVarchar;
+  v.str_ = std::make_shared<std::string>(std::move(s));
+  return v;
+}
+
+Value Value::Blob(std::vector<uint8_t> bytes) {
+  Value v;
+  v.tag_ = TypeTag::kBlob;
+  v.blob_ = std::make_shared<std::vector<uint8_t>>(std::move(bytes));
+  return v;
+}
+
+Value Value::Lob(LobId id) {
+  Value v;
+  v.tag_ = TypeTag::kLob;
+  v.lob_ = id;
+  return v;
+}
+
+Value Value::Varray(ValueList elements) {
+  Value v;
+  v.tag_ = TypeTag::kVarray;
+  v.list_ = std::make_shared<ValueList>(std::move(elements));
+  return v;
+}
+
+Value Value::Object(std::string type_name, ValueList attributes) {
+  Value v;
+  v.tag_ = TypeTag::kObject;
+  v.object_ = std::make_shared<ObjectValue>();
+  v.object_->type_name = std::move(type_name);
+  v.object_->attributes = std::move(attributes);
+  return v;
+}
+
+Value Value::FromRowId(RowId rid) {
+  Value v;
+  v.tag_ = TypeTag::kRowId;
+  v.rowid_ = rid;
+  return v;
+}
+
+bool Value::ConformsTo(const DataType& type) const {
+  if (is_null()) return true;
+  switch (type.tag()) {
+    case TypeTag::kDouble:
+      return tag_ == TypeTag::kDouble || tag_ == TypeTag::kInteger;
+    case TypeTag::kVarray:
+      if (tag_ != TypeTag::kVarray) return false;
+      for (const Value& e : *list_) {
+        if (!e.is_null() && e.tag() != type.element_tag() &&
+            !(type.element_tag() == TypeTag::kDouble &&
+              e.tag() == TypeTag::kInteger)) {
+          return false;
+        }
+      }
+      return true;
+    case TypeTag::kObject:
+      return tag_ == TypeTag::kObject &&
+             EqualsIgnoreCase(object_->type_name, type.object_type());
+    default:
+      return tag_ == type.tag();
+  }
+}
+
+Result<int> Value::Compare(const Value& a, const Value& b) {
+  if (a.is_null() && b.is_null()) return 0;
+  if (a.is_null()) return -1;
+  if (b.is_null()) return 1;
+  // Numeric cross-comparison.
+  if ((a.tag_ == TypeTag::kInteger || a.tag_ == TypeTag::kDouble) &&
+      (b.tag_ == TypeTag::kInteger || b.tag_ == TypeTag::kDouble)) {
+    if (a.tag_ == TypeTag::kInteger && b.tag_ == TypeTag::kInteger) {
+      if (a.int_ < b.int_) return -1;
+      if (a.int_ > b.int_) return 1;
+      return 0;
+    }
+    double da = a.AsDouble();
+    double db = b.AsDouble();
+    if (da < db) return -1;
+    if (da > db) return 1;
+    return 0;
+  }
+  if (a.tag_ != b.tag_) {
+    return Status::TypeMismatch(std::string("cannot compare ") +
+                                TypeTagName(a.tag_) + " with " +
+                                TypeTagName(b.tag_));
+  }
+  switch (a.tag_) {
+    case TypeTag::kBoolean:
+      return int(a.bool_) - int(b.bool_);
+    case TypeTag::kVarchar: {
+      int c = a.str_->compare(*b.str_);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case TypeTag::kBlob: {
+      if (*a.blob_ < *b.blob_) return -1;
+      if (*b.blob_ < *a.blob_) return 1;
+      return 0;
+    }
+    case TypeTag::kRowId:
+      if (a.rowid_ < b.rowid_) return -1;
+      if (a.rowid_ > b.rowid_) return 1;
+      return 0;
+    case TypeTag::kLob:
+      if (a.lob_ < b.lob_) return -1;
+      if (a.lob_ > b.lob_) return 1;
+      return 0;
+    default:
+      return Status::TypeMismatch(std::string("type not comparable: ") +
+                                  TypeTagName(a.tag_));
+  }
+}
+
+bool Value::Equals(const Value& other) const {
+  if (tag_ != other.tag_) {
+    // Allow numeric cross-equality.
+    if ((tag_ == TypeTag::kInteger || tag_ == TypeTag::kDouble) &&
+        (other.tag_ == TypeTag::kInteger ||
+         other.tag_ == TypeTag::kDouble)) {
+      return AsDouble() == other.AsDouble();
+    }
+    return false;
+  }
+  switch (tag_) {
+    case TypeTag::kNull:
+      return true;
+    case TypeTag::kBoolean:
+      return bool_ == other.bool_;
+    case TypeTag::kInteger:
+      return int_ == other.int_;
+    case TypeTag::kDouble:
+      return double_ == other.double_;
+    case TypeTag::kVarchar:
+      return *str_ == *other.str_;
+    case TypeTag::kBlob:
+      return *blob_ == *other.blob_;
+    case TypeTag::kLob:
+      return lob_ == other.lob_;
+    case TypeTag::kRowId:
+      return rowid_ == other.rowid_;
+    case TypeTag::kVarray: {
+      if (list_->size() != other.list_->size()) return false;
+      for (size_t i = 0; i < list_->size(); ++i) {
+        if (!(*list_)[i].Equals((*other.list_)[i])) return false;
+      }
+      return true;
+    }
+    case TypeTag::kObject: {
+      if (!EqualsIgnoreCase(object_->type_name, other.object_->type_name) ||
+          object_->attributes.size() != other.object_->attributes.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < object_->attributes.size(); ++i) {
+        if (!object_->attributes[i].Equals(other.object_->attributes[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t Value::Hash() const {
+  switch (tag_) {
+    case TypeTag::kNull:
+      return 0x9E3779B9;
+    case TypeTag::kBoolean:
+      return bool_ ? 0xB5297A4D : 0x68E31DA4;
+    case TypeTag::kInteger:
+      return Fnv1a64(&int_, sizeof(int_));
+    case TypeTag::kDouble: {
+      // Hash integral doubles like the equal integer so cross-type equality
+      // implies equal hashes.
+      double d = double_;
+      if (d == std::floor(d) && d >= -9.2e18 && d <= 9.2e18) {
+        int64_t i = static_cast<int64_t>(d);
+        return Fnv1a64(&i, sizeof(i));
+      }
+      return Fnv1a64(&d, sizeof(d));
+    }
+    case TypeTag::kVarchar:
+      return Fnv1a64(*str_);
+    case TypeTag::kBlob:
+      return Fnv1a64(blob_->data(), blob_->size());
+    case TypeTag::kLob:
+      return Fnv1a64(&lob_, sizeof(lob_));
+    case TypeTag::kRowId:
+      return Fnv1a64(&rowid_, sizeof(rowid_));
+    case TypeTag::kVarray: {
+      uint64_t h = 0x1234;
+      for (const Value& e : *list_) h = h * 1099511628211ULL ^ e.Hash();
+      return h;
+    }
+    case TypeTag::kObject: {
+      uint64_t h = Fnv1a64(ToLower(object_->type_name));
+      for (const Value& e : object_->attributes) {
+        h = h * 1099511628211ULL ^ e.Hash();
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  switch (tag_) {
+    case TypeTag::kNull:
+      return "NULL";
+    case TypeTag::kBoolean:
+      return bool_ ? "TRUE" : "FALSE";
+    case TypeTag::kInteger:
+      os << int_;
+      return os.str();
+    case TypeTag::kDouble:
+      os << double_;
+      return os.str();
+    case TypeTag::kVarchar:
+      return "'" + *str_ + "'";
+    case TypeTag::kBlob:
+      os << "BLOB(" << blob_->size() << " bytes)";
+      return os.str();
+    case TypeTag::kLob:
+      os << "LOB#" << lob_;
+      return os.str();
+    case TypeTag::kRowId:
+      os << "ROWID(" << rowid_ << ")";
+      return os.str();
+    case TypeTag::kVarray: {
+      os << "VARRAY(";
+      for (size_t i = 0; i < list_->size(); ++i) {
+        if (i) os << ", ";
+        os << (*list_)[i].ToString();
+      }
+      os << ")";
+      return os.str();
+    }
+    case TypeTag::kObject: {
+      os << object_->type_name << "(";
+      for (size_t i = 0; i < object_->attributes.size(); ++i) {
+        if (i) os << ", ";
+        os << object_->attributes[i].ToString();
+      }
+      os << ")";
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+}  // namespace exi

@@ -1,0 +1,99 @@
+#ifndef EXTIDX_TYPES_VALUE_H_
+#define EXTIDX_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/datatype.h"
+
+namespace exi {
+
+// Stable physical row identifier.  Assigned by a heap table at insert time
+// and never reused; the framework hands RowIds to ODCI maintenance routines
+// and receives them back from ODCI scan routines, mirroring Oracle rowids.
+using RowId = uint64_t;
+inline constexpr RowId kInvalidRowId = 0;
+
+// Identifier of a large object inside the LobStore.
+using LobId = uint64_t;
+inline constexpr LobId kInvalidLobId = 0;
+
+class Value;
+using ValueList = std::vector<Value>;
+
+// Attribute values of an instance of a registered object type.
+struct ObjectValue {
+  std::string type_name;
+  ValueList attributes;
+};
+
+// Dynamically typed runtime value.  Small scalars are stored inline; BLOB /
+// VARRAY / OBJECT payloads are shared_ptr so copying rows stays cheap.
+class Value {
+ public:
+  Value() : tag_(TypeTag::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Boolean(bool b);
+  static Value Integer(int64_t v);
+  static Value Double(double v);
+  static Value Varchar(std::string s);
+  static Value Blob(std::vector<uint8_t> bytes);
+  static Value Lob(LobId id);
+  static Value Varray(ValueList elements);
+  static Value Object(std::string type_name, ValueList attributes);
+  static Value FromRowId(RowId rid);
+
+  TypeTag tag() const { return tag_; }
+  bool is_null() const { return tag_ == TypeTag::kNull; }
+
+  bool AsBoolean() const { return bool_; }
+  int64_t AsInteger() const { return int_; }
+  double AsDouble() const { return tag_ == TypeTag::kDouble ? double_
+                                                            : double(int_); }
+  const std::string& AsVarchar() const { return *str_; }
+  const std::vector<uint8_t>& AsBlob() const { return *blob_; }
+  LobId AsLob() const { return lob_; }
+  const ValueList& AsVarray() const { return *list_; }
+  const ObjectValue& AsObject() const { return *object_; }
+  RowId AsRowId() const { return rowid_; }
+
+  // Returns true if this value's physical type can be stored in a column of
+  // `type` (NULL is storable anywhere; INTEGER promotes to DOUBLE).
+  bool ConformsTo(const DataType& type) const;
+
+  // Three-way comparison for order-compatible values (same family; numeric
+  // cross-compare allowed).  NULL sorts first.  Errors on incomparable tags.
+  static Result<int> Compare(const Value& a, const Value& b);
+
+  // SQL equality (NULL = anything  ->  false at predicate level; here NULL
+  // equals NULL, callers handle SQL ternary logic).
+  bool Equals(const Value& other) const;
+
+  // Key for hashing (hash index, grouping).
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  TypeTag tag_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  LobId lob_ = kInvalidLobId;
+  RowId rowid_ = kInvalidRowId;
+  std::shared_ptr<std::string> str_;
+  std::shared_ptr<std::vector<uint8_t>> blob_;
+  std::shared_ptr<ValueList> list_;
+  std::shared_ptr<ObjectValue> object_;
+};
+
+// A tuple of values; layout is positional against a Schema.
+using Row = ValueList;
+
+}  // namespace exi
+
+#endif  // EXTIDX_TYPES_VALUE_H_

@@ -1,0 +1,147 @@
+// Unit tests for src/common: Status/Result, strings, metrics, RNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace exi {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status err = Status::NotFound("no such thing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ToString(), "NotFound: no such thing");
+  EXPECT_EQ(std::string(StatusCodeName(StatusCode::kCallbackViolation)),
+            "CallbackViolation");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status {
+    EXI_RETURN_IF_ERROR(Status::IoError("disk on fire"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kIoError);
+  auto passes = []() -> Status {
+    EXI_RETURN_IF_ERROR(Status::OK());
+    return Status::InvalidArgument("reached");
+  };
+  EXPECT_EQ(passes().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+
+  Result<int> e = Status::ParseError("nope");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kParseError);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::NotFound("x");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    EXI_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 8);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kNotFound);
+}
+
+TEST(StringsTest, CaseAndTrim) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("aBc"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("Hello", "hELLO"));
+  EXPECT_FALSE(EqualsIgnoreCase("Hello", "Hell"));
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_TRUE(StartsWith("VARCHAR(10)", "VARCHAR"));
+  EXPECT_FALSE(StartsWith("VAR", "VARCHAR"));
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  auto pieces = SplitAny("a,b;;c", ",;");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[2], "c");
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(Join({}, "-"), "");
+  EXPECT_TRUE(SplitAny("", ",").empty());
+}
+
+TEST(StringsTest, Fnv1aIsStableAndSpread) {
+  EXPECT_EQ(Fnv1a64("hello"), Fnv1a64("hello"));
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.insert(Fnv1a64("key" + std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(MetricsTest, DeltaArithmetic) {
+  StorageMetrics a;
+  a.table_rows_read = 100;
+  a.odci_fetch_calls = 10;
+  StorageMetrics b = a;
+  b.table_rows_read = 150;
+  b.odci_fetch_calls = 25;
+  StorageMetrics d = b.Delta(a);
+  EXPECT_EQ(d.table_rows_read, 50u);
+  EXPECT_EQ(d.odci_fetch_calls, 15u);
+  EXPECT_FALSE(d.ToString().empty());
+}
+
+TEST(RngTest, DeterministicAndUniform) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = c.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    EXPECT_LT(c.Uniform(10), 10u);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewed) {
+  ZipfGenerator zipf(1000, 0.99, 42);
+  uint64_t low_ranks = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (zipf.Next() < 10) ++low_ranks;
+  }
+  // With theta=.99, the top 10 of 1000 ranks should absorb a large share.
+  EXPECT_GT(low_ranks, 3000u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(9);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sq / kN, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace exi

@@ -1,0 +1,250 @@
+// Failure injection: a test cartridge whose ODCI routines fail on command,
+// verifying that the engine keeps base table, built-in indexes, and the
+// cartridge's own index data consistent when user index code errors
+// mid-statement — the transactional guarantees §2.5 promises for
+// in-database index storage.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/odci.h"
+#include "core/scan_context.h"
+#include "engine/connection.h"
+
+namespace exi {
+namespace {
+
+// Controls for the flaky cartridge (reset per test).
+struct FlakyControls {
+  bool fail_create = false;
+  bool fail_insert = false;
+  bool fail_delete = false;
+  bool fail_start = false;
+  bool fail_fetch = false;
+  // Fail the Nth maintenance call (1-based); 0 = per the flags above.
+  int fail_on_call = 0;
+  int maintenance_calls = 0;
+};
+FlakyControls g_flaky;
+
+// A working value->rowid indextype (IOT-backed) that injects failures.
+class FlakyIndexMethods : public OdciIndex {
+ public:
+  static std::string Iot(const OdciIndexInfo& info) {
+    return info.index_name + "$flaky";
+  }
+
+  Status Create(const OdciIndexInfo& info, ServerContext& ctx) override {
+    if (g_flaky.fail_create) {
+      return Status::IoError("injected: create failed");
+    }
+    Schema schema;
+    schema.AddColumn(Column{"v", DataType::Integer(), true});
+    schema.AddColumn(Column{"rid", DataType::Integer(), true});
+    EXI_RETURN_IF_ERROR(ctx.CreateIot(Iot(info), schema, 2));
+    int col = info.indexed_position();
+    Status inner = Status::OK();
+    EXI_RETURN_IF_ERROR(ctx.ScanBaseTable(
+        info.table_name, [&](RowId rid, const Row& row) {
+          if (row[col].is_null()) return true;
+          inner = ctx.IotUpsert(Iot(info),
+                                {row[col], Value::Integer(int64_t(rid))});
+          return inner.ok();
+        }));
+    return inner;
+  }
+  Status Alter(const OdciIndexInfo&, ServerContext&) override {
+    return Status::OK();
+  }
+  Status Truncate(const OdciIndexInfo& info, ServerContext& ctx) override {
+    return ctx.IotTruncate(Iot(info));
+  }
+  Status Drop(const OdciIndexInfo& info, ServerContext& ctx) override {
+    return ctx.DropIot(Iot(info));
+  }
+
+  Status Insert(const OdciIndexInfo& info, RowId rid, const Value& v,
+                ServerContext& ctx) override {
+    ++g_flaky.maintenance_calls;
+    if (g_flaky.fail_insert ||
+        (g_flaky.fail_on_call != 0 &&
+         g_flaky.maintenance_calls == g_flaky.fail_on_call)) {
+      return Status::IoError("injected: insert failed");
+    }
+    if (v.is_null()) return Status::OK();
+    return ctx.IotUpsert(Iot(info), {v, Value::Integer(int64_t(rid))});
+  }
+  Status Delete(const OdciIndexInfo& info, RowId rid, const Value& v,
+                ServerContext& ctx) override {
+    ++g_flaky.maintenance_calls;
+    if (g_flaky.fail_delete) {
+      return Status::IoError("injected: delete failed");
+    }
+    if (v.is_null()) return Status::OK();
+    return ctx.IotDelete(Iot(info), {v, Value::Integer(int64_t(rid))});
+  }
+  Status Update(const OdciIndexInfo& info, RowId rid, const Value& old_v,
+                const Value& new_v, ServerContext& ctx) override {
+    EXI_RETURN_IF_ERROR(Delete(info, rid, old_v, ctx));
+    return Insert(info, rid, new_v, ctx);
+  }
+
+  Result<OdciScanContext> Start(const OdciIndexInfo& info,
+                                const OdciPredInfo& pred,
+                                ServerContext& ctx) override {
+    if (g_flaky.fail_start) {
+      return Status::IoError("injected: start failed");
+    }
+    auto ws = std::make_shared<std::vector<RowId>>();
+    EXI_RETURN_IF_ERROR(ctx.IotScanPrefix(
+        Iot(info), {pred.args[0]}, [&ws](const Row& row) {
+          ws->push_back(RowId(row[1].AsInteger()));
+          return true;
+        }));
+    OdciScanContext sctx;
+    sctx.handle = ScanWorkspaceRegistry::Global().Allocate(ws);
+    return sctx;
+  }
+  Status Fetch(const OdciIndexInfo&, OdciScanContext& sctx, size_t max_rows,
+               OdciFetchBatch* out, ServerContext&) override {
+    if (g_flaky.fail_fetch) {
+      return Status::IoError("injected: fetch failed");
+    }
+    EXI_ASSIGN_OR_RETURN(auto ws,
+                         ScanWorkspaceRegistry::Global()
+                             .GetAs<std::vector<RowId>>(sctx.handle));
+    while (!ws->empty() && out->rids.size() < max_rows) {
+      out->rids.push_back(ws->back());
+      ws->pop_back();
+    }
+    return Status::OK();
+  }
+  Status Close(const OdciIndexInfo&, OdciScanContext& sctx,
+               ServerContext&) override {
+    return ScanWorkspaceRegistry::Global().Release(sctx.handle);
+  }
+};
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  FailureInjectionTest() : conn_(&db_) {
+    g_flaky = FlakyControls();
+    Catalog& catalog = db_.catalog();
+    EXPECT_TRUE(catalog.functions()
+                    .Register("FEqFn",
+                              [](const ValueList& args) -> Result<Value> {
+                                if (args[0].is_null() || args[1].is_null()) {
+                                  return Value::Null();
+                                }
+                                return Value::Boolean(
+                                    args[0].Equals(args[1]));
+                              })
+                    .ok());
+    EXPECT_TRUE(catalog.implementations()
+                    .Register("FlakyIndexMethods",
+                              [] {
+                                return std::make_shared<FlakyIndexMethods>();
+                              })
+                    .ok());
+    conn_.MustExecute(
+        "CREATE OPERATOR FEq BINDING (INTEGER, INTEGER) RETURN BOOLEAN "
+        "USING FEqFn");
+    conn_.MustExecute(
+        "CREATE INDEXTYPE FlakyType FOR FEq(INTEGER, INTEGER) USING "
+        "FlakyIndexMethods");
+    conn_.MustExecute("CREATE TABLE t (v INTEGER)");
+  }
+
+  int64_t Count(const std::string& where) {
+    return conn_.MustExecute("SELECT COUNT(*) FROM t WHERE " + where)
+        .rows[0][0]
+        .AsInteger();
+  }
+
+  Database db_;
+  Connection conn_;
+};
+
+TEST_F(FailureInjectionTest, FailedCreateLeavesNoIndexBehind) {
+  g_flaky.fail_create = true;
+  Result<QueryResult> r = conn_.Execute(
+      "CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(db_.catalog().IndexExists("fidx"));
+  // A later retry with failures off succeeds.
+  g_flaky.fail_create = false;
+  EXPECT_TRUE(
+      conn_.Execute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType")
+          .ok());
+}
+
+TEST_F(FailureInjectionTest, FailedMaintenanceRollsBackTheRow) {
+  conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
+  g_flaky.fail_insert = true;
+  EXPECT_FALSE(conn_.Execute("INSERT INTO t VALUES (7)").ok());
+  // The base row is gone: statement-level atomicity despite the cartridge
+  // failing AFTER the heap insert.
+  g_flaky.fail_insert = false;
+  EXPECT_EQ(Count("v = 7"), 0);
+  EXPECT_EQ(Count("FEq(v, 7)"), 0);
+  // Engine remains usable afterwards.
+  conn_.MustExecute("INSERT INTO t VALUES (7)");
+  EXPECT_EQ(Count("FEq(v, 7)"), 1);
+}
+
+TEST_F(FailureInjectionTest, MultiRowInsertFailsAtomically) {
+  conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
+  // Fail on the third maintenance call: two rows already indexed.
+  g_flaky.fail_on_call = 3;
+  EXPECT_FALSE(
+      conn_.Execute("INSERT INTO t VALUES (1), (2), (3), (4)").ok());
+  g_flaky.fail_on_call = 0;
+  EXPECT_EQ(Count("v >= 0"), 0);
+  // The cartridge's IOT was rolled back too (undo through ServerContext).
+  EXPECT_EQ(Count("FEq(v, 1)"), 0);
+  EXPECT_EQ(Count("FEq(v, 2)"), 0);
+}
+
+TEST_F(FailureInjectionTest, FailedDeleteKeepsRowAndIndexConsistent) {
+  conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
+  conn_.MustExecute("INSERT INTO t VALUES (5)");
+  g_flaky.fail_delete = true;
+  EXPECT_FALSE(conn_.Execute("DELETE FROM t WHERE v = 5").ok());
+  g_flaky.fail_delete = false;
+  // Row still present AND still indexed.
+  EXPECT_EQ(Count("v = 5"), 1);
+  EXPECT_EQ(Count("FEq(v, 5)"), 1);
+}
+
+TEST_F(FailureInjectionTest, FailedScanSurfacesErrorAndLeaksNothing) {
+  conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
+  conn_.MustExecute("INSERT INTO t VALUES (1), (2)");
+  size_t before = ScanWorkspaceRegistry::Global().active_count();
+  g_flaky.fail_start = true;
+  EXPECT_FALSE(conn_.Execute("SELECT * FROM t WHERE FEq(v, 1)").ok());
+  g_flaky.fail_start = false;
+  g_flaky.fail_fetch = true;
+  EXPECT_FALSE(conn_.Execute("SELECT * FROM t WHERE FEq(v, 1)").ok());
+  g_flaky.fail_fetch = false;
+  // Close ran as a backstop: no leaked workspaces.
+  EXPECT_EQ(ScanWorkspaceRegistry::Global().active_count(), before);
+  // And the data is intact.
+  EXPECT_EQ(Count("FEq(v, 2)"), 1);
+}
+
+TEST_F(FailureInjectionTest, ExplicitTransactionSurvivesFailedStatement) {
+  conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
+  conn_.MustExecute("BEGIN");
+  conn_.MustExecute("INSERT INTO t VALUES (1)");
+  g_flaky.fail_insert = true;
+  EXPECT_FALSE(conn_.Execute("INSERT INTO t VALUES (2)").ok());
+  g_flaky.fail_insert = false;
+  conn_.MustExecute("COMMIT");
+  // The first statement's work committed; the failed one fully undone.
+  EXPECT_EQ(Count("FEq(v, 1)"), 1);
+  EXPECT_EQ(Count("FEq(v, 2)"), 0);
+}
+
+}  // namespace
+}  // namespace exi

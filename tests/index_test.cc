@@ -1,0 +1,272 @@
+// Unit + property tests for src/index: B+-tree, B-tree index, hash index,
+// bitmap index, IOT.  The property suites cross-check the B+-tree against
+// std::map on random operation sequences.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "index/bitmap_index.h"
+#include "index/bplus_tree.h"
+#include "index/bptree.h"
+#include "index/hash_index.h"
+#include "index/iot.h"
+
+namespace exi {
+namespace {
+
+CompositeKey IntKey(int64_t v) { return {Value::Integer(v)}; }
+
+TEST(BPlusTreeTest, InsertFindErase) {
+  BPlusTree<int> tree;
+  for (int64_t i = 0; i < 1000; ++i) {
+    tree.GetOrInsert(IntKey(i)) = int(i * 2);
+  }
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_GT(tree.height(), 1u);
+  for (int64_t i = 0; i < 1000; ++i) {
+    int* v = tree.Find(IntKey(i));
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, int(i * 2));
+  }
+  EXPECT_EQ(tree.Find(IntKey(5000)), nullptr);
+  EXPECT_TRUE(tree.Erase(IntKey(500)));
+  EXPECT_FALSE(tree.Erase(IntKey(500)));
+  EXPECT_EQ(tree.Find(IntKey(500)), nullptr);
+  EXPECT_EQ(tree.size(), 999u);
+}
+
+TEST(BPlusTreeTest, IterationIsSorted) {
+  BPlusTree<int> tree;
+  Rng rng(3);
+  std::set<int64_t> keys;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t k = int64_t(rng.Uniform(100000));
+    keys.insert(k);
+    tree.GetOrInsert(IntKey(k)) = 0;
+  }
+  std::vector<int64_t> seen;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    seen.push_back(it.key()[0].AsInteger());
+  }
+  EXPECT_EQ(seen.size(), keys.size());
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(BPlusTreeTest, SeekSemantics) {
+  BPlusTree<int> tree;
+  for (int64_t i = 0; i < 100; i += 10) tree.GetOrInsert(IntKey(i)) = 1;
+  auto it = tree.Seek(IntKey(25));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInteger(), 30);
+  it = tree.Seek(IntKey(30));
+  EXPECT_EQ(it.key()[0].AsInteger(), 30);
+  it = tree.Seek(IntKey(91));
+  EXPECT_FALSE(it.Valid());
+}
+
+// Property test: random interleaved insert/erase vs std::map oracle.
+TEST(BPlusTreeTest, PropertyMatchesStdMap) {
+  BPlusTree<int64_t> tree;
+  std::map<int64_t, int64_t> oracle;
+  Rng rng(99);
+  for (int op = 0; op < 20000; ++op) {
+    int64_t key = int64_t(rng.Uniform(500));
+    if (rng.Uniform(3) == 0) {
+      bool tree_erased = tree.Erase(IntKey(key));
+      bool oracle_erased = oracle.erase(key) > 0;
+      ASSERT_EQ(tree_erased, oracle_erased) << "op " << op;
+    } else {
+      int64_t value = int64_t(rng.Next());
+      tree.GetOrInsert(IntKey(key)) = value;
+      oracle[key] = value;
+    }
+  }
+  ASSERT_EQ(tree.size(), oracle.size());
+  auto it = tree.Begin();
+  for (const auto& [key, value] : oracle) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key()[0].AsInteger(), key);
+    EXPECT_EQ(it.payload(), value);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BTreeIndexTest, NonUniquePostings) {
+  BTreeIndex index("i");
+  index.Insert(IntKey(5), 100);
+  index.Insert(IntKey(5), 101);
+  index.Insert(IntKey(6), 102);
+  EXPECT_EQ(index.entry_count(), 3u);
+  EXPECT_EQ(index.distinct_keys(), 2u);
+  EXPECT_EQ(index.ScanEqual(IntKey(5)).size(), 2u);
+  index.Delete(IntKey(5), 100);
+  EXPECT_EQ(index.ScanEqual(IntKey(5)).size(), 1u);
+  index.Delete(IntKey(5), 999);  // absent rid: no-op
+  EXPECT_EQ(index.entry_count(), 2u);
+}
+
+TEST(BTreeIndexTest, RangeScansAllBoundShapes) {
+  BTreeIndex index("i");
+  for (int64_t i = 0; i < 100; ++i) index.Insert(IntKey(i), RowId(i + 1));
+  auto count = [&](std::optional<KeyBound> lo,
+                   std::optional<KeyBound> hi) {
+    return index.ScanRange(lo, hi)->size();
+  };
+  EXPECT_EQ(count(KeyBound{IntKey(10), true}, KeyBound{IntKey(19), true}),
+            10u);
+  EXPECT_EQ(count(KeyBound{IntKey(10), false}, KeyBound{IntKey(19), false}),
+            8u);
+  EXPECT_EQ(count(std::nullopt, KeyBound{IntKey(4), true}), 5u);
+  EXPECT_EQ(count(KeyBound{IntKey(95), true}, std::nullopt), 5u);
+  EXPECT_EQ(count(std::nullopt, std::nullopt), 100u);
+  EXPECT_EQ(count(KeyBound{IntKey(200), true}, std::nullopt), 0u);
+}
+
+TEST(BTreeIndexTest, ScanLeadingPrefix) {
+  BTreeIndex index("i");
+  for (int64_t a = 0; a < 10; ++a) {
+    for (int64_t b = 0; b < 5; ++b) {
+      index.Insert({Value::Integer(a), Value::Integer(b)},
+                   RowId(a * 10 + b + 1));
+    }
+  }
+  auto rids = *index.ScanLeadingPrefix({Value::Integer(7)});
+  EXPECT_EQ(rids.size(), 5u);
+  for (RowId r : rids) EXPECT_EQ((r - 1) / 10, 7u);
+  EXPECT_TRUE(index.ScanLeadingPrefix({Value::Integer(99)})->empty());
+  // Two-component prefix degenerates to exact match.
+  rids = *index.ScanLeadingPrefix({Value::Integer(3), Value::Integer(2)});
+  EXPECT_EQ(rids.size(), 1u);
+  // Hash index refuses prefixes.
+  HashIndex hash("h");
+  EXPECT_EQ(hash.ScanLeadingPrefix({Value::Integer(1)}).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(HashIndexTest, EqualityOnlySemantics) {
+  HashIndex index("h");
+  index.Insert({Value::Varchar("a")}, 1);
+  index.Insert({Value::Varchar("a")}, 2);
+  index.Insert({Value::Varchar("b")}, 3);
+  EXPECT_FALSE(index.SupportsRange());
+  EXPECT_EQ(index.ScanEqual({Value::Varchar("a")}).size(), 2u);
+  EXPECT_TRUE(index.ScanEqual({Value::Varchar("zz")}).empty());
+  EXPECT_FALSE(index.ScanRange(std::nullopt, std::nullopt).ok());
+  index.Delete({Value::Varchar("a")}, 1);
+  EXPECT_EQ(index.entry_count(), 2u);
+  EXPECT_EQ(index.distinct_keys(), 2u);
+}
+
+TEST(BitmapIndexTest, BitmapAlgebra) {
+  RowIdBitmap a;
+  RowIdBitmap b;
+  a.Set(1);
+  a.Set(100);
+  a.Set(5000);
+  b.Set(100);
+  b.Set(200);
+  EXPECT_EQ(a.Count(), 3u);
+  EXPECT_TRUE(a.Test(5000));
+  EXPECT_FALSE(a.Test(2));
+  EXPECT_EQ(a.And(b).ToRowIds(), std::vector<RowId>{100});
+  EXPECT_EQ(a.Or(b).Count(), 4u);
+  EXPECT_EQ(a.AndNot(b).Count(), 2u);
+  a.Clear(100);
+  EXPECT_FALSE(a.Test(100));
+}
+
+TEST(BitmapIndexTest, LowCardinalityIndexing) {
+  BitmapIndex index("bm");
+  for (RowId r = 1; r <= 300; ++r) {
+    index.Insert({Value::Varchar(r % 3 == 0 ? "red" : "blue")}, r);
+  }
+  EXPECT_EQ(index.distinct_keys(), 2u);
+  EXPECT_EQ(index.ScanEqual({Value::Varchar("red")}).size(), 100u);
+  RowIdBitmap red = index.GetBitmap({Value::Varchar("red")});
+  RowIdBitmap blue = index.GetBitmap({Value::Varchar("blue")});
+  EXPECT_TRUE(red.And(blue).Empty());
+  index.Delete({Value::Varchar("red")}, 3);
+  EXPECT_EQ(index.ScanEqual({Value::Varchar("red")}).size(), 99u);
+}
+
+TEST(IotTest, PrimaryKeySemantics) {
+  Schema schema;
+  schema.AddColumn(Column{"token", DataType::Varchar(32), true});
+  schema.AddColumn(Column{"rid", DataType::Integer(), true});
+  schema.AddColumn(Column{"freq", DataType::Integer(), true});
+  Iot iot("iot", schema, 2);
+
+  ASSERT_TRUE(iot.Insert({Value::Varchar("a"), Value::Integer(1),
+                          Value::Integer(3)})
+                  .ok());
+  // Duplicate PK rejected; Upsert replaces.
+  EXPECT_EQ(iot.Insert({Value::Varchar("a"), Value::Integer(1),
+                        Value::Integer(9)})
+                .code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(iot.Upsert({Value::Varchar("a"), Value::Integer(1),
+                          Value::Integer(9)})
+                  .ok());
+  EXPECT_EQ((*iot.Get({Value::Varchar("a"), Value::Integer(1)}))[2]
+                .AsInteger(),
+            9);
+  ASSERT_TRUE(iot.Delete({Value::Varchar("a"), Value::Integer(1)}).ok());
+  EXPECT_FALSE(iot.Delete({Value::Varchar("a"), Value::Integer(1)}).ok());
+}
+
+TEST(IotTest, PrefixScanIsOrderedAndBounded) {
+  Schema schema;
+  schema.AddColumn(Column{"token", DataType::Varchar(32), true});
+  schema.AddColumn(Column{"rid", DataType::Integer(), true});
+  Iot iot("iot", schema, 2);
+  for (int64_t r = 0; r < 50; ++r) {
+    ASSERT_TRUE(
+        iot.Insert({Value::Varchar(r % 2 ? "aa" : "ab"), Value::Integer(r)})
+            .ok());
+  }
+  std::vector<int64_t> rids;
+  iot.ScanPrefix({Value::Varchar("aa")}, [&rids](const Row& row) {
+    rids.push_back(row[1].AsInteger());
+    return true;
+  });
+  EXPECT_EQ(rids.size(), 25u);
+  EXPECT_TRUE(std::is_sorted(rids.begin(), rids.end()));
+  for (int64_t r : rids) EXPECT_EQ(r % 2, 1);
+  // Early stop.
+  int count = 0;
+  iot.ScanPrefix({Value::Varchar("aa")}, [&count](const Row&) {
+    return ++count < 5;
+  });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(IotTest, RangeScanBounds) {
+  Schema schema;
+  schema.AddColumn(Column{"k", DataType::Integer(), true});
+  Iot iot("iot", schema, 1);
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(iot.Insert({Value::Integer(i)}).ok());
+  }
+  CompositeKey lo = IntKey(5);
+  CompositeKey hi = IntKey(10);
+  int count = 0;
+  iot.ScanRange(&lo, false, &hi, true, [&count](const Row&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 5);  // (5, 10]
+  count = 0;
+  iot.ScanRange(nullptr, true, &lo, false, [&count](const Row&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 5);  // [0, 5)
+}
+
+}  // namespace
+}  // namespace exi

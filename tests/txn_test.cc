@@ -1,0 +1,150 @@
+// Tests for src/txn: undo log mechanics, savepoints, transaction manager
+// semantics, database events, and statement-level rollback through SQL.
+
+#include <gtest/gtest.h>
+
+#include "engine/connection.h"
+#include "txn/events.h"
+#include "txn/transaction.h"
+
+namespace exi {
+namespace {
+
+TEST(TransactionTest, UndoRunsInReverse) {
+  Transaction txn(1);
+  std::vector<int> order;
+  txn.PushUndo([&order] { order.push_back(1); });
+  txn.PushUndo([&order] { order.push_back(2); });
+  txn.PushUndo([&order] { order.push_back(3); });
+  EXPECT_EQ(txn.undo_depth(), 3u);
+  txn.RunUndo();
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+  EXPECT_EQ(txn.undo_depth(), 0u);
+}
+
+TEST(TransactionTest, SavepointRollsBackSuffix) {
+  Transaction txn(1);
+  std::vector<int> order;
+  txn.PushUndo([&order] { order.push_back(1); });
+  size_t sp = txn.Savepoint();
+  txn.PushUndo([&order] { order.push_back(2); });
+  txn.PushUndo([&order] { order.push_back(3); });
+  txn.RollbackTo(sp);
+  EXPECT_EQ(order, (std::vector<int>{3, 2}));
+  EXPECT_EQ(txn.undo_depth(), 1u);
+}
+
+TEST(TransactionTest, LobFirstTouchTracking) {
+  Transaction txn(1);
+  EXPECT_TRUE(txn.MarkLobTouched(5));
+  EXPECT_FALSE(txn.MarkLobTouched(5));
+  EXPECT_TRUE(txn.MarkLobTouched(6));
+}
+
+TEST(TransactionManagerTest, LifecycleAndEvents) {
+  EventManager events;
+  int commits = 0;
+  int rollbacks = 0;
+  events.Register([&](DbEvent e) {
+    if (e == DbEvent::kCommit) ++commits;
+    if (e == DbEvent::kRollback) ++rollbacks;
+  });
+  TransactionManager tm(&events);
+
+  EXPECT_FALSE(tm.InTransaction());
+  EXPECT_FALSE(tm.Commit().ok());  // nothing open
+  ASSERT_TRUE(tm.Begin().ok());
+  EXPECT_TRUE(tm.InTransaction());
+  EXPECT_TRUE(tm.IsExplicit());
+  EXPECT_FALSE(tm.Begin().ok());  // nested explicit rejected
+  ASSERT_TRUE(tm.Commit().ok());
+  EXPECT_EQ(commits, 1);
+
+  ASSERT_TRUE(tm.Begin().ok());
+  ASSERT_TRUE(tm.Rollback().ok());
+  EXPECT_EQ(rollbacks, 1);
+
+  // Implicit statement transactions.
+  EXPECT_TRUE(tm.EnsureStatementTransaction());
+  EXPECT_FALSE(tm.IsExplicit());
+  EXPECT_FALSE(tm.EnsureStatementTransaction());  // already open
+  ASSERT_TRUE(tm.Commit().ok());
+  EXPECT_EQ(commits, 2);
+}
+
+TEST(EventManagerTest, RegisterUnregisterAndSelfRemoval) {
+  EventManager events;
+  int fired = 0;
+  uint64_t id1 = events.Register([&](DbEvent) { ++fired; });
+  uint64_t self_id = 0;
+  self_id = events.Register([&](DbEvent) {
+    ++fired;
+    events.Unregister(self_id);  // handlers may unregister while firing
+  });
+  events.Fire(DbEvent::kCommit);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(events.handler_count(), 1u);
+  events.Fire(DbEvent::kRollback);
+  EXPECT_EQ(fired, 3);
+  events.Unregister(id1);
+  EXPECT_EQ(events.handler_count(), 0u);
+}
+
+class SqlTxnTest : public ::testing::Test {
+ protected:
+  SqlTxnTest() : conn_(&db_) {
+    conn_.MustExecute("CREATE TABLE t (id INTEGER NOT NULL, v INTEGER)");
+    conn_.MustExecute("CREATE INDEX t_id ON t(id)");
+  }
+  int64_t Count(const std::string& where = "") {
+    QueryResult r = conn_.MustExecute(
+        "SELECT COUNT(*) FROM t" + (where.empty() ? "" : " WHERE " + where));
+    return r.rows[0][0].AsInteger();
+  }
+  Database db_;
+  Connection conn_;
+};
+
+TEST_F(SqlTxnTest, FailedStatementRollsBackItsOwnWorkOnly) {
+  conn_.MustExecute("BEGIN");
+  conn_.MustExecute("INSERT INTO t VALUES (1, 10)");
+  // Multi-row insert where the second row violates NOT NULL: the whole
+  // statement must roll back, the earlier insert must survive.
+  Result<QueryResult> bad =
+      conn_.Execute("INSERT INTO t VALUES (2, 20), (NULL, 30)");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(Count(), 1);
+  EXPECT_EQ(Count("id = 2"), 0);
+  conn_.MustExecute("COMMIT");
+  EXPECT_EQ(Count(), 1);
+}
+
+TEST_F(SqlTxnTest, UpdateRollbackRestoresIndexEntries) {
+  conn_.MustExecute("INSERT INTO t VALUES (1, 10), (2, 20)");
+  conn_.MustExecute("BEGIN");
+  conn_.MustExecute("UPDATE t SET id = 100 WHERE v = 10");
+  EXPECT_EQ(Count("id = 100"), 1);
+  conn_.MustExecute("ROLLBACK");
+  EXPECT_EQ(Count("id = 100"), 0);
+  EXPECT_EQ(Count("id = 1"), 1);
+}
+
+TEST_F(SqlTxnTest, DdlCommitsOpenTransaction) {
+  conn_.MustExecute("BEGIN");
+  conn_.MustExecute("INSERT INTO t VALUES (1, 10)");
+  // DDL commits the open transaction (Oracle semantics) — the insert
+  // survives the subsequent ROLLBACK attempt.
+  conn_.MustExecute("CREATE TABLE t2 (a INTEGER)");
+  EXPECT_FALSE(conn_.Execute("ROLLBACK").ok());  // nothing open anymore
+  EXPECT_EQ(Count(), 1);
+}
+
+TEST_F(SqlTxnTest, AutoCommitPerStatement) {
+  conn_.MustExecute("INSERT INTO t VALUES (1, 10)");
+  // No explicit transaction: a later ROLLBACK has nothing to undo.
+  EXPECT_FALSE(conn_.Execute("ROLLBACK").ok());
+  EXPECT_EQ(Count(), 1);
+}
+
+}  // namespace
+}  // namespace exi

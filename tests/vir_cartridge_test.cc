@@ -1,0 +1,219 @@
+// Tests for the VIR cartridge (§3.2.3): signature math, the three-phase
+// multi-level filter, index/functional result equivalence, and ranking.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "cartridge/vir/vir_cartridge.h"
+#include "common/rng.h"
+#include "engine/connection.h"
+
+namespace exi {
+namespace {
+
+using namespace exi::vir;  // NOLINT
+
+TEST(SignatureTest, WeightParsing) {
+  auto w = ParseWeights(
+      "globalcolor=0.5,localcolor=0.0,texture=0.5,structure=0.0");
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ(w->w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w->w[1], 0.0);
+  EXPECT_DOUBLE_EQ(w->w[2], 0.5);
+  EXPECT_DOUBLE_EQ(w->w[3], 0.0);
+  EXPECT_TRUE(ParseWeights("").ok());  // defaults
+  EXPECT_FALSE(ParseWeights("bogus=1").ok());
+  EXPECT_FALSE(ParseWeights("globalcolor=-1").ok());
+  EXPECT_FALSE(ParseWeights("globalcolor=0,localcolor=0,texture=0,"
+                            "structure=0")
+                   .ok());
+}
+
+TEST(SignatureTest, DistanceAndCoarseBound) {
+  Rng rng(5);
+  Weights w;
+  w.w = {0.7, 0.1, 1.3, 0.4};
+  for (int trial = 0; trial < 200; ++trial) {
+    Signature a;
+    Signature b;
+    for (size_t i = 0; i < kSignatureDims; ++i) {
+      a[i] = rng.NextDouble();
+      b[i] = rng.NextDouble();
+    }
+    double d = Distance(a, b, w);
+    double dc = CoarseDistance(Coarse(a), Coarse(b), w);
+    // The soundness invariant the multi-level filter depends on.
+    EXPECT_LE(dc, d / 2.0 + 1e-12);
+  }
+  Signature same{};
+  EXPECT_DOUBLE_EQ(Distance(same, same, w), 0.0);
+}
+
+class VirCartridgeTest : public ::testing::Test {
+ protected:
+  VirCartridgeTest() : conn_(&db_) {
+    EXPECT_TRUE(InstallVirCartridge(&conn_).ok());
+    conn_.MustExecute(
+        "CREATE TABLE images (id INTEGER, img OBJECT IMAGE_T)");
+  }
+
+  static Signature RandomSignature(Rng* rng) {
+    Signature sig;
+    for (size_t i = 0; i < kSignatureDims; ++i) {
+      sig[i] = rng->NextDouble();
+    }
+    return sig;
+  }
+
+  void InsertImage(int id, const Signature& sig) {
+    std::ostringstream os;
+    os << "INSERT INTO images VALUES (" << id << ", IMAGE_T(";
+    for (size_t i = 0; i < kSignatureDims; ++i) {
+      if (i) os << ",";
+      os << sig[i];
+    }
+    os << "))";
+    conn_.MustExecute(os.str());
+  }
+
+  static std::string SimilarWhere(const Signature& q, double threshold,
+                                  const std::string& weights =
+                                      "globalcolor=1,localcolor=1,"
+                                      "texture=1,structure=1") {
+    std::ostringstream os;
+    os << "VIRSimilar(img, IMAGE_T(";
+    for (size_t i = 0; i < kSignatureDims; ++i) {
+      if (i) os << ",";
+      os << q[i];
+    }
+    os << "), '" << weights << "', " << threshold << ")";
+    return os.str();
+  }
+
+  std::set<int64_t> QueryIds(const std::string& where) {
+    QueryResult r =
+        conn_.MustExecute("SELECT id FROM images WHERE " + where);
+    std::set<int64_t> ids;
+    for (const Row& row : r.rows) ids.insert(row[0].AsInteger());
+    return ids;
+  }
+
+  Database db_;
+  Connection conn_;
+};
+
+TEST_F(VirCartridgeTest, IndexMatchesFunctional) {
+  Rng rng(23);
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 400; ++i) {
+    sigs.push_back(RandomSignature(&rng));
+    InsertImage(i, sigs.back());
+  }
+  Signature query = RandomSignature(&rng);
+  std::string where = SimilarWhere(query, 2.8);
+  std::set<int64_t> without = QueryIds(where);
+
+  conn_.MustExecute(
+      "CREATE INDEX img_idx ON images(img) INDEXTYPE IS VirIndexType");
+  conn_.MustExecute("ANALYZE images");
+  QueryResult ex =
+      conn_.MustExecute("EXPLAIN SELECT id FROM images WHERE " + where);
+  EXPECT_NE(ex.message.find("DomainIndex(img_idx)"), std::string::npos)
+      << ex.message;
+  EXPECT_EQ(QueryIds(where), without);
+  EXPECT_FALSE(without.empty());
+}
+
+TEST_F(VirCartridgeTest, MultiLevelFilterPrunes) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    InsertImage(i, RandomSignature(&rng));
+  }
+  conn_.MustExecute(
+      "CREATE INDEX img_idx ON images(img) INDEXTYPE IS VirIndexType");
+  Signature query = RandomSignature(&rng);
+  QueryResult r = conn_.MustExecute("SELECT id FROM images WHERE " +
+                                    SimilarWhere(query, 0.25));
+  auto counters = VirIndexMethods::last_counters();
+  // The funnel narrows at each phase and phase 1 prunes most rows.
+  EXPECT_LT(counters.phase1_candidates, 1000u);
+  EXPECT_LE(counters.phase2_survivors, counters.phase1_candidates);
+  EXPECT_LE(counters.matches, counters.phase2_survivors);
+  EXPECT_EQ(counters.matches, r.rows.size());
+}
+
+TEST_F(VirCartridgeTest, ZeroGlobalColorWeightStillCorrect) {
+  Rng rng(37);
+  for (int i = 0; i < 200; ++i) {
+    InsertImage(i, RandomSignature(&rng));
+  }
+  Signature query = RandomSignature(&rng);
+  // The paper's example weights: globalcolor=0.5, texture=0.5, rest 0 —
+  // plus a variant with globalcolor 0 (phase-1 window unbounded).
+  std::string w1 =
+      "globalcolor=0.5,localcolor=0.0,texture=0.5,structure=0.0";
+  std::string w2 =
+      "globalcolor=0.0,localcolor=0.5,texture=0.5,structure=0.0";
+  std::set<int64_t> f1 = QueryIds(SimilarWhere(query, 0.4, w1));
+  std::set<int64_t> f2 = QueryIds(SimilarWhere(query, 0.4, w2));
+  conn_.MustExecute(
+      "CREATE INDEX img_idx ON images(img) INDEXTYPE IS VirIndexType");
+  EXPECT_EQ(QueryIds(SimilarWhere(query, 0.4, w1)), f1);
+  EXPECT_EQ(QueryIds(SimilarWhere(query, 0.4, w2)), f2);
+}
+
+TEST_F(VirCartridgeTest, ResultsRankedByDistance) {
+  Signature base{};
+  for (size_t i = 0; i < kSignatureDims; ++i) base[i] = 0.5;
+  // Three images at increasing distance from `base`.
+  Signature near = base;
+  near[0] = 0.52;
+  Signature mid = base;
+  mid[0] = 0.6;
+  Signature far = base;
+  far[0] = 0.8;
+  InsertImage(1, far);
+  InsertImage(2, near);
+  InsertImage(3, mid);
+  conn_.MustExecute(
+      "CREATE INDEX img_idx ON images(img) INDEXTYPE IS VirIndexType");
+  QueryResult r = conn_.MustExecute("SELECT id FROM images WHERE " +
+                                    SimilarWhere(base, 2.0));
+  ASSERT_EQ(r.rows.size(), 3u);
+  // Domain-index scan returns most-similar first with distance ancillary.
+  EXPECT_EQ(r.rows[0][0].AsInteger(), 2);
+  EXPECT_EQ(r.rows[1][0].AsInteger(), 3);
+  EXPECT_EQ(r.rows[2][0].AsInteger(), 1);
+  ASSERT_EQ(r.ancillary.size(), 3u);
+  EXPECT_LT(r.ancillary[0].AsDouble(), r.ancillary[1].AsDouble());
+  EXPECT_LT(r.ancillary[1].AsDouble(), r.ancillary[2].AsDouble());
+}
+
+TEST_F(VirCartridgeTest, MaintenanceOnDml) {
+  Signature a{};
+  a.fill(0.2);
+  Signature b{};
+  b.fill(0.9);
+  InsertImage(1, a);
+  conn_.MustExecute(
+      "CREATE INDEX img_idx ON images(img) INDEXTYPE IS VirIndexType");
+  EXPECT_EQ(QueryIds(SimilarWhere(a, 0.1)), std::set<int64_t>{1});
+  // Update moves the image far away.
+  std::ostringstream os;
+  os << "UPDATE images SET img = IMAGE_T(";
+  for (size_t i = 0; i < kSignatureDims; ++i) {
+    if (i) os << ",";
+    os << b[i];
+  }
+  os << ") WHERE id = 1";
+  conn_.MustExecute(os.str());
+  EXPECT_TRUE(QueryIds(SimilarWhere(a, 0.1)).empty());
+  EXPECT_EQ(QueryIds(SimilarWhere(b, 0.1)), std::set<int64_t>{1});
+  conn_.MustExecute("DELETE FROM images WHERE id = 1");
+  EXPECT_TRUE(QueryIds(SimilarWhere(b, 0.1)).empty());
+}
+
+}  // namespace
+}  // namespace exi
