@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_fetch.dir/bench_batch_fetch.cc.o"
+  "CMakeFiles/bench_batch_fetch.dir/bench_batch_fetch.cc.o.d"
+  "bench_batch_fetch"
+  "bench_batch_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

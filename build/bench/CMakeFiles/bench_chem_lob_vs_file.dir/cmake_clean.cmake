@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chem_lob_vs_file.dir/bench_chem_lob_vs_file.cc.o"
+  "CMakeFiles/bench_chem_lob_vs_file.dir/bench_chem_lob_vs_file.cc.o.d"
+  "bench_chem_lob_vs_file"
+  "bench_chem_lob_vs_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chem_lob_vs_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

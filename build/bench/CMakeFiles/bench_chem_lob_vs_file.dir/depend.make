@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_chem_lob_vs_file.
+# This may be replaced when dependencies are built.

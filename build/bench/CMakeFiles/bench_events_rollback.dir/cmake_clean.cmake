@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_events_rollback.dir/bench_events_rollback.cc.o"
+  "CMakeFiles/bench_events_rollback.dir/bench_events_rollback.cc.o.d"
+  "bench_events_rollback"
+  "bench_events_rollback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_events_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

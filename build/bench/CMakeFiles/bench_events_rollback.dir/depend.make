@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_events_rollback.
+# This may be replaced when dependencies are built.

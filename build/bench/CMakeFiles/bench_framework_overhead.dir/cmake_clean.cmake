@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_framework_overhead.dir/bench_framework_overhead.cc.o"
+  "CMakeFiles/bench_framework_overhead.dir/bench_framework_overhead.cc.o.d"
+  "bench_framework_overhead"
+  "bench_framework_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_framework_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_choice.dir/bench_optimizer_choice.cc.o"
+  "CMakeFiles/bench_optimizer_choice.dir/bench_optimizer_choice.cc.o.d"
+  "bench_optimizer_choice"
+  "bench_optimizer_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

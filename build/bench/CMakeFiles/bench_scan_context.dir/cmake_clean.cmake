@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scan_context.dir/bench_scan_context.cc.o"
+  "CMakeFiles/bench_scan_context.dir/bench_scan_context.cc.o.d"
+  "bench_scan_context"
+  "bench_scan_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scan_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spatial_relate.dir/bench_spatial_relate.cc.o"
+  "CMakeFiles/bench_spatial_relate.dir/bench_spatial_relate.cc.o.d"
+  "bench_spatial_relate"
+  "bench_spatial_relate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spatial_relate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_text_first_row.dir/bench_text_first_row.cc.o"
+  "CMakeFiles/bench_text_first_row.dir/bench_text_first_row.cc.o.d"
+  "bench_text_first_row"
+  "bench_text_first_row.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text_first_row.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

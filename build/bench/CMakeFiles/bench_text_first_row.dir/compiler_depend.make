@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_text_first_row.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_text_first_row.
+# This may be replaced when dependencies are built.

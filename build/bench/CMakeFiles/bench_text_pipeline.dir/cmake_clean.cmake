@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_text_pipeline.dir/bench_text_pipeline.cc.o"
+  "CMakeFiles/bench_text_pipeline.dir/bench_text_pipeline.cc.o.d"
+  "bench_text_pipeline"
+  "bench_text_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vir_filter.dir/bench_vir_filter.cc.o"
+  "CMakeFiles/bench_vir_filter.dir/bench_vir_filter.cc.o.d"
+  "bench_vir_filter"
+  "bench_vir_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vir_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

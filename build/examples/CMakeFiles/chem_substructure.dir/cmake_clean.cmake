@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chem_substructure.dir/chem_substructure.cpp.o"
+  "CMakeFiles/chem_substructure.dir/chem_substructure.cpp.o.d"
+  "chem_substructure"
+  "chem_substructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chem_substructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

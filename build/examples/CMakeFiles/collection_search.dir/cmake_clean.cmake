@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collection_search.dir/collection_search.cpp.o"
+  "CMakeFiles/collection_search.dir/collection_search.cpp.o.d"
+  "collection_search"
+  "collection_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collection_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

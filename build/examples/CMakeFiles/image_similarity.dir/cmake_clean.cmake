@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_similarity.dir/image_similarity.cpp.o"
+  "CMakeFiles/image_similarity.dir/image_similarity.cpp.o.d"
+  "image_similarity"
+  "image_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

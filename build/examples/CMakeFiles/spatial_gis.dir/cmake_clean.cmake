@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_gis.dir/spatial_gis.cpp.o"
+  "CMakeFiles/spatial_gis.dir/spatial_gis.cpp.o.d"
+  "spatial_gis"
+  "spatial_gis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_gis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

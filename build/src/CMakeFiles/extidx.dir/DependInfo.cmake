@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cartridge/chem/chem_cartridge.cc" "src/CMakeFiles/extidx.dir/cartridge/chem/chem_cartridge.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/chem/chem_cartridge.cc.o.d"
+  "/root/repo/src/cartridge/chem/fingerprint.cc" "src/CMakeFiles/extidx.dir/cartridge/chem/fingerprint.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/chem/fingerprint.cc.o.d"
+  "/root/repo/src/cartridge/chem/molecule.cc" "src/CMakeFiles/extidx.dir/cartridge/chem/molecule.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/chem/molecule.cc.o.d"
+  "/root/repo/src/cartridge/domain_btree/domain_btree.cc" "src/CMakeFiles/extidx.dir/cartridge/domain_btree/domain_btree.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/domain_btree/domain_btree.cc.o.d"
+  "/root/repo/src/cartridge/params.cc" "src/CMakeFiles/extidx.dir/cartridge/params.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/params.cc.o.d"
+  "/root/repo/src/cartridge/spatial/geometry.cc" "src/CMakeFiles/extidx.dir/cartridge/spatial/geometry.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/spatial/geometry.cc.o.d"
+  "/root/repo/src/cartridge/spatial/legacy_spatial.cc" "src/CMakeFiles/extidx.dir/cartridge/spatial/legacy_spatial.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/spatial/legacy_spatial.cc.o.d"
+  "/root/repo/src/cartridge/spatial/rtree.cc" "src/CMakeFiles/extidx.dir/cartridge/spatial/rtree.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/spatial/rtree.cc.o.d"
+  "/root/repo/src/cartridge/spatial/spatial_cartridge.cc" "src/CMakeFiles/extidx.dir/cartridge/spatial/spatial_cartridge.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/spatial/spatial_cartridge.cc.o.d"
+  "/root/repo/src/cartridge/spatial/tiling.cc" "src/CMakeFiles/extidx.dir/cartridge/spatial/tiling.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/spatial/tiling.cc.o.d"
+  "/root/repo/src/cartridge/text/inverted_index.cc" "src/CMakeFiles/extidx.dir/cartridge/text/inverted_index.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/text/inverted_index.cc.o.d"
+  "/root/repo/src/cartridge/text/legacy_text.cc" "src/CMakeFiles/extidx.dir/cartridge/text/legacy_text.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/text/legacy_text.cc.o.d"
+  "/root/repo/src/cartridge/text/text_cartridge.cc" "src/CMakeFiles/extidx.dir/cartridge/text/text_cartridge.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/text/text_cartridge.cc.o.d"
+  "/root/repo/src/cartridge/text/tokenizer.cc" "src/CMakeFiles/extidx.dir/cartridge/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/text/tokenizer.cc.o.d"
+  "/root/repo/src/cartridge/varray/varray_cartridge.cc" "src/CMakeFiles/extidx.dir/cartridge/varray/varray_cartridge.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/varray/varray_cartridge.cc.o.d"
+  "/root/repo/src/cartridge/vir/signature.cc" "src/CMakeFiles/extidx.dir/cartridge/vir/signature.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/vir/signature.cc.o.d"
+  "/root/repo/src/cartridge/vir/vir_cartridge.cc" "src/CMakeFiles/extidx.dir/cartridge/vir/vir_cartridge.cc.o" "gcc" "src/CMakeFiles/extidx.dir/cartridge/vir/vir_cartridge.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/extidx.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/extidx.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "src/CMakeFiles/extidx.dir/common/metrics.cc.o" "gcc" "src/CMakeFiles/extidx.dir/common/metrics.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/extidx.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/extidx.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/extidx.dir/common/status.cc.o" "gcc" "src/CMakeFiles/extidx.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/extidx.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/extidx.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/callback_guard.cc" "src/CMakeFiles/extidx.dir/core/callback_guard.cc.o" "gcc" "src/CMakeFiles/extidx.dir/core/callback_guard.cc.o.d"
+  "/root/repo/src/core/domain_index.cc" "src/CMakeFiles/extidx.dir/core/domain_index.cc.o" "gcc" "src/CMakeFiles/extidx.dir/core/domain_index.cc.o.d"
+  "/root/repo/src/core/indextype.cc" "src/CMakeFiles/extidx.dir/core/indextype.cc.o" "gcc" "src/CMakeFiles/extidx.dir/core/indextype.cc.o.d"
+  "/root/repo/src/core/operator_registry.cc" "src/CMakeFiles/extidx.dir/core/operator_registry.cc.o" "gcc" "src/CMakeFiles/extidx.dir/core/operator_registry.cc.o.d"
+  "/root/repo/src/core/scan_context.cc" "src/CMakeFiles/extidx.dir/core/scan_context.cc.o" "gcc" "src/CMakeFiles/extidx.dir/core/scan_context.cc.o.d"
+  "/root/repo/src/engine/connection.cc" "src/CMakeFiles/extidx.dir/engine/connection.cc.o" "gcc" "src/CMakeFiles/extidx.dir/engine/connection.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/extidx.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/extidx.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/snapshot.cc" "src/CMakeFiles/extidx.dir/engine/snapshot.cc.o" "gcc" "src/CMakeFiles/extidx.dir/engine/snapshot.cc.o.d"
+  "/root/repo/src/engine/workloads.cc" "src/CMakeFiles/extidx.dir/engine/workloads.cc.o" "gcc" "src/CMakeFiles/extidx.dir/engine/workloads.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/CMakeFiles/extidx.dir/exec/evaluator.cc.o" "gcc" "src/CMakeFiles/extidx.dir/exec/evaluator.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/extidx.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/extidx.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/extidx.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/extidx.dir/exec/expression.cc.o.d"
+  "/root/repo/src/index/bitmap_index.cc" "src/CMakeFiles/extidx.dir/index/bitmap_index.cc.o" "gcc" "src/CMakeFiles/extidx.dir/index/bitmap_index.cc.o.d"
+  "/root/repo/src/index/bptree.cc" "src/CMakeFiles/extidx.dir/index/bptree.cc.o" "gcc" "src/CMakeFiles/extidx.dir/index/bptree.cc.o.d"
+  "/root/repo/src/index/hash_index.cc" "src/CMakeFiles/extidx.dir/index/hash_index.cc.o" "gcc" "src/CMakeFiles/extidx.dir/index/hash_index.cc.o.d"
+  "/root/repo/src/index/iot.cc" "src/CMakeFiles/extidx.dir/index/iot.cc.o" "gcc" "src/CMakeFiles/extidx.dir/index/iot.cc.o.d"
+  "/root/repo/src/index/key.cc" "src/CMakeFiles/extidx.dir/index/key.cc.o" "gcc" "src/CMakeFiles/extidx.dir/index/key.cc.o.d"
+  "/root/repo/src/optimizer/planner.cc" "src/CMakeFiles/extidx.dir/optimizer/planner.cc.o" "gcc" "src/CMakeFiles/extidx.dir/optimizer/planner.cc.o.d"
+  "/root/repo/src/optimizer/stats.cc" "src/CMakeFiles/extidx.dir/optimizer/stats.cc.o" "gcc" "src/CMakeFiles/extidx.dir/optimizer/stats.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/extidx.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/extidx.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/extidx.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/extidx.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/extidx.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/extidx.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/file_store.cc" "src/CMakeFiles/extidx.dir/storage/file_store.cc.o" "gcc" "src/CMakeFiles/extidx.dir/storage/file_store.cc.o.d"
+  "/root/repo/src/storage/heap_table.cc" "src/CMakeFiles/extidx.dir/storage/heap_table.cc.o" "gcc" "src/CMakeFiles/extidx.dir/storage/heap_table.cc.o.d"
+  "/root/repo/src/storage/lob_store.cc" "src/CMakeFiles/extidx.dir/storage/lob_store.cc.o" "gcc" "src/CMakeFiles/extidx.dir/storage/lob_store.cc.o.d"
+  "/root/repo/src/txn/events.cc" "src/CMakeFiles/extidx.dir/txn/events.cc.o" "gcc" "src/CMakeFiles/extidx.dir/txn/events.cc.o.d"
+  "/root/repo/src/txn/transaction.cc" "src/CMakeFiles/extidx.dir/txn/transaction.cc.o" "gcc" "src/CMakeFiles/extidx.dir/txn/transaction.cc.o.d"
+  "/root/repo/src/types/datatype.cc" "src/CMakeFiles/extidx.dir/types/datatype.cc.o" "gcc" "src/CMakeFiles/extidx.dir/types/datatype.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/extidx.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/extidx.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/extidx.dir/types/value.cc.o" "gcc" "src/CMakeFiles/extidx.dir/types/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chem_cartridge_test.dir/chem_cartridge_test.cc.o"
+  "CMakeFiles/chem_cartridge_test.dir/chem_cartridge_test.cc.o.d"
+  "chem_cartridge_test"
+  "chem_cartridge_test.pdb"
+  "chem_cartridge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chem_cartridge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

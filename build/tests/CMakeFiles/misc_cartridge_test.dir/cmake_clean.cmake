@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_cartridge_test.dir/misc_cartridge_test.cc.o"
+  "CMakeFiles/misc_cartridge_test.dir/misc_cartridge_test.cc.o.d"
+  "misc_cartridge_test"
+  "misc_cartridge_test.pdb"
+  "misc_cartridge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_cartridge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_cartridge_test.dir/spatial_cartridge_test.cc.o"
+  "CMakeFiles/spatial_cartridge_test.dir/spatial_cartridge_test.cc.o.d"
+  "spatial_cartridge_test"
+  "spatial_cartridge_test.pdb"
+  "spatial_cartridge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_cartridge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_cartridge_test.dir/text_cartridge_test.cc.o"
+  "CMakeFiles/text_cartridge_test.dir/text_cartridge_test.cc.o.d"
+  "text_cartridge_test"
+  "text_cartridge_test.pdb"
+  "text_cartridge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_cartridge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vir_cartridge_test.dir/vir_cartridge_test.cc.o"
+  "CMakeFiles/vir_cartridge_test.dir/vir_cartridge_test.cc.o.d"
+  "vir_cartridge_test"
+  "vir_cartridge_test.pdb"
+  "vir_cartridge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vir_cartridge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
