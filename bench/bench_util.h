@@ -30,8 +30,10 @@ class Timer {
 // Captures a metrics window.
 class MetricsWindow {
  public:
-  MetricsWindow() : before_(GlobalMetrics()) {}
-  StorageMetrics Delta() const { return GlobalMetrics().Delta(before_); }
+  MetricsWindow() : before_(GlobalMetrics().Snapshot()) {}
+  StorageMetrics Delta() const {
+    return GlobalMetrics().Snapshot().Delta(before_);
+  }
 
  private:
   StorageMetrics before_;

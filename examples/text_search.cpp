@@ -65,14 +65,14 @@ int main() {
 
   // Pipelined 8i execution vs the pre-8i two-step temp-table plan (E1).
   std::string query = "w17 AND w23";
-  StorageMetrics before = GlobalMetrics();
+  StorageMetrics before = GlobalMetrics().Snapshot();
   auto t0 = std::chrono::steady_clock::now();
   QueryResult modern = conn.MustExecute(
       "SELECT id FROM employees WHERE Contains(body, '" + query + "')");
   auto t1 = std::chrono::steady_clock::now();
-  StorageMetrics modern_delta = GlobalMetrics().Delta(before);
+  StorageMetrics modern_delta = GlobalMetrics().Snapshot().Delta(before);
 
-  before = GlobalMetrics();
+  before = GlobalMetrics().Snapshot();
   size_t legacy_rows = 0;
   auto t2 = std::chrono::steady_clock::now();
   if (!text::LegacyTextQuery(&db, "resume_text", query,
@@ -83,7 +83,7 @@ int main() {
     return 1;
   }
   auto t3 = std::chrono::steady_clock::now();
-  StorageMetrics legacy_delta = GlobalMetrics().Delta(before);
+  StorageMetrics legacy_delta = GlobalMetrics().Snapshot().Delta(before);
 
   auto us = [](auto a, auto b) {
     return std::chrono::duration_cast<std::chrono::microseconds>(b - a)

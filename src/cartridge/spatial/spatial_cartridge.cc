@@ -120,29 +120,20 @@ int SpatialIndexMethods::TileLevel(const std::string& parameters) {
 
 Status SpatialIndexMethods::Create(const OdciIndexInfo& info,
                                    ServerContext& ctx) {
-  EXI_RETURN_IF_ERROR(
-      ctx.CreateIot(TileTableName(info.index_name), TileTableSchema(), 2));
+  EXI_RETURN_IF_ERROR(CreateStorage(info, ctx));
   int col = info.indexed_position();
-  int level = TileLevel(info.parameters);
   Status inner = Status::OK();
   EXI_RETURN_IF_ERROR(ctx.ScanBaseTable(
       info.table_name, [&](RowId rid, const Row& row) {
-        const Value& v = row[col];
-        if (v.is_null()) return true;
-        Result<Geometry> g = FromValue(v);
-        if (!g.ok()) {
-          inner = g.status();
-          return false;
-        }
-        for (uint64_t tile : CoverTiles(*g, level)) {
-          inner = ctx.IotUpsert(TileTableName(info.index_name),
-                                {Value::Integer(int64_t(tile)),
-                                 Value::Integer(int64_t(rid))});
-          if (!inner.ok()) return false;
-        }
-        return true;
+        inner = Insert(info, rid, row[col], ctx);
+        return inner.ok();
       }));
   return inner;
+}
+
+Status SpatialIndexMethods::CreateStorage(const OdciIndexInfo& info,
+                                          ServerContext& ctx) {
+  return ctx.CreateIot(TileTableName(info.index_name), TileTableSchema(), 2);
 }
 
 Status SpatialIndexMethods::Alter(const OdciIndexInfo& info,

@@ -125,10 +125,14 @@ Tokenizer TextIndexMethods::MakeTokenizer(const IndexParameters& params) {
 
 Status TextIndexMethods::Create(const OdciIndexInfo& info,
                                 ServerContext& ctx) {
-  std::string iot = PostingTableName(info.index_name);
-  EXI_RETURN_IF_ERROR(
-      ctx.CreateIot(iot, PostingTableSchema(), kPostingKeyColumns));
+  EXI_RETURN_IF_ERROR(CreateStorage(info, ctx));
   return Rebuild(info, ctx);
+}
+
+Status TextIndexMethods::CreateStorage(const OdciIndexInfo& info,
+                                       ServerContext& ctx) {
+  std::string iot = PostingTableName(info.index_name);
+  return ctx.CreateIot(iot, PostingTableSchema(), kPostingKeyColumns);
 }
 
 Status TextIndexMethods::Rebuild(const OdciIndexInfo& info,

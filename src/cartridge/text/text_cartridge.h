@@ -32,8 +32,17 @@ namespace exi::text {
 //                               precompute.
 class TextIndexMethods : public OdciIndex {
  public:
+  // Insert writes only via IotUpsert and never reads its own writes; posting
+  // keys embed the rid, so index contents are insertion-order-insensitive.
+  // Start/Fetch/Close touch no mutable cartridge state.  Both parallel
+  // capabilities hold (DESIGN.md §5).
+  OdciCapabilities Capabilities() const override {
+    return {/*parallel_build=*/true, /*parallel_scan=*/true};
+  }
+
   // ---- definition ----
   Status Create(const OdciIndexInfo& info, ServerContext& ctx) override;
+  Status CreateStorage(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Alter(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Truncate(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Drop(const OdciIndexInfo& info, ServerContext& ctx) override;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "core/scan_context.h"
 
@@ -56,11 +57,15 @@ Status ParseSimilarPred(const OdciPredInfo& pred, Signature* query,
   return Status::OK();
 }
 
+// Guarded: concurrent Starts (parallel_scan capability) publish their
+// counter snapshots here; readers copy under the same mutex.
+std::mutex g_counters_mu;
 VirIndexMethods::PhaseCounters g_last_counters;
 
 }  // namespace
 
 VirIndexMethods::PhaseCounters VirIndexMethods::last_counters() {
+  std::lock_guard<std::mutex> lock(g_counters_mu);
   return g_last_counters;
 }
 
@@ -86,24 +91,21 @@ Status VirIndexMethods::UnindexSignature(const OdciIndexInfo& info,
 
 Status VirIndexMethods::Create(const OdciIndexInfo& info,
                                ServerContext& ctx) {
-  EXI_RETURN_IF_ERROR(
-      ctx.CreateIot(CoarseTableName(info.index_name), CoarseTableSchema(),
-                    2));
+  EXI_RETURN_IF_ERROR(CreateStorage(info, ctx));
   int col = info.indexed_position();
   Status inner = Status::OK();
   EXI_RETURN_IF_ERROR(ctx.ScanBaseTable(
       info.table_name, [&](RowId rid, const Row& row) {
-        const Value& v = row[col];
-        if (v.is_null()) return true;
-        Result<Signature> sig = FromValue(v);
-        if (!sig.ok()) {
-          inner = sig.status();
-          return false;
-        }
-        inner = IndexSignature(info, rid, *sig, ctx);
+        inner = Insert(info, rid, row[col], ctx);
         return inner.ok();
       }));
   return inner;
+}
+
+Status VirIndexMethods::CreateStorage(const OdciIndexInfo& info,
+                                      ServerContext& ctx) {
+  return ctx.CreateIot(CoarseTableName(info.index_name), CoarseTableSchema(),
+                       2);
 }
 
 Status VirIndexMethods::Alter(const OdciIndexInfo& info, ServerContext& ctx) {
@@ -151,7 +153,7 @@ Result<OdciScanContext> VirIndexMethods::Start(const OdciIndexInfo& info,
   EXI_RETURN_IF_ERROR(ParseSimilarPred(pred, &query, &weights, &threshold));
   std::array<double, kGroups> qcoarse = Coarse(query);
   std::string iot = CoarseTableName(info.index_name);
-  g_last_counters = PhaseCounters();
+  PhaseCounters counters;
 
   // ---- Phase 1: bucket-window range query on the coarse index table.
   // |mean0(a) - mean0(q)| <= distance/(2*w0), so matches lie within a
@@ -182,7 +184,7 @@ Result<OdciScanContext> VirIndexMethods::Start(const OdciIndexInfo& info,
         phase1.push_back(c);
         return true;
       }));
-  g_last_counters.phase1_candidates = phase1.size();
+  counters.phase1_candidates = phase1.size();
 
   // ---- Phase 2: coarse-distance filter.  For any true match,
   // CoarseDistance(a,q) <= Distance(a,q)/2 <= threshold/2, so this filter
@@ -193,7 +195,7 @@ Result<OdciScanContext> VirIndexMethods::Start(const OdciIndexInfo& info,
       phase2.push_back(c);
     }
   }
-  g_last_counters.phase2_survivors = phase2.size();
+  counters.phase2_survivors = phase2.size();
 
   // ---- Phase 3: full signature comparison.
   int col = info.indexed_position();
@@ -212,7 +214,11 @@ Result<OdciScanContext> VirIndexMethods::Start(const OdciIndexInfo& info,
   // at the entire result set").
   std::sort(ws->matches.begin(), ws->matches.end(),
             [](const auto& a, const auto& b) { return a.second < b.second; });
-  g_last_counters.matches = ws->matches.size();
+  counters.matches = ws->matches.size();
+  {
+    std::lock_guard<std::mutex> lock(g_counters_mu);
+    g_last_counters = counters;
+  }
 
   OdciScanContext sctx;
   sctx.handle = ScanWorkspaceRegistry::Global().Allocate(ws);

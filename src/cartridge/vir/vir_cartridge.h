@@ -31,7 +31,16 @@ class VirIndexMethods : public OdciIndex {
  public:
   static constexpr int kBuckets = 100;
 
+  // Insert writes only via IotUpsert and never reads its own writes; coarse
+  // keys embed the rid, so index contents are insertion-order-insensitive.
+  // Start precomputes into a private workspace; the shared phase-counter
+  // snapshot is mutex-guarded (DESIGN.md §5).
+  OdciCapabilities Capabilities() const override {
+    return {/*parallel_build=*/true, /*parallel_scan=*/true};
+  }
+
   Status Create(const OdciIndexInfo& info, ServerContext& ctx) override;
+  Status CreateStorage(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Alter(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Truncate(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Drop(const OdciIndexInfo& info, ServerContext& ctx) override;
@@ -52,9 +61,11 @@ class VirIndexMethods : public OdciIndex {
   Status Close(const OdciIndexInfo& info, OdciScanContext& sctx,
                ServerContext& ctx) override;
 
-  // Counters from the most recent Start call, exposing the funnel of the
-  // multi-level filter for tests and benches (phase1 candidates -> phase2
-  // survivors -> final matches).
+  // Counters from the most recent successful Start call, exposing the
+  // funnel of the multi-level filter for tests and benches (phase1
+  // candidates -> phase2 survivors -> final matches).  Published atomically
+  // under a mutex, so concurrent Starts never tear a snapshot — though
+  // "last" is whichever Start finished most recently.
   struct PhaseCounters {
     uint64_t phase1_candidates = 0;
     uint64_t phase2_survivors = 0;

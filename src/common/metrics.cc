@@ -46,9 +46,56 @@ std::string StorageMetrics::ToString() const {
   return os.str();
 }
 
-StorageMetrics& GlobalMetrics() {
-  static StorageMetrics metrics;
-  return metrics;
+StorageMetrics AtomicStorageMetrics::Snapshot() const {
+  StorageMetrics s;
+  s.table_rows_read = table_rows_read.load(std::memory_order_relaxed);
+  s.table_rows_written = table_rows_written.load(std::memory_order_relaxed);
+  s.table_rows_deleted = table_rows_deleted.load(std::memory_order_relaxed);
+  s.index_nodes_read = index_nodes_read.load(std::memory_order_relaxed);
+  s.index_entries_written =
+      index_entries_written.load(std::memory_order_relaxed);
+  s.lob_chunks_read = lob_chunks_read.load(std::memory_order_relaxed);
+  s.lob_chunks_written = lob_chunks_written.load(std::memory_order_relaxed);
+  s.lob_bytes_written = lob_bytes_written.load(std::memory_order_relaxed);
+  s.file_reads = file_reads.load(std::memory_order_relaxed);
+  s.file_writes = file_writes.load(std::memory_order_relaxed);
+  s.file_bytes_written = file_bytes_written.load(std::memory_order_relaxed);
+  s.temp_rows_written = temp_rows_written.load(std::memory_order_relaxed);
+  s.temp_rows_read = temp_rows_read.load(std::memory_order_relaxed);
+  s.odci_start_calls = odci_start_calls.load(std::memory_order_relaxed);
+  s.odci_fetch_calls = odci_fetch_calls.load(std::memory_order_relaxed);
+  s.odci_close_calls = odci_close_calls.load(std::memory_order_relaxed);
+  s.odci_maintenance_calls =
+      odci_maintenance_calls.load(std::memory_order_relaxed);
+  s.functional_evaluations =
+      functional_evaluations.load(std::memory_order_relaxed);
+  return s;
+}
+
+void AtomicStorageMetrics::Reset() {
+  table_rows_read = 0;
+  table_rows_written = 0;
+  table_rows_deleted = 0;
+  index_nodes_read = 0;
+  index_entries_written = 0;
+  lob_chunks_read = 0;
+  lob_chunks_written = 0;
+  lob_bytes_written = 0;
+  file_reads = 0;
+  file_writes = 0;
+  file_bytes_written = 0;
+  temp_rows_written = 0;
+  temp_rows_read = 0;
+  odci_start_calls = 0;
+  odci_fetch_calls = 0;
+  odci_close_calls = 0;
+  odci_maintenance_calls = 0;
+  functional_evaluations = 0;
+}
+
+AtomicStorageMetrics& GlobalMetrics() {
+  static AtomicStorageMetrics* metrics = new AtomicStorageMetrics();
+  return *metrics;
 }
 
 }  // namespace exi

@@ -1,6 +1,7 @@
 #ifndef EXTIDX_COMMON_METRICS_H_
 #define EXTIDX_COMMON_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -11,6 +12,11 @@ namespace exi {
 // fewer callback round-trips) are claims about operation *counts*; benches
 // report these counters alongside wall-clock time so experiments are
 // deterministic across machines.
+//
+// StorageMetrics is a plain value type — the shape benches and tests
+// compute deltas over.  The live process-wide counters are
+// AtomicStorageMetrics (below), since pool workers record storage
+// callbacks concurrently with the consumer thread.
 struct StorageMetrics {
   // Heap/IOT table row operations.
   uint64_t table_rows_read = 0;
@@ -42,14 +48,42 @@ struct StorageMetrics {
   uint64_t odci_maintenance_calls = 0;
   uint64_t functional_evaluations = 0;  // per-row operator function calls
 
-  void Reset() { *this = StorageMetrics(); }
   StorageMetrics Delta(const StorageMetrics& since) const;
   std::string ToString() const;
 };
 
-// Process-wide metrics sink.  The engine is single-threaded by design
-// (see DESIGN.md §5), so a plain global suffices.
-StorageMetrics& GlobalMetrics();
+// The live counters: same fields as StorageMetrics, atomically updatable.
+// Increments from pool workers (scan prefetch, parallel build/join) and the
+// consumer thread interleave; Snapshot() reads a consistent-enough view for
+// accounting (individual loads are atomic; cross-counter skew is acceptable
+// for benchmarking, exactly like Oracle's v$ views).
+struct AtomicStorageMetrics {
+  std::atomic<uint64_t> table_rows_read{0};
+  std::atomic<uint64_t> table_rows_written{0};
+  std::atomic<uint64_t> table_rows_deleted{0};
+  std::atomic<uint64_t> index_nodes_read{0};
+  std::atomic<uint64_t> index_entries_written{0};
+  std::atomic<uint64_t> lob_chunks_read{0};
+  std::atomic<uint64_t> lob_chunks_written{0};
+  std::atomic<uint64_t> lob_bytes_written{0};
+  std::atomic<uint64_t> file_reads{0};
+  std::atomic<uint64_t> file_writes{0};
+  std::atomic<uint64_t> file_bytes_written{0};
+  std::atomic<uint64_t> temp_rows_written{0};
+  std::atomic<uint64_t> temp_rows_read{0};
+  std::atomic<uint64_t> odci_start_calls{0};
+  std::atomic<uint64_t> odci_fetch_calls{0};
+  std::atomic<uint64_t> odci_close_calls{0};
+  std::atomic<uint64_t> odci_maintenance_calls{0};
+  std::atomic<uint64_t> functional_evaluations{0};
+
+  StorageMetrics Snapshot() const;
+  void Reset();
+  std::string ToString() const { return Snapshot().ToString(); }
+};
+
+// Process-wide metrics sink.
+AtomicStorageMetrics& GlobalMetrics();
 
 }  // namespace exi
 

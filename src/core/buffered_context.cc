@@ -1,0 +1,147 @@
+#include "core/buffered_context.h"
+
+namespace exi {
+
+namespace {
+
+Status Unbufferable(const char* what) {
+  return Status::NotSupported(std::string(what) +
+                              " is not bufferable during a parallel build");
+}
+
+}  // namespace
+
+// ---- buffered IOT DML ----
+
+Status BufferingServerContext::IotInsert(const std::string& name, Row row) {
+  ops_.push_back({BufferedOp::Kind::kIotInsert, name, std::move(row), {}});
+  return Status::OK();
+}
+
+Status BufferingServerContext::IotUpsert(const std::string& name, Row row) {
+  ops_.push_back({BufferedOp::Kind::kIotUpsert, name, std::move(row), {}});
+  return Status::OK();
+}
+
+Status BufferingServerContext::IotDelete(const std::string& name,
+                                         const CompositeKey& key) {
+  ops_.push_back({BufferedOp::Kind::kIotDelete, name, {}, key});
+  return Status::OK();
+}
+
+Status BufferingServerContext::Replay(ServerContext& ctx) {
+  for (BufferedOp& op : ops_) {
+    switch (op.kind) {
+      case BufferedOp::Kind::kIotInsert:
+        EXI_RETURN_IF_ERROR(ctx.IotInsert(op.iot, std::move(op.row)));
+        break;
+      case BufferedOp::Kind::kIotUpsert:
+        EXI_RETURN_IF_ERROR(ctx.IotUpsert(op.iot, std::move(op.row)));
+        break;
+      case BufferedOp::Kind::kIotDelete:
+        EXI_RETURN_IF_ERROR(ctx.IotDelete(op.iot, op.key));
+        break;
+    }
+  }
+  ops_.clear();
+  return Status::OK();
+}
+
+// ---- unbufferable mutations ----
+
+Status BufferingServerContext::CreateIot(const std::string&, Schema, size_t) {
+  return Unbufferable("CreateIot");
+}
+Status BufferingServerContext::DropIot(const std::string&) {
+  return Unbufferable("DropIot");
+}
+Status BufferingServerContext::IotTruncate(const std::string&) {
+  return Unbufferable("IotTruncate");
+}
+Status BufferingServerContext::CreateIndexTable(const std::string&, Schema) {
+  return Unbufferable("CreateIndexTable");
+}
+Status BufferingServerContext::DropIndexTable(const std::string&) {
+  return Unbufferable("DropIndexTable");
+}
+Status BufferingServerContext::IndexTableTruncate(const std::string&) {
+  return Unbufferable("IndexTableTruncate");
+}
+Result<RowId> BufferingServerContext::IndexTableInsert(const std::string&,
+                                                       Row) {
+  return Unbufferable("IndexTableInsert");
+}
+Status BufferingServerContext::IndexTableDelete(const std::string&, RowId) {
+  return Unbufferable("IndexTableDelete");
+}
+Result<LobId> BufferingServerContext::CreateLob() {
+  return Unbufferable("CreateLob");
+}
+Status BufferingServerContext::DropLob(LobId) {
+  return Unbufferable("DropLob");
+}
+Status BufferingServerContext::WriteLob(LobId, uint64_t,
+                                        const std::vector<uint8_t>&) {
+  return Unbufferable("WriteLob");
+}
+Status BufferingServerContext::AppendLob(LobId, const std::vector<uint8_t>&) {
+  return Unbufferable("AppendLob");
+}
+Result<FileStore*> BufferingServerContext::ExternalFiles(const std::string&) {
+  return Unbufferable("ExternalFiles");
+}
+
+// ---- forwarded reads ----
+
+bool BufferingServerContext::IotExists(const std::string& name) const {
+  return reads_.IotExists(name);
+}
+Result<Row> BufferingServerContext::IotGet(const std::string& name,
+                                           const CompositeKey& key) const {
+  return reads_.IotGet(name, key);
+}
+Status BufferingServerContext::IotScanPrefix(
+    const std::string& name, const CompositeKey& prefix,
+    const std::function<bool(const Row&)>& visit) const {
+  return reads_.IotScanPrefix(name, prefix, visit);
+}
+Status BufferingServerContext::IotScanRange(
+    const std::string& name, const CompositeKey* lo, bool lo_inclusive,
+    const CompositeKey* hi, bool hi_inclusive,
+    const std::function<bool(const Row&)>& visit) const {
+  return reads_.IotScanRange(name, lo, lo_inclusive, hi, hi_inclusive, visit);
+}
+Result<uint64_t> BufferingServerContext::IotRowCount(
+    const std::string& name) const {
+  return reads_.IotRowCount(name);
+}
+bool BufferingServerContext::IndexTableExists(const std::string& name) const {
+  return reads_.IndexTableExists(name);
+}
+Status BufferingServerContext::IndexTableScan(
+    const std::string& name,
+    const std::function<bool(RowId, const Row&)>& visit) const {
+  return reads_.IndexTableScan(name, visit);
+}
+Result<std::vector<uint8_t>> BufferingServerContext::ReadLob(
+    LobId id, uint64_t offset, uint64_t len) const {
+  return reads_.ReadLob(id, offset, len);
+}
+Result<std::vector<uint8_t>> BufferingServerContext::ReadLobAll(
+    LobId id) const {
+  return reads_.ReadLobAll(id);
+}
+Result<uint64_t> BufferingServerContext::LobSize(LobId id) const {
+  return reads_.LobSize(id);
+}
+Status BufferingServerContext::ScanBaseTable(
+    const std::string& table_name,
+    const std::function<bool(RowId, const Row&)>& visit) const {
+  return reads_.ScanBaseTable(table_name, visit);
+}
+Result<Row> BufferingServerContext::GetBaseTableRow(
+    const std::string& table_name, RowId rid) const {
+  return reads_.GetBaseTableRow(table_name, rid);
+}
+
+}  // namespace exi

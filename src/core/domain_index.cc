@@ -1,7 +1,12 @@
 #include "core/domain_index.h"
 
+#include <algorithm>
+#include <future>
+#include <utility>
+
 #include "common/metrics.h"
 #include "common/strings.h"
+#include "core/buffered_context.h"
 
 namespace exi {
 
@@ -67,9 +72,90 @@ Status DomainIndexManager::CreateIndex(const std::string& index_name,
   if (stats_factory) info->domain_stats = stats_factory();
 
   OdciIndexInfo odci_info = info->ToOdciInfo(table->schema());
+  if (parallelism_ > 1 && info->domain_impl->Capabilities().parallel_build) {
+    Status parallel =
+        ParallelBuild(info.get(), odci_info, table->schema(), txn);
+    if (parallel.ok()) return catalog_->AddIndex(std::move(info));
+    if (parallel.code() != StatusCode::kNotSupported) return parallel;
+    // The cartridge opted out mid-build (an unbufferable operation or no
+    // split build protocol): discard partial storage, rebuild serially.
+    GuardedServerContext cleanup(catalog_, txn, CallbackMode::kDefinition);
+    (void)info->domain_impl->Drop(odci_info, cleanup);
+  }
   GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
   EXI_RETURN_IF_ERROR(info->domain_impl->Create(odci_info, ctx));
   return catalog_->AddIndex(std::move(info));
+}
+
+Status DomainIndexManager::ParallelBuild(IndexInfo* info,
+                                         const OdciIndexInfo& odci_info,
+                                         const Schema& schema,
+                                         Transaction* txn) {
+  OdciIndex* impl = info->domain_impl.get();
+  GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
+  EXI_RETURN_IF_ERROR(impl->CreateStorage(odci_info, ctx));
+
+  // Snapshot (rid, value) pairs for the indexed column up front; workers
+  // never touch shared catalog state except through read-only forwarding
+  // inside their BufferingServerContext.
+  int col = schema.FindColumn(info->columns[0]);
+  if (col < 0) {
+    return Status::Internal("indexed column vanished: " + info->columns[0]);
+  }
+  std::vector<std::pair<RowId, Value>> rows;
+  EXI_RETURN_IF_ERROR(
+      ctx.ScanBaseTable(info->table, [&](RowId rid, const Row& row) {
+        rows.emplace_back(rid, row[col]);
+        return true;
+      }));
+
+  size_t workers = std::min(parallelism_, std::max<size_t>(rows.size(), 1));
+  std::vector<std::unique_ptr<BufferingServerContext>> buffers;
+  buffers.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    buffers.push_back(std::make_unique<BufferingServerContext>(catalog_));
+  }
+
+  // Contiguous chunks so the replay below preserves base-table scan order
+  // across the whole build, making contents deterministic per parallelism.
+  size_t chunk = (rows.size() + workers - 1) / workers;
+  ThreadPool& workpool = pool();
+  workpool.EnsureWorkerCount(workers);
+  std::vector<std::future<Status>> pending;
+  pending.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    size_t begin = std::min(rows.size(), w * chunk);
+    size_t end = std::min(rows.size(), begin + chunk);
+    BufferingServerContext* buf = buffers[w].get();
+    pending.push_back(workpool.Submit([impl, &odci_info, &rows, begin, end,
+                                       buf]() -> Status {
+      for (size_t i = begin; i < end; ++i) {
+        EXI_RETURN_IF_ERROR(
+            impl->Insert(odci_info, rows[i].first, rows[i].second, *buf));
+      }
+      return Status::OK();
+    }));
+  }
+
+  Status build = Status::OK();
+  for (std::future<Status>& f : pending) {
+    Status s = f.get();  // drain every worker before propagating failure
+    if (build.ok() && !s.ok()) build = s;
+  }
+  EXI_RETURN_IF_ERROR(build);
+
+  // Serial replay in chunk order through the real guarded context — undo
+  // logging and CallbackMode enforcement happen here, on this thread.
+  for (std::unique_ptr<BufferingServerContext>& buf : buffers) {
+    EXI_RETURN_IF_ERROR(buf->Replay(ctx));
+  }
+  return Status::OK();
+}
+
+bool DomainIndexManager::ScanIsParallelSafe(const std::string& index_name) {
+  Result<IndexInfo*> index = GetDomainIndex(index_name);
+  if (!index.ok()) return false;
+  return (*index)->domain_impl->Capabilities().parallel_scan;
 }
 
 Status DomainIndexManager::AlterIndex(const std::string& index_name,
@@ -205,6 +291,10 @@ Status DomainIndexManager::Scan::NextBatch(size_t max_rows,
       index_->domain_impl->Fetch(info_, by_value, max_rows, out, *ctx_));
   sctx_.state = by_value.state;  // copy out
   return Status::OK();
+}
+
+bool DomainIndexManager::Scan::parallel_safe() const {
+  return index_->domain_impl->Capabilities().parallel_scan;
 }
 
 Status DomainIndexManager::Scan::Close() {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/thread_pool.h"
 #include "core/callback_guard.h"
 #include "core/odci.h"
 #include "txn/transaction.h"
@@ -19,6 +20,24 @@ namespace exi {
 class DomainIndexManager {
  public:
   explicit DomainIndexManager(Catalog* catalog) : catalog_(catalog) {}
+
+  // ---- concurrency (DESIGN.md §5) ----
+
+  // Degree of parallelism for index builds driven by this manager; the
+  // session knob (Connection::set_parallelism) plumbs through here.  1 =
+  // strictly serial, the pre-parallelism code path.
+  void set_parallelism(size_t n) { parallelism_ = n ? n : 1; }
+  size_t parallelism() const { return parallelism_; }
+
+  // Worker pool used for parallel builds.  Null = the process-wide pool.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool& pool() const {
+    return pool_ != nullptr ? *pool_ : ThreadPool::Global();
+  }
+
+  // True when `index_name` names a domain index whose cartridge declares
+  // the parallel_scan capability (concurrent Start/Fetch/Close are safe).
+  bool ScanIsParallelSafe(const std::string& index_name);
 
   DomainIndexManager(const DomainIndexManager&) = delete;
   DomainIndexManager& operator=(const DomainIndexManager&) = delete;
@@ -73,6 +92,11 @@ class DomainIndexManager {
 
     Status Close();
 
+    // True when the cartridge declares concurrent Start/Fetch/Close safe
+    // (OdciCapabilities::parallel_scan); the executor consults this before
+    // prefetching batches or probing from pool workers.
+    bool parallel_safe() const;
+
    private:
     friend class DomainIndexManager;
     Scan(IndexInfo* index, OdciIndexInfo info,
@@ -110,7 +134,17 @@ class DomainIndexManager {
   Result<IndexInfo*> GetDomainIndex(const std::string& index_name);
   OdciIndexInfo InfoFor(IndexInfo* index);
 
+  // Split build protocol (DESIGN.md §5): CreateStorage on this thread,
+  // ODCIIndexInsert callbacks concurrently on pool workers against
+  // per-worker BufferingServerContexts, then serial replay in chunk order
+  // through the real guarded context.  NotSupported from any step means the
+  // cartridge opted out; the caller falls back to the classic serial Create.
+  Status ParallelBuild(IndexInfo* info, const OdciIndexInfo& odci_info,
+                       const Schema& schema, Transaction* txn);
+
   Catalog* catalog_;
+  size_t parallelism_ = 1;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace exi

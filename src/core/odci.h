@@ -190,6 +190,31 @@ class ServerContext {
                                       RowId rid) const = 0;
 };
 
+// Concurrency capabilities a cartridge declares to the framework
+// (DESIGN.md §5).  Both default off: a cartridge that says nothing gets the
+// exact pre-parallelism serial behavior.
+struct OdciCapabilities {
+  // The framework may drive the initial index build by invoking Insert()
+  // concurrently from pool workers, each against a write-buffering
+  // ServerContext whose queued mutations are merged (replayed serially)
+  // afterwards.  Requires:
+  //  * Insert() writes only through IotInsert/IotUpsert/IotDelete;
+  //  * Insert() never reads index state it (or a sibling insert) wrote —
+  //    buffered writes are invisible until the merge;
+  //  * the final index contents are insensitive to insert order (e.g. the
+  //    IOT key embeds the rowid).
+  // Cartridges implementing this also implement CreateStorage() below.
+  bool parallel_build = false;
+
+  // Start/Fetch/Close touch only per-scan state (the OdciScanContext /
+  // its workspace) plus read-only server callbacks, so distinct scans of
+  // the same index may run concurrently on pool threads (scan prefetch,
+  // parallel domain-index join probes).  Per §2.2.3 the scan context is
+  // already per-scan; this flag additionally promises no mutable globals
+  // or non-atomic shared counters in the scan path.
+  bool parallel_scan = false;
+};
+
 // ---------------------------------------------------------------------------
 // OdciIndex: one instance manages one domain index.
 // ---------------------------------------------------------------------------
@@ -197,8 +222,24 @@ class OdciIndex {
  public:
   virtual ~OdciIndex() = default;
 
+  // What the framework may parallelize for this cartridge.
+  virtual OdciCapabilities Capabilities() const { return {}; }
+
   // ---- index definition (§2.2.3 "ODCIIndex definition methods") ----
   virtual Status Create(const OdciIndexInfo& info, ServerContext& ctx) = 0;
+
+  // Storage-only half of Create for the parallel build protocol: create
+  // the index's persistent structures without scanning the base table.
+  // The framework then populates the index through Insert() calls (on pool
+  // workers when Capabilities().parallel_build allows).  Cartridges that
+  // do not split their build keep the NotSupported default, which makes
+  // the framework fall back to classic serial Create().
+  virtual Status CreateStorage(const OdciIndexInfo& info,
+                               ServerContext& ctx) {
+    (void)info;
+    (void)ctx;
+    return Status::NotSupported("cartridge has no split build protocol");
+  }
   virtual Status Alter(const OdciIndexInfo& info, ServerContext& ctx) = 0;
   virtual Status Truncate(const OdciIndexInfo& info, ServerContext& ctx) = 0;
   virtual Status Drop(const OdciIndexInfo& info, ServerContext& ctx) = 0;

@@ -28,6 +28,7 @@ const char* CallbackModeName(CallbackMode mode) {
 }
 
 uint64_t ScanWorkspaceRegistry::Allocate(std::shared_ptr<void> workspace) {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t handle = next_handle_++;
   workspaces_[handle] = std::move(workspace);
   return handle;
@@ -35,6 +36,7 @@ uint64_t ScanWorkspaceRegistry::Allocate(std::shared_ptr<void> workspace) {
 
 Result<std::shared_ptr<void>> ScanWorkspaceRegistry::Get(
     uint64_t handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = workspaces_.find(handle);
   if (it == workspaces_.end()) {
     return Status::NotFound("no scan workspace with handle " +
@@ -44,6 +46,7 @@ Result<std::shared_ptr<void>> ScanWorkspaceRegistry::Get(
 }
 
 Status ScanWorkspaceRegistry::Release(uint64_t handle) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (workspaces_.erase(handle) == 0) {
     return Status::NotFound("releasing unknown scan workspace handle " +
                             std::to_string(handle));

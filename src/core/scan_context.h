@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "common/result.h"
 
@@ -20,6 +21,12 @@ namespace exi {
 // Fetch, and releases it in Close.  Multiple concurrent scans of the same
 // domain index get distinct handles ("multiple sets of invocations of
 // operators can be interleaved", §2.2.3).
+//
+// The registry is internally synchronized: scan prefetch and parallel
+// domain-index joins allocate/release workspaces from pool threads
+// (DESIGN.md §5).  Workspace *contents* are not locked here — a workspace
+// is touched by at most one in-flight routine per scan, which the
+// framework's one-outstanding-Fetch-per-scan discipline guarantees.
 class ScanWorkspaceRegistry {
  public:
   ScanWorkspaceRegistry() = default;
@@ -42,12 +49,16 @@ class ScanWorkspaceRegistry {
   // Releases the workspace (idempotent: releasing twice errors).
   Status Release(uint64_t handle);
 
-  size_t active_count() const { return workspaces_.size(); }
+  size_t active_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return workspaces_.size();
+  }
 
   // Process-wide registry used by the engine and cartridges.
   static ScanWorkspaceRegistry& Global();
 
  private:
+  mutable std::mutex mu_;
   std::map<uint64_t, std::shared_ptr<void>> workspaces_;
   uint64_t next_handle_ = 1;
 };

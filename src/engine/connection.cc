@@ -425,7 +425,8 @@ Result<QueryResult> Connection::RunSelect(sql::SelectStmt* stmt) {
       break;
     }
   }
-  Planner planner(&db_->catalog(), &db_->domains(), db_->fetch_batch_size());
+  Planner planner(&db_->catalog(), &db_->domains(), db_->fetch_batch_size(),
+                  db_->parallelism());
   EXI_ASSIGN_OR_RETURN(PlannedSelect plan, planner.PlanSelect(stmt));
   QueryResult r;
   r.column_names = plan.column_names;
@@ -449,7 +450,8 @@ Result<QueryResult> Connection::RunExplain(sql::ExplainStmt* stmt) {
   if (stmt->inner->kind != StmtKind::kSelect) {
     return Status::NotSupported("EXPLAIN supports SELECT only");
   }
-  Planner planner(&db_->catalog(), &db_->domains(), db_->fetch_batch_size());
+  Planner planner(&db_->catalog(), &db_->domains(), db_->fetch_batch_size(),
+                  db_->parallelism());
   EXI_ASSIGN_OR_RETURN(
       PlannedSelect plan,
       planner.PlanSelect(static_cast<sql::SelectStmt*>(stmt->inner.get())));

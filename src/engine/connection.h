@@ -45,6 +45,12 @@ class Connection {
 
   Database* db() { return db_; }
 
+  // Session knob: degree of parallelism for domain-index builds, scan
+  // prefetch, and join probes (DESIGN.md §5).  Forwards to the database;
+  // 1 = strictly serial.
+  void set_parallelism(size_t n) { db_->set_parallelism(n); }
+  size_t parallelism() const { return db_->parallelism(); }
+
  private:
   Result<QueryResult> Dispatch(sql::Statement* stmt);
 

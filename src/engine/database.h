@@ -16,8 +16,10 @@ namespace exi {
 // (implementation types, operator functions, object types) against the
 // catalog, then SQL DDL creates the corresponding schema objects.
 //
-// Single-session, single-threaded by design (DESIGN.md §5); open one
-// Connection at a time.
+// Single-session; open one Connection at a time.  The session itself is
+// single-threaded, but with parallelism > 1 the engine farms read-only
+// domain-index work (builds, scan prefetch, join probes) out to a shared
+// worker pool — see DESIGN.md §5 for the concurrency model.
 class Database {
  public:
   Database();
@@ -35,6 +37,16 @@ class Database {
   // (§2.5 batch interface; experiment E7 sweeps it).
   size_t fetch_batch_size() const { return fetch_batch_size_; }
   void set_fetch_batch_size(size_t n) { fetch_batch_size_ = n ? n : 1; }
+
+  // Degree of parallelism for domain-index builds, scan prefetch, and
+  // domain-index join probes (DESIGN.md §5).  1 (the default) keeps every
+  // path strictly serial — byte-identical results and EXPLAIN output to the
+  // pre-parallelism engine.
+  size_t parallelism() const { return parallelism_; }
+  void set_parallelism(size_t n) {
+    parallelism_ = n ? n : 1;
+    domains_.set_parallelism(parallelism_);
+  }
 
   // ---- row mutation with implicit index maintenance (§2.4.1) ----
   // Every mutation maintains built-in indexes natively and domain indexes
@@ -82,6 +94,7 @@ class Database {
   TransactionManager txns_;
   DomainIndexManager domains_;
   size_t fetch_batch_size_ = 64;
+  size_t parallelism_ = 1;
 };
 
 }  // namespace exi

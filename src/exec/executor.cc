@@ -92,12 +92,25 @@ std::string RowIdListScanNode::Describe() const {
 DomainIndexScanNode::DomainIndexScanNode(DomainIndexManager* manager,
                                          const HeapTable* table,
                                          std::string index_name,
-                                         OdciPredInfo pred, size_t batch_size)
+                                         OdciPredInfo pred, size_t batch_size,
+                                         size_t parallelism)
     : manager_(manager),
       table_(table),
       index_name_(std::move(index_name)),
       pred_(std::move(pred)),
-      batch_size_(batch_size) {}
+      batch_size_(batch_size),
+      parallelism_(parallelism ? parallelism : 1) {}
+
+bool DomainIndexScanNode::prefetch_enabled() const {
+  return parallelism_ > 1 && manager_->ScanIsParallelSafe(index_name_);
+}
+
+void DomainIndexScanNode::IssuePrefetch() {
+  inflight_ = manager_->pool().Submit(
+      [scan = scan_.get(), n = batch_size_, out = &next_batch_]() -> Status {
+        return scan->NextBatch(n, out);
+      });
+}
 
 Status DomainIndexScanNode::Open() {
   EXI_ASSIGN_OR_RETURN(scan_, manager_->StartScan(index_name_, pred_));
@@ -105,6 +118,11 @@ Status DomainIndexScanNode::Open() {
   batch_.rids.clear();
   batch_.ancillary.clear();
   exhausted_ = false;
+  prefetch_ = prefetch_enabled();
+  if (prefetch_) {
+    manager_->pool().EnsureWorkerCount(parallelism_);
+    IssuePrefetch();
+  }
   return Status::OK();
 }
 
@@ -112,11 +130,25 @@ Result<bool> DomainIndexScanNode::Next(ExecRow* out) {
   while (true) {
     if (batch_pos_ >= batch_.rids.size()) {
       if (exhausted_) return false;
-      EXI_RETURN_IF_ERROR(scan_->NextBatch(batch_size_, &batch_));
-      batch_pos_ = 0;
-      if (batch_.end_of_scan()) {
-        exhausted_ = true;
-        return false;
+      if (prefetch_) {
+        // Take the batch the pool worker fetched while we were draining the
+        // previous one, and immediately start on the one after.
+        EXI_RETURN_IF_ERROR(inflight_.get());
+        batch_ = std::move(next_batch_);
+        next_batch_ = OdciFetchBatch();
+        batch_pos_ = 0;
+        if (batch_.end_of_scan()) {
+          exhausted_ = true;
+          return false;
+        }
+        IssuePrefetch();
+      } else {
+        EXI_RETURN_IF_ERROR(scan_->NextBatch(batch_size_, &batch_));
+        batch_pos_ = 0;
+        if (batch_.end_of_scan()) {
+          exhausted_ = true;
+          return false;
+        }
       }
     }
     RowId rid = batch_.rids[batch_pos_];
@@ -134,6 +166,8 @@ Result<bool> DomainIndexScanNode::Next(ExecRow* out) {
 }
 
 Status DomainIndexScanNode::Close() {
+  // Join any in-flight prefetch before closing the scan under it.
+  if (inflight_.valid()) (void)inflight_.get();
   if (scan_ != nullptr) {
     Status st = scan_->Close();
     scan_.reset();
@@ -143,8 +177,11 @@ Status DomainIndexScanNode::Close() {
 }
 
 std::string DomainIndexScanNode::Describe() const {
-  return "DomainIndexScan(" + index_name_ + ", op=" + pred_.operator_name +
-         ", batch=" + std::to_string(batch_size_) + ")";
+  std::string desc = "DomainIndexScan(" + index_name_ +
+                     ", op=" + pred_.operator_name +
+                     ", batch=" + std::to_string(batch_size_);
+  if (prefetch_enabled()) desc += ", prefetch";
+  return desc + ")";
 }
 
 // ---- FilterNode ----
@@ -334,7 +371,7 @@ DomainIndexJoinNode::DomainIndexJoinNode(
     DomainIndexManager* manager, const HeapTable* inner, size_t inner_offset,
     size_t inner_width, std::string index_name, std::string op_name,
     std::vector<const sql::Expr*> arg_exprs, const Catalog* catalog,
-    size_t batch_size)
+    size_t batch_size, size_t parallelism)
     : outer_(std::move(outer)),
       outer_offset_(outer_offset),
       outer_width_(outer_width),
@@ -346,14 +383,63 @@ DomainIndexJoinNode::DomainIndexJoinNode(
       op_name_(std::move(op_name)),
       arg_exprs_(std::move(arg_exprs)),
       evaluator_(catalog),
-      batch_size_(batch_size) {}
+      batch_size_(batch_size),
+      parallelism_(parallelism ? parallelism : 1) {}
+
+bool DomainIndexJoinNode::parallel_enabled() const {
+  return parallelism_ > 1 && manager_->ScanIsParallelSafe(index_name_);
+}
 
 Status DomainIndexJoinNode::Open() {
   EXI_RETURN_IF_ERROR(outer_->Open());
   padded_.assign(outer_width_ + inner_width_, Value::Null());
   inner_exhausted_ = true;
   scan_.reset();
+  parallel_ = parallel_enabled();
+  outer_done_ = false;
+  window_.clear();
+  probe_rids_.clear();
+  probe_pos_ = 0;
+  if (parallel_) manager_->pool().EnsureWorkerCount(parallelism_);
   return Status::OK();
+}
+
+Result<bool> DomainIndexJoinNode::EnqueueProbe() {
+  ExecRow outer_row;
+  EXI_ASSIGN_OR_RETURN(bool have, outer_->Next(&outer_row));
+  if (!have) return false;
+  PendingProbe probe;
+  probe.padded.assign(outer_width_ + inner_width_, Value::Null());
+  for (size_t i = 0; i < outer_row.values.size(); ++i) {
+    probe.padded[outer_offset_ + i] = std::move(outer_row.values[i]);
+  }
+  // Argument expressions are evaluated here, on the consumer thread; only
+  // the cartridge probe itself (Start/Fetch*/Close) runs on the pool.
+  OdciPredInfo pred;
+  pred.operator_name = op_name_;
+  for (const sql::Expr* e : arg_exprs_) {
+    EXI_ASSIGN_OR_RETURN(Value v, evaluator_.Eval(*e, probe.padded));
+    pred.args.push_back(std::move(v));
+  }
+  pred.lower_bound = Value::Boolean(true);
+  pred.upper_bound = Value::Boolean(true);
+  probe.rids = manager_->pool().Submit(
+      [manager = manager_, index = index_name_, pred = std::move(pred),
+       n = batch_size_]() -> Result<std::vector<RowId>> {
+        EXI_ASSIGN_OR_RETURN(std::unique_ptr<DomainIndexManager::Scan> scan,
+                             manager->StartScan(index, pred));
+        std::vector<RowId> rids;
+        OdciFetchBatch batch;
+        while (true) {
+          EXI_RETURN_IF_ERROR(scan->NextBatch(n, &batch));
+          if (batch.end_of_scan()) break;
+          rids.insert(rids.end(), batch.rids.begin(), batch.rids.end());
+        }
+        EXI_RETURN_IF_ERROR(scan->Close());
+        return rids;
+      });
+  window_.push_back(std::move(probe));
+  return true;
 }
 
 Result<bool> DomainIndexJoinNode::AdvanceOuter() {
@@ -387,6 +473,34 @@ Result<bool> DomainIndexJoinNode::AdvanceOuter() {
 }
 
 Result<bool> DomainIndexJoinNode::Next(ExecRow* out) {
+  if (parallel_) {
+    while (true) {
+      // Keep a window of parallelism*2 probes in flight so workers stay
+      // busy while the consumer merges the front probe's matches.
+      while (!outer_done_ && window_.size() < parallelism_ * 2) {
+        EXI_ASSIGN_OR_RETURN(bool have, EnqueueProbe());
+        if (!have) outer_done_ = true;
+      }
+      if (probe_pos_ < probe_rids_.size()) {
+        RowId rid = probe_rids_[probe_pos_++];
+        Result<Row> inner_row = inner_->Get(rid);
+        if (!inner_row.ok()) continue;  // stale rowid
+        out->values = padded_;
+        for (size_t i = 0; i < inner_row->size(); ++i) {
+          out->values[inner_offset_ + i] = std::move((*inner_row)[i]);
+        }
+        out->rid = kInvalidRowId;
+        out->ancillary = Value::Null();
+        return true;
+      }
+      if (window_.empty()) return false;
+      PendingProbe probe = std::move(window_.front());
+      window_.pop_front();
+      EXI_ASSIGN_OR_RETURN(probe_rids_, probe.rids.get());
+      probe_pos_ = 0;
+      padded_ = std::move(probe.padded);
+    }
+  }
   while (true) {
     if (inner_exhausted_) {
       EXI_ASSIGN_OR_RETURN(bool have, AdvanceOuter());
@@ -414,6 +528,13 @@ Result<bool> DomainIndexJoinNode::Next(ExecRow* out) {
 }
 
 Status DomainIndexJoinNode::Close() {
+  // Join outstanding probes before tearing anything down; each probe closes
+  // its own scan on the worker.
+  while (!window_.empty()) {
+    PendingProbe probe = std::move(window_.front());
+    window_.pop_front();
+    if (probe.rids.valid()) (void)probe.rids.get();
+  }
   if (scan_ != nullptr) {
     EXI_RETURN_IF_ERROR(scan_->Close());
     scan_.reset();
@@ -422,8 +543,12 @@ Status DomainIndexJoinNode::Close() {
 }
 
 std::string DomainIndexJoinNode::Describe() const {
-  return "DomainIndexJoin(inner=" + inner_->name() + " via " + index_name_ +
-         ", op=" + op_name_ + ")";
+  std::string desc = "DomainIndexJoin(inner=" + inner_->name() + " via " +
+                     index_name_ + ", op=" + op_name_;
+  if (parallel_enabled()) {
+    desc += ", parallel=" + std::to_string(parallelism_);
+  }
+  return desc + ")";
 }
 
 std::vector<const ExecNode*> DomainIndexJoinNode::Children() const {

@@ -1,6 +1,8 @@
 #ifndef EXTIDX_EXEC_EXECUTOR_H_
 #define EXTIDX_EXEC_EXECUTOR_H_
 
+#include <deque>
+#include <future>
 #include <memory>
 #include <set>
 #include <string>
@@ -84,11 +86,17 @@ class RowIdListScanNode : public ExecNode {
 // DomainIndexManager and pipelines the returned RowIds into base-table
 // fetches.  `batch_size` is the ODCIIndexFetch batch size (§2.5 batch
 // interface).
+//
+// With `parallelism` > 1 and a parallel_scan-capable cartridge, the node
+// double-buffers: while the consumer drains batch N, a pool task runs the
+// ODCIIndexFetch for batch N+1 (at most one outstanding fetch per scan —
+// the Scan object itself is never touched by two threads at once).  With
+// parallelism == 1 the pre-parallelism serial path runs unchanged.
 class DomainIndexScanNode : public ExecNode {
  public:
   DomainIndexScanNode(DomainIndexManager* manager, const HeapTable* table,
                       std::string index_name, OdciPredInfo pred,
-                      size_t batch_size = 64);
+                      size_t batch_size = 64, size_t parallelism = 1);
 
   Status Open() override;
   Result<bool> Next(ExecRow* out) override;
@@ -96,15 +104,25 @@ class DomainIndexScanNode : public ExecNode {
   std::string Describe() const override;
 
  private:
+  bool prefetch_enabled() const;
+  void IssuePrefetch();
+
   DomainIndexManager* manager_;
   const HeapTable* table_;
   std::string index_name_;
   OdciPredInfo pred_;
   size_t batch_size_;
+  size_t parallelism_;
   std::unique_ptr<DomainIndexManager::Scan> scan_;
   OdciFetchBatch batch_;
   size_t batch_pos_ = 0;
   bool exhausted_ = false;
+
+  // Prefetch state: `inflight_` is valid() iff a pool task is filling
+  // `next_batch_`; the consumer must get() before touching it.
+  bool prefetch_ = false;
+  std::future<Status> inflight_;
+  OdciFetchBatch next_batch_;
 };
 
 // ---- relational operators ----
@@ -201,6 +219,14 @@ class IndexJoinNode : public ExecNode {
 //
 // Output rows are full-width in FROM order regardless of which side drives:
 // outer values land at `outer_offset`, inner values at `inner_offset`.
+//
+// With `parallelism` > 1 and a parallel_scan-capable inner cartridge, the
+// node keeps a window of outstanding probes: outer rows are drafted (and
+// their operator arguments evaluated, on the consumer thread — Evaluator is
+// not audited for concurrent use), then each probe's Start/Fetch*/Close runs
+// as a pool task.  Completed probes are merged strictly in outer order, so
+// output ordering matches the serial plan.  With parallelism == 1 the
+// pre-parallelism serial path runs unchanged.
 class DomainIndexJoinNode : public ExecNode {
  public:
   DomainIndexJoinNode(std::unique_ptr<ExecNode> outer, size_t outer_offset,
@@ -209,7 +235,8 @@ class DomainIndexJoinNode : public ExecNode {
                       size_t inner_width, std::string index_name,
                       std::string op_name,
                       std::vector<const sql::Expr*> arg_exprs,
-                      const Catalog* catalog, size_t batch_size = 64);
+                      const Catalog* catalog, size_t batch_size = 64,
+                      size_t parallelism = 1);
 
   Status Open() override;
   Result<bool> Next(ExecRow* out) override;
@@ -218,8 +245,13 @@ class DomainIndexJoinNode : public ExecNode {
   std::vector<const ExecNode*> Children() const override;
 
  private:
-  // Advances to the next outer row and starts its inner scan.
+  // Advances to the next outer row and starts its inner scan (serial path).
   Result<bool> AdvanceOuter();
+
+  bool parallel_enabled() const;
+  // Drafts the next outer row and submits its probe to the pool.  Returns
+  // false when the outer input is exhausted.
+  Result<bool> EnqueueProbe();
 
   std::unique_ptr<ExecNode> outer_;
   size_t outer_offset_;
@@ -233,12 +265,24 @@ class DomainIndexJoinNode : public ExecNode {
   std::vector<const sql::Expr*> arg_exprs_;
   Evaluator evaluator_;
   size_t batch_size_;
+  size_t parallelism_;
 
   Row padded_;  // full-width row holding the current outer values
   std::unique_ptr<DomainIndexManager::Scan> scan_;
   OdciFetchBatch batch_;
   size_t batch_pos_ = 0;
   bool inner_exhausted_ = true;
+
+  // Parallel-probe state.  FIFO pops preserve outer order.
+  struct PendingProbe {
+    Row padded;  // full-width row with this probe's outer values installed
+    std::future<Result<std::vector<RowId>>> rids;
+  };
+  bool parallel_ = false;
+  bool outer_done_ = false;
+  std::deque<PendingProbe> window_;
+  std::vector<RowId> probe_rids_;
+  size_t probe_pos_ = 0;
 };
 
 class SortNode : public ExecNode {

@@ -468,10 +468,11 @@ Result<std::unique_ptr<ExecNode>> Planner::PlanTableAccess(
         OdciPredInfo pred = dm->pred;
         DomainIndexManager* domains = domains_;
         size_t batch = fetch_batch_;
-        c.build = [domains, heap, index_name, pred,
-                   batch]() -> Result<std::unique_ptr<ExecNode>> {
+        size_t dop = parallelism_;
+        c.build = [domains, heap, index_name, pred, batch,
+                   dop]() -> Result<std::unique_ptr<ExecNode>> {
           return std::unique_ptr<ExecNode>(new DomainIndexScanNode(
-              domains, heap, index_name, pred, batch));
+              domains, heap, index_name, pred, batch, dop));
         };
         candidates.push_back(std::move(c));
       }
@@ -558,7 +559,8 @@ Result<std::unique_ptr<ExecNode>> Planner::TryDomainIndexJoin(
           std::move(outer_scan), outer_t.slot_offset,
           outer_t.schema->size(), domains_, env.heaps[inner_idx],
           inner_t.slot_offset, inner_t.schema->size(), idx->name,
-          e->function, std::move(arg_exprs), catalog_, fetch_batch_);
+          e->function, std::move(arg_exprs), catalog_, fetch_batch_,
+          parallelism_);
       conjuncts->erase(conjuncts->begin() + ci);
       return std::unique_ptr<ExecNode>(std::move(node));
     }

@@ -35,12 +35,16 @@ struct PlannedSelect {
 class Planner {
  public:
   // `default_fetch_batch` is the ODCIIndexFetch batch size used by
-  // domain-index scan nodes (experiment E7 sweeps it).
+  // domain-index scan nodes (experiment E7 sweeps it).  `parallelism` is
+  // the session's degree of parallelism (DESIGN.md §5): >1 enables scan
+  // prefetch and windowed join probes on capable cartridges; 1 keeps every
+  // plan on the serial path.
   Planner(Catalog* catalog, DomainIndexManager* domains,
-          size_t default_fetch_batch = 64)
+          size_t default_fetch_batch = 64, size_t parallelism = 1)
       : catalog_(catalog),
         domains_(domains),
-        fetch_batch_(default_fetch_batch) {}
+        fetch_batch_(default_fetch_batch),
+        parallelism_(parallelism ? parallelism : 1) {}
 
   // Binds and plans the statement.  The statement is annotated in place and
   // must outlive the returned plan.
@@ -75,6 +79,7 @@ class Planner {
   Catalog* catalog_;
   DomainIndexManager* domains_;
   size_t fetch_batch_;
+  size_t parallelism_;
 };
 
 }  // namespace exi

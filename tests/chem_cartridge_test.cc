@@ -179,32 +179,32 @@ TEST_F(ChemCartridgeTest, MaintenanceAndTombstones) {
 
 TEST_F(ChemCartridgeTest, FileStorageWorksAndCostsMoreWrites) {
   LoadSampleMolecules();
-  StorageMetrics before = GlobalMetrics();
+  StorageMetrics before = GlobalMetrics().Snapshot();
   conn_.MustExecute(
       "CREATE INDEX mol_file_idx ON mols(smiles) INDEXTYPE IS "
       "ChemIndexType PARAMETERS (':Storage file')");
-  StorageMetrics file_build = GlobalMetrics().Delta(before);
+  StorageMetrics file_build = GlobalMetrics().Snapshot().Delta(before);
   EXPECT_GT(file_build.file_writes, 0u);
   EXPECT_EQ(QueryIds("MolContains(smiles, 'C=O')"),
             (std::set<int64_t>{2, 6}));
 
   // Incremental maintenance rewrites the whole file per row (§3.2.4: the
   // LOB scheme "minimizes intermediate write operations").
-  before = GlobalMetrics();
+  before = GlobalMetrics().Snapshot();
   InsertMol(10, "C=O");
   InsertMol(11, "CC=O");
-  StorageMetrics file_maint = GlobalMetrics().Delta(before);
+  StorageMetrics file_maint = GlobalMetrics().Snapshot().Delta(before);
   EXPECT_GE(file_maint.file_writes, 2u);
   EXPECT_GT(file_maint.file_bytes_written,
             2 * kFingerprintRecordBytes);  // whole-file rewrites
 
   conn_.MustExecute("DROP INDEX mol_file_idx");
-  before = GlobalMetrics();
+  before = GlobalMetrics().Snapshot();
   conn_.MustExecute(
       "CREATE INDEX mol_lob_idx ON mols(smiles) INDEXTYPE IS "
       "ChemIndexType");
   InsertMol(12, "OCC=O");
-  StorageMetrics lob_maint = GlobalMetrics().Delta(before);
+  StorageMetrics lob_maint = GlobalMetrics().Snapshot().Delta(before);
   EXPECT_EQ(lob_maint.file_writes, 0u);
   EXPECT_GT(lob_maint.lob_chunks_written, 0u);
 }
@@ -225,9 +225,9 @@ TEST_F(ChemCartridgeTest, ExternalStoreEscapesRollback) {
   // query for it returns a stale rowid that no longer resolves, which the
   // executor silently drops — so instead inspect the index funnel: the
   // fingerprint file grew and was not shrunk by the rollback.
-  StorageMetrics before = GlobalMetrics();
+  StorageMetrics before = GlobalMetrics().Snapshot();
   EXPECT_TRUE(QueryIds("MolContains(smiles, 'ClCCCl')").empty());
-  StorageMetrics delta = GlobalMetrics().Delta(before);
+  StorageMetrics delta = GlobalMetrics().Snapshot().Delta(before);
   EXPECT_GT(delta.file_reads, 0u);
 }
 

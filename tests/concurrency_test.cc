@@ -1,0 +1,261 @@
+// Concurrency tests for the worker-pool execution paths (DESIGN.md §5):
+// simultaneous domain-index scans from pool threads must match a serial
+// scan exactly, parallel index builds must produce the same query results
+// as serial builds, and parallel domain-index joins must emit the same
+// rows in the same order as the serial plan.
+//
+// Build with -DEXTIDX_SANITIZE=thread to run these under TSan.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <set>
+#include <vector>
+
+#include "cartridge/spatial/geometry.h"
+#include "cartridge/spatial/spatial_cartridge.h"
+#include "cartridge/text/text_cartridge.h"
+#include "cartridge/vir/signature.h"
+#include "cartridge/vir/vir_cartridge.h"
+#include "common/thread_pool.h"
+#include "core/domain_index.h"
+#include "engine/connection.h"
+#include "engine/workloads.h"
+
+namespace exi {
+namespace {
+
+constexpr size_t kThreads = 8;
+
+// Drains a domain-index scan into a rid vector.
+Result<std::vector<RowId>> DrainScan(DomainIndexManager* domains,
+                                     const std::string& index_name,
+                                     const OdciPredInfo& pred) {
+  EXI_ASSIGN_OR_RETURN(std::unique_ptr<DomainIndexManager::Scan> scan,
+                       domains->StartScan(index_name, pred));
+  std::vector<RowId> rids;
+  OdciFetchBatch batch;
+  while (true) {
+    EXI_RETURN_IF_ERROR(scan->NextBatch(16, &batch));
+    if (batch.end_of_scan()) break;
+    rids.insert(rids.end(), batch.rids.begin(), batch.rids.end());
+  }
+  EXI_RETURN_IF_ERROR(scan->Close());
+  return rids;
+}
+
+// Runs kThreads copies of the same scan concurrently on the pool and
+// asserts every one returns exactly the serial result.
+void ExpectConcurrentScansMatchSerial(DomainIndexManager* domains,
+                                      const std::string& index_name,
+                                      const OdciPredInfo& pred) {
+  Result<std::vector<RowId>> serial = DrainScan(domains, index_name, pred);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  ThreadPool& pool = ThreadPool::Global();
+  pool.EnsureWorkerCount(kThreads);
+  std::vector<std::future<Result<std::vector<RowId>>>> futures;
+  for (size_t i = 0; i < kThreads; ++i) {
+    futures.push_back(pool.Submit([domains, index_name, pred]() {
+      return DrainScan(domains, index_name, pred);
+    }));
+  }
+  for (auto& f : futures) {
+    Result<std::vector<RowId>> got = f.get();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, *serial);
+  }
+}
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  ConcurrencyTest() : conn_(&db_) {
+    EXPECT_TRUE(text::InstallTextCartridge(&conn_).ok());
+    EXPECT_TRUE(spatial::InstallSpatialCartridge(&conn_).ok());
+    EXPECT_TRUE(vir::InstallVirCartridge(&conn_).ok());
+  }
+
+  Database db_;
+  Connection conn_;
+};
+
+TEST_F(ConcurrencyTest, ConcurrentTextScansMatchSerial) {
+  ASSERT_TRUE(
+      workload::BuildTextTable(&conn_, "docs", 300, 20, 500, 0.8, 7).ok());
+  conn_.MustExecute(
+      "CREATE INDEX docs_text ON docs(body) INDEXTYPE IS TextIndexType");
+  OdciPredInfo pred = OdciPredInfo::BooleanTrue(
+      "Contains", {Value::Varchar("w0")});
+  ExpectConcurrentScansMatchSerial(&db_.domains(), "docs_text", pred);
+}
+
+TEST_F(ConcurrencyTest, ConcurrentSpatialScansMatchSerial) {
+  ASSERT_TRUE(
+      workload::BuildSpatialTable(&conn_, "parks", 300, 80.0, 11).ok());
+  conn_.MustExecute(
+      "CREATE INDEX parks_tile ON parks(geometry) "
+      "INDEXTYPE IS SpatialIndexType");
+  spatial::Geometry query{100.0, 100.0, 600.0, 600.0};
+  OdciPredInfo pred = OdciPredInfo::BooleanTrue(
+      "Sdo_Relate",
+      {spatial::ToValue(query), Value::Varchar("mask=ANYINTERACT")});
+  ExpectConcurrentScansMatchSerial(&db_.domains(), "parks_tile", pred);
+}
+
+TEST_F(ConcurrencyTest, ConcurrentVirScansMatchSerial) {
+  ASSERT_TRUE(workload::BuildImageTable(&conn_, "imgs", 300, 4, 0.1, 3).ok());
+  conn_.MustExecute(
+      "CREATE INDEX imgs_vir ON imgs(img) INDEXTYPE IS VirIndexType");
+  workload::SignatureSource source(4, 0.1, 3);
+  OdciPredInfo pred = OdciPredInfo::BooleanTrue(
+      "VIRSimilar",
+      {vir::ToValue(source.Next()), Value::Varchar(""), Value::Double(0.8)});
+  ExpectConcurrentScansMatchSerial(&db_.domains(), "imgs_vir", pred);
+}
+
+// ---- parallel build equivalence ----
+
+// Builds the same seeded workload in two databases — one at parallelism 1,
+// one at parallelism 4 — and asserts the given query returns identical
+// rows from both.
+void ExpectBuildEquivalence(
+    const std::function<Status(Connection*)>& build_table,
+    const std::string& create_index, const std::string& query) {
+  QueryResult serial, parallel;
+  {
+    Database db;
+    Connection conn(&db);
+    ASSERT_TRUE(text::InstallTextCartridge(&conn).ok());
+    ASSERT_TRUE(spatial::InstallSpatialCartridge(&conn).ok());
+    ASSERT_TRUE(vir::InstallVirCartridge(&conn).ok());
+    ASSERT_TRUE(build_table(&conn).ok());
+    conn.MustExecute(create_index);
+    serial = conn.MustExecute(query);
+  }
+  {
+    Database db;
+    Connection conn(&db);
+    ASSERT_TRUE(text::InstallTextCartridge(&conn).ok());
+    ASSERT_TRUE(spatial::InstallSpatialCartridge(&conn).ok());
+    ASSERT_TRUE(vir::InstallVirCartridge(&conn).ok());
+    db.set_parallelism(4);
+    ASSERT_TRUE(build_table(&conn).ok());
+    conn.MustExecute(create_index);
+    parallel = conn.MustExecute(query);
+  }
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_EQ(CompareKeys(serial.rows[i], parallel.rows[i]), 0)
+        << "row " << i << " differs";
+  }
+}
+
+TEST(ParallelBuildTest, TextIndexMatchesSerialBuild) {
+  ExpectBuildEquivalence(
+      [](Connection* conn) {
+        return workload::BuildTextTable(conn, "docs", 400, 15, 300, 0.8, 21);
+      },
+      "CREATE INDEX docs_text ON docs(body) INDEXTYPE IS TextIndexType",
+      "SELECT id FROM docs WHERE Contains(body, 'w1') ORDER BY id");
+}
+
+TEST(ParallelBuildTest, SpatialIndexMatchesSerialBuild) {
+  ExpectBuildEquivalence(
+      [](Connection* conn) {
+        return workload::BuildSpatialTable(conn, "parks", 400, 60.0, 5);
+      },
+      "CREATE INDEX parks_tile ON parks(geometry) "
+      "INDEXTYPE IS SpatialIndexType",
+      "SELECT gid FROM parks WHERE Sdo_Relate(geometry, "
+      "SDO_GEOMETRY(200,200,700,700), 'mask=ANYINTERACT') ORDER BY gid");
+}
+
+TEST(ParallelBuildTest, VirIndexMatchesSerialBuild) {
+  ExpectBuildEquivalence(
+      [](Connection* conn) {
+        return workload::BuildImageTable(conn, "imgs", 400, 4, 0.1, 9);
+      },
+      "CREATE INDEX imgs_vir ON imgs(img) INDEXTYPE IS VirIndexType",
+      "SELECT id FROM imgs WHERE VIRSimilar(img, "
+      "IMAGE_T(0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,"
+      "0.5,0.5), 'globalcolor=1', 0.9) ORDER BY id");
+}
+
+// ---- parallel query equivalence (prefetch + windowed join probes) ----
+
+class ParallelQueryTest : public ::testing::Test {
+ protected:
+  ParallelQueryTest() : conn_(&db_) {
+    EXPECT_TRUE(text::InstallTextCartridge(&conn_).ok());
+    EXPECT_TRUE(spatial::InstallSpatialCartridge(&conn_).ok());
+  }
+
+  Database db_;
+  Connection conn_;
+};
+
+TEST_F(ParallelQueryTest, PrefetchedScanMatchesSerial) {
+  ASSERT_TRUE(
+      workload::BuildTextTable(&conn_, "docs", 500, 20, 400, 0.8, 13).ok());
+  conn_.MustExecute(
+      "CREATE INDEX docs_text ON docs(body) INDEXTYPE IS TextIndexType");
+  conn_.MustExecute("ANALYZE docs");
+  const std::string q =
+      "SELECT id FROM docs WHERE Contains(body, 'w2') ORDER BY id";
+  QueryResult serial = conn_.MustExecute(q);
+  db_.set_parallelism(4);
+  QueryResult parallel = conn_.MustExecute(q);
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_EQ(CompareKeys(serial.rows[i], parallel.rows[i]), 0);
+  }
+}
+
+TEST_F(ParallelQueryTest, ParallelJoinMatchesSerialRowForRow) {
+  ASSERT_TRUE(
+      workload::BuildSpatialTable(&conn_, "roads", 60, 500.0, 17).ok());
+  ASSERT_TRUE(
+      workload::BuildSpatialTable(&conn_, "parks", 200, 300.0, 19).ok());
+  conn_.MustExecute(
+      "CREATE INDEX p_tile ON parks(geometry) INDEXTYPE IS SpatialIndexType");
+  conn_.MustExecute("ANALYZE roads");
+  conn_.MustExecute("ANALYZE parks");
+  const std::string q =
+      "SELECT r.gid, p.gid FROM roads r, parks p "
+      "WHERE Sdo_Relate(p.geometry, r.geometry, 'mask=ANYINTERACT')";
+  QueryResult serial = conn_.MustExecute(q);
+  ASSERT_GT(serial.rows.size(), 0u);
+  db_.set_parallelism(4);
+  QueryResult parallel = conn_.MustExecute(q);
+  // Row-for-row identical: the parallel join merges probes in outer order.
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_EQ(CompareKeys(serial.rows[i], parallel.rows[i]), 0)
+        << "row " << i << " differs";
+  }
+}
+
+TEST_F(ParallelQueryTest, SerialExplainCarriesNoParallelMarkers) {
+  ASSERT_TRUE(
+      workload::BuildTextTable(&conn_, "docs", 100, 15, 200, 0.8, 23).ok());
+  conn_.MustExecute(
+      "CREATE INDEX docs_text ON docs(body) INDEXTYPE IS TextIndexType");
+  conn_.MustExecute("ANALYZE docs");
+  const std::string q =
+      "EXPLAIN SELECT id FROM docs WHERE Contains(body, 'w0')";
+  QueryResult serial = conn_.MustExecute(q);
+  EXPECT_EQ(serial.message.find("prefetch"), std::string::npos);
+  EXPECT_EQ(serial.message.find("parallel"), std::string::npos);
+
+  db_.set_parallelism(4);
+  QueryResult parallel = conn_.MustExecute(q);
+  EXPECT_NE(parallel.message.find("prefetch"), std::string::npos);
+
+  // Dropping back to 1 restores the exact serial EXPLAIN text.
+  db_.set_parallelism(1);
+  QueryResult again = conn_.MustExecute(q);
+  EXPECT_EQ(serial.message, again.message);
+}
+
+}  // namespace
+}  // namespace exi

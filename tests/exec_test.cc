@@ -135,10 +135,10 @@ TEST(PlannerTest, MergedRangeUsesBothBounds) {
   }
   conn.MustExecute("CREATE INDEX tv ON t(v)");
   conn.MustExecute("ANALYZE t");
-  StorageMetrics before = GlobalMetrics();
+  StorageMetrics before = GlobalMetrics().Snapshot();
   QueryResult r = conn.MustExecute(
       "SELECT COUNT(*) FROM t WHERE v >= 100 AND v < 110");
-  StorageMetrics delta = GlobalMetrics().Delta(before);
+  StorageMetrics delta = GlobalMetrics().Snapshot().Delta(before);
   EXPECT_EQ(r.rows[0][0].AsInteger(), 10);
   // A bounded range touches few rows; an unbounded one would read ~900.
   EXPECT_LT(delta.table_rows_read, 50u);

@@ -206,24 +206,24 @@ TEST_F(TextCartridgeTest, LegacyTwoStepMatchesDomainIndexResults) {
     InsertResume("p" + std::to_string(i), i,
                  i % 5 == 0 ? "oracle and unix" : "neither");
   }
-  StorageMetrics before = GlobalMetrics();
+  StorageMetrics before = GlobalMetrics().Snapshot();
   std::vector<RowId> legacy_rids;
   ASSERT_TRUE(text::LegacyTextQuery(&db_, "rti", "oracle AND unix",
                                     [&](RowId rid, const Row&) {
                                       legacy_rids.push_back(rid);
                                     })
                   .ok());
-  StorageMetrics delta = GlobalMetrics().Delta(before);
+  StorageMetrics delta = GlobalMetrics().Snapshot().Delta(before);
   EXPECT_EQ(legacy_rids.size(), 10u);
   // The legacy path pays temp-table traffic the pipelined path avoids.
   EXPECT_EQ(delta.temp_rows_written, 10u);
   EXPECT_EQ(delta.temp_rows_read, 10u);
 
-  before = GlobalMetrics();
+  before = GlobalMetrics().Snapshot();
   QueryResult r = conn_.MustExecute(
       "SELECT name FROM employees WHERE Contains(resume, 'oracle AND "
       "unix')");
-  delta = GlobalMetrics().Delta(before);
+  delta = GlobalMetrics().Snapshot().Delta(before);
   EXPECT_EQ(r.rows.size(), 10u);
   EXPECT_EQ(delta.temp_rows_written, 0u);
   EXPECT_EQ(delta.temp_rows_read, 0u);
