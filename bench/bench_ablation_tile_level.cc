@@ -51,5 +51,6 @@ int main() {
       "\nshape check: hits are identical at every level (tile level is a\n"
       "performance knob, never a correctness one); index size grows with\n"
       "refinement while per-query reads bottom out at a sweet spot.\n");
+  JsonReport("ablation_tile_level").Write();
   return 0;
 }

@@ -91,5 +91,6 @@ int main() {
       "\nshape check: the phase-1 bucket window shrinks the candidate set\n"
       "before any per-candidate work; without it, phase 2 must scan every\n"
       "coarse record — still far better than full signature comparisons.\n");
+  JsonReport("ablation_vir_phases").Write();
   return 0;
 }

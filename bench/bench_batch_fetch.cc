@@ -65,5 +65,6 @@ int main() {
   std::printf(
       "\nshape check: round-trips fall ~linearly with batch size and wall\n"
       "time improves until dispatch overhead stops dominating.\n");
+  JsonReport("batch_fetch").Write();
   return 0;
 }

@@ -79,5 +79,6 @@ int main() {
       "size), while LOB maintenance appends in place; query times stay\n"
       "comparable — the paper's rationale for migrating Daylight's\n"
       "file-based index into LOBs.\n");
+  JsonReport("chem_lob_vs_file").Write();
   return 0;
 }

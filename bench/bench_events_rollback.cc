@@ -94,5 +94,6 @@ int main() {
       "with the abort rate (the §5 limitation); with rollback handlers\n"
       "registered, phantoms stay at zero for the price of rebuilding the\n"
       "external file after each abort.\n");
+  JsonReport("events_rollback").Write();
   return 0;
 }

@@ -126,5 +126,6 @@ int main() {
       "\nshape check: the domain-index B-tree pays a constant-factor\n"
       "dispatch/callback overhead over the native B-tree but scales the\n"
       "same — the framework's practicality claim (§4).\n");
+  JsonReport("framework_overhead").Write();
   return 0;
 }

@@ -77,5 +77,6 @@ int main() {
       "B-tree and applies Contains functionally; bottom-right (rare term,\n"
       "wide range) chooses the domain index — the paper's §2.4.2\n"
       "cost-based decision.\n");
+  JsonReport("optimizer_choice").Write();
   return 0;
 }

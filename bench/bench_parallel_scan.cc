@@ -196,9 +196,11 @@ int main() {
   std::fprintf(f, "  \"join_result_rows\": %zu,\n", join_rows);
   std::fprintf(f, "  \"build_speedup_4_workers\": %.2f,\n",
                Speedup(build_ms, 4));
-  std::fprintf(f, "  \"join_speedup_4_workers\": %.2f\n",
+  std::fprintf(f, "  \"join_speedup_4_workers\": %.2f,\n",
                Speedup(join_ms, 4));
-  std::fprintf(f, "}\n");
+  std::fprintf(f, "  \"odci_calls\": ");
+  WriteOdciJsonArray(f, "    ");
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("\nwrote BENCH_parallel.json (build 4w speedup %.2fx, "
               "join 4w speedup %.2fx)\n",

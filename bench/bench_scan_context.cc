@@ -82,5 +82,6 @@ int main() {
       "\nshape check: for small result sets the two mechanisms tie; as the\n"
       "result set grows, Return State degrades quadratically (each fetch\n"
       "copies the whole remaining state) — the paper's rule of thumb.\n");
+  JsonReport("scan_context").Write();
   return 0;
 }

@@ -128,5 +128,6 @@ int main() {
       "\nshape check: both indexed joins scale far below brute force and\n"
       "stay within a small factor of each other (the paper: 'as good as\n"
       "the performance of the prior implementation').\n");
+  JsonReport("spatial_relate").Write();
   return 0;
 }

@@ -93,5 +93,6 @@ int main() {
       "\nshape check: incremental time-to-first-row is flat and small;\n"
       "precompute pays the full evaluation at Start; the legacy plan pays\n"
       "full evaluation plus temp-table materialization before row 1.\n");
+  JsonReport("text_first_row").Write();
   return 0;
 }

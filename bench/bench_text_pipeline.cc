@@ -129,5 +129,6 @@ int main() {
       "\nshape check: pipelined never touches a temp table; the legacy\n"
       "plan pays temp writes+reads proportional to the result set and a\n"
       "join back to the base table.\n");
+  JsonReport("text_pipeline").Write();
   return 0;
 }

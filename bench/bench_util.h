@@ -4,8 +4,11 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/metrics.h"
+#include "common/tracer.h"
 
 namespace exi::bench {
 
@@ -42,6 +45,96 @@ class MetricsWindow {
 inline void Header(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
+
+// Minimal JSON string escaping; bench labels and notes are ASCII.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// Emits the global Tracer's per-routine counters as a JSON array, one
+// object per traced (indextype, routine) — the bench-side view of
+// V$ODCI_CALLS.  `indent` prefixes each array element line.
+inline void WriteOdciJsonArray(FILE* f, const char* indent) {
+  TracerSnapshot traced = Tracer::Global().Snapshot();
+  std::fprintf(f, "[");
+  bool first = true;
+  for (const auto& [key, stats] : traced) {
+    std::fprintf(f, "%s\n%s{\"indextype\": \"%s\", \"cartridge\": \"%s\", "
+                 "\"routine\": \"%s\", \"calls\": %llu, \"errors\": %llu, "
+                 "\"total_us\": %lld, \"avg_us\": %.1f}",
+                 first ? "" : ",", indent, JsonEscape(key.first).c_str(),
+                 JsonEscape(stats.cartridge).c_str(),
+                 JsonEscape(key.second).c_str(),
+                 (unsigned long long)stats.calls,
+                 (unsigned long long)stats.errors,
+                 (long long)stats.total_us, stats.avg_us());
+    first = false;
+  }
+  std::fprintf(f, "%s%s]", first ? "" : "\n", first ? "" : indent);
+}
+
+// Accumulates named scalars and writes BENCH_<name>.json, always appending
+// an "odci_calls" array from the global Tracer so every experiment's
+// operation counts are machine-readable (docs/observability.md maps the
+// fields to the paper's claims).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, int64_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+  }
+  void Add(const std::string& key, uint64_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+  }
+  void Add(const std::string& key, int v) { Add(key, int64_t(v)); }
+  void Add(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    fields_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, "\"" + JsonEscape(v) + "\"");
+  }
+  void Add(const std::string& key, const char* v) {
+    Add(key, std::string(v));
+  }
+  // Appends a raw JSON value (e.g. a hand-built array).
+  void AddRaw(const std::string& key, std::string json) {
+    fields_.emplace_back(key, std::move(json));
+  }
+
+  // Writes BENCH_<name>.json in insertion order, then the tracer array.
+  // Returns false (after reporting) if the file cannot be written.
+  bool Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (const auto& [key, value] : fields_) {
+      std::fprintf(f, "  \"%s\": %s,\n", JsonEscape(key).c_str(),
+                   value.c_str());
+    }
+    std::fprintf(f, "  \"odci_calls\": ");
+    WriteOdciJsonArray(f, "    ");
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace exi::bench
 

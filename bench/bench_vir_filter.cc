@@ -78,5 +78,6 @@ int main() {
       "coarse phases discard the overwhelming majority of rows before any\n"
       "full signature is compared (the paper: content-based queries on\n"
       "millions of rows became possible).\n");
+  JsonReport("vir_filter").Write();
   return 0;
 }

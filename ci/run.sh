@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI entry point: build, unit/integration tests, documentation lint, and a
+# TSan pass over the concurrency suite.  Runs anywhere with the repo's
+# toolchain (cmake + C++20 compiler + gtest/benchmark); no network access.
+#
+#   ci/run.sh          full pipeline
+#   ci/run.sh quick    skip the TSan stage (separate build tree, slow)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> configure + build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "==> tests"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "==> docs-check (markdown links + V\$ schema golden)"
+cmake --build build --target docs-check
+
+if [[ "${1:-}" != "quick" ]]; then
+  echo "==> TSan: concurrency_test + observability_test"
+  cmake -B build-tsan -S . -DEXTIDX_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target concurrency_test \
+      observability_test
+  ./build-tsan/tests/concurrency_test
+  ./build-tsan/tests/observability_test
+fi
+
+echo "CI OK"

@@ -41,6 +41,8 @@ std::set<std::string> Trigrams(const std::string& text) {
 // trigrams and re-checks candidates against the actual column value.
 class TrigramIndexMethods : public OdciIndex {
  public:
+  const char* TraceLabel() const override { return "trigram"; }
+
   Status Create(const OdciIndexInfo& info, ServerContext& ctx) override {
     Schema schema;
     schema.AddColumn(Column{"tri", DataType::Varchar(3), true});

@@ -96,5 +96,25 @@ int main() {
   std::printf("  two-step:  %zu rows, %lld us, temp writes %llu\n",
               legacy_rows, static_cast<long long>(us(t2, t3)),
               static_cast<unsigned long long>(legacy_delta.temp_rows_written));
+
+  // Observability (docs/observability.md): EXPLAIN ANALYZE runs the
+  // flagship query for real and annotates each plan node with actual
+  // rows/loops/time plus the statement's per-routine ODCI-call window...
+  std::printf("\n== EXPLAIN ANALYZE of the flagship query ==\n%s\n",
+              conn.MustExecute(
+                      "EXPLAIN ANALYZE SELECT id FROM employees WHERE "
+                      "Contains(body, 'Oracle AND UNIX')")
+                  .message.c_str());
+
+  // ...and the same counters (cumulative since process start) are readable
+  // in-band through the V$ODCI_CALLS performance view.
+  std::printf("== SELECT * FROM V$ODCI_CALLS ==\n");
+  QueryResult vdollar = conn.MustExecute(
+      "SELECT indextype, cartridge, routine, calls FROM V$ODCI_CALLS");
+  for (const Row& row : vdollar.rows) {
+    std::printf("  %-14s %-6s %-22s %lld\n", row[0].ToString().c_str(),
+                row[1].ToString().c_str(), row[2].ToString().c_str(),
+                static_cast<long long>(row[3].AsInteger()));
+  }
   return 0;
 }

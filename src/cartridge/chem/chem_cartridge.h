@@ -33,6 +33,8 @@ namespace exi::chem {
 //       "op(...) relop <value>" form) evaluated entirely on index data.
 class ChemIndexMethods : public OdciIndex {
  public:
+  const char* TraceLabel() const override { return "chem"; }
+
   Status Create(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Alter(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Truncate(const OdciIndexInfo& info, ServerContext& ctx) override;

@@ -22,6 +22,8 @@ namespace exi::dbt {
 //   DBetween(col, lo, hi) closed-range membership
 class DomainBtreeMethods : public OdciIndex {
  public:
+  const char* TraceLabel() const override { return "domain_btree"; }
+
   Status Create(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Alter(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Truncate(const OdciIndexInfo& info, ServerContext& ctx) override;

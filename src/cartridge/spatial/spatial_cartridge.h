@@ -26,6 +26,8 @@ class SpatialIndexMethods : public OdciIndex {
     return {/*parallel_build=*/true, /*parallel_scan=*/true};
   }
 
+  const char* TraceLabel() const override { return "spatial_tile"; }
+
   Status Create(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status CreateStorage(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Alter(const OdciIndexInfo& info, ServerContext& ctx) override;
@@ -56,6 +58,8 @@ class SpatialIndexMethods : public OdciIndex {
 // Swapping indextypes requires no query changes — the §3.2.2 claim.
 class RtreeIndexMethods : public OdciIndex {
  public:
+  const char* TraceLabel() const override { return "spatial_rtree"; }
+
   Status Create(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Alter(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Truncate(const OdciIndexInfo& info, ServerContext& ctx) override;

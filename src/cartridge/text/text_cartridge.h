@@ -40,6 +40,8 @@ class TextIndexMethods : public OdciIndex {
     return {/*parallel_build=*/true, /*parallel_scan=*/true};
   }
 
+  const char* TraceLabel() const override { return "text"; }
+
   // ---- definition ----
   Status Create(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status CreateStorage(const OdciIndexInfo& info, ServerContext& ctx) override;

@@ -20,6 +20,8 @@ namespace exi::varr {
 // index is an element->rowid IOT maintained from the collection values.
 class VarrayIndexMethods : public OdciIndex {
  public:
+  const char* TraceLabel() const override { return "varray"; }
+
   Status Create(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Alter(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Truncate(const OdciIndexInfo& info, ServerContext& ctx) override;

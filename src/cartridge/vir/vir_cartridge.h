@@ -39,6 +39,8 @@ class VirIndexMethods : public OdciIndex {
     return {/*parallel_build=*/true, /*parallel_scan=*/true};
   }
 
+  const char* TraceLabel() const override { return "vir"; }
+
   Status Create(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status CreateStorage(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Alter(const OdciIndexInfo& info, ServerContext& ctx) override;

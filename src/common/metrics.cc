@@ -46,6 +46,18 @@ std::string StorageMetrics::ToString() const {
   return os.str();
 }
 
+std::string StorageMetrics::ToCompactString() const {
+  std::ostringstream os;
+  bool first = true;
+  ForEachMetric(*this, [&](const char* name, uint64_t value) {
+    if (value == 0) return;
+    if (!first) os << ' ';
+    first = false;
+    os << name << '=' << value;
+  });
+  return os.str();
+}
+
 StorageMetrics AtomicStorageMetrics::Snapshot() const {
   StorageMetrics s;
   s.table_rows_read = table_rows_read.load(std::memory_order_relaxed);

@@ -50,7 +50,36 @@ struct StorageMetrics {
 
   StorageMetrics Delta(const StorageMetrics& since) const;
   std::string ToString() const;
+  // Like ToString() but omits zero-valued counters; "" when all are zero.
+  // Used for per-node annotations in EXPLAIN ANALYZE, where most nodes
+  // touch only one or two counters.
+  std::string ToCompactString() const;
 };
+
+// Calls fn(name, value) for every StorageMetrics counter in declaration
+// order.  The single authority on the counter list for code that renders
+// all of them (V$STORAGE_METRICS, bench JSON emitters).
+template <typename Fn>
+void ForEachMetric(const StorageMetrics& m, Fn&& fn) {
+  fn("table_rows_read", m.table_rows_read);
+  fn("table_rows_written", m.table_rows_written);
+  fn("table_rows_deleted", m.table_rows_deleted);
+  fn("index_nodes_read", m.index_nodes_read);
+  fn("index_entries_written", m.index_entries_written);
+  fn("lob_chunks_read", m.lob_chunks_read);
+  fn("lob_chunks_written", m.lob_chunks_written);
+  fn("lob_bytes_written", m.lob_bytes_written);
+  fn("file_reads", m.file_reads);
+  fn("file_writes", m.file_writes);
+  fn("file_bytes_written", m.file_bytes_written);
+  fn("temp_rows_written", m.temp_rows_written);
+  fn("temp_rows_read", m.temp_rows_read);
+  fn("odci_start_calls", m.odci_start_calls);
+  fn("odci_fetch_calls", m.odci_fetch_calls);
+  fn("odci_close_calls", m.odci_close_calls);
+  fn("odci_maintenance_calls", m.odci_maintenance_calls);
+  fn("functional_evaluations", m.functional_evaluations);
+}
 
 // The live counters: same fields as StorageMetrics, atomically updatable.
 // Increments from pool workers (scan prefetch, parallel build/join) and the

@@ -1,0 +1,143 @@
+#include "common/tracer.h"
+
+#include <thread>
+
+namespace exi {
+
+namespace {
+
+size_t BucketFor(int64_t us) {
+  if (us <= 1) return 0;
+  size_t b = 0;
+  while (us > 1 && b + 1 < LatencyHistogram::kBuckets) {
+    us >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(int64_t us) { buckets[BucketFor(us)]++; }
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+int64_t LatencyHistogram::ApproxPercentileUs(double p) const {
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Rank of the p-quantile, 1-based; find the bucket containing it.
+  uint64_t rank = uint64_t(p * double(total - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return int64_t(1) << i;
+  }
+  return int64_t(1) << (kBuckets - 1);
+}
+
+std::string LatencyHistogram::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += std::to_string(int64_t(1) << i) + "us:" + std::to_string(buckets[i]);
+  }
+  return out;
+}
+
+void RoutineStats::Record(int64_t us, bool ok) {
+  if (calls == 0 || us < min_us) min_us = us;
+  if (us > max_us) max_us = us;
+  calls++;
+  if (!ok) errors++;
+  total_us += us;
+  hist.Record(us);
+}
+
+void RoutineStats::Merge(const RoutineStats& other) {
+  if (other.calls == 0) return;
+  if (cartridge.empty()) cartridge = other.cartridge;
+  if (calls == 0 || other.min_us < min_us) min_us = other.min_us;
+  if (other.max_us > max_us) max_us = other.max_us;
+  calls += other.calls;
+  errors += other.errors;
+  total_us += other.total_us;
+  hist.Merge(other.hist);
+}
+
+RoutineStats RoutineStats::Delta(const RoutineStats& since) const {
+  RoutineStats d;
+  d.cartridge = cartridge;
+  d.calls = calls - since.calls;
+  d.errors = errors - since.errors;
+  d.total_us = total_us - since.total_us;
+  // min/max are cumulative extremes: we cannot subtract them, so the delta
+  // keeps the window-inclusive bounds (still correct as bounds).
+  d.min_us = min_us;
+  d.max_us = max_us;
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    d.hist.buckets[i] = hist.buckets[i] - since.hist.buckets[i];
+  }
+  return d;
+}
+
+TracerSnapshot TracerDelta(const TracerSnapshot& after,
+                           const TracerSnapshot& before) {
+  TracerSnapshot delta;
+  for (const auto& [key, stats] : after) {
+    auto it = before.find(key);
+    if (it == before.end()) {
+      if (stats.calls > 0) delta.emplace(key, stats);
+      continue;
+    }
+    if (stats.calls == it->second.calls) continue;
+    delta.emplace(key, stats.Delta(it->second));
+  }
+  return delta;
+}
+
+Tracer::Shard& Tracer::ShardForThisThread() {
+  size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shards_[h % kShards];
+}
+
+void Tracer::Record(const std::string& indextype, const char* cartridge,
+                    const char* routine, int64_t us, bool ok) {
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  RoutineStats& stats = shard.stats[{indextype, routine}];
+  if (stats.cartridge.empty() && cartridge != nullptr) {
+    stats.cartridge = cartridge;
+  }
+  stats.Record(us, ok);
+}
+
+TracerSnapshot Tracer::Snapshot() const {
+  TracerSnapshot merged;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, stats] : shard.stats) {
+      merged[key].Merge(stats);
+    }
+  }
+  return merged;
+}
+
+void Tracer::Reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.stats.clear();
+  }
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives pool workers
+  return *tracer;
+}
+
+}  // namespace exi

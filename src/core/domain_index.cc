@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/strings.h"
+#include "common/tracer.h"
 #include "core/buffered_context.h"
 
 namespace exi {
@@ -83,7 +84,15 @@ Status DomainIndexManager::CreateIndex(const std::string& index_name,
     (void)info->domain_impl->Drop(odci_info, cleanup);
   }
   GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
-  EXI_RETURN_IF_ERROR(info->domain_impl->Create(odci_info, ctx));
+  {
+    ScopedOdciTrace trace(info->indextype, info->domain_impl->TraceLabel(),
+                          "ODCIIndexCreate");
+    Status create = info->domain_impl->Create(odci_info, ctx);
+    if (!create.ok()) {
+      trace.set_failed();
+      return create;
+    }
+  }
   return catalog_->AddIndex(std::move(info));
 }
 
@@ -93,7 +102,15 @@ Status DomainIndexManager::ParallelBuild(IndexInfo* info,
                                          Transaction* txn) {
   OdciIndex* impl = info->domain_impl.get();
   GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
-  EXI_RETURN_IF_ERROR(impl->CreateStorage(odci_info, ctx));
+  {
+    ScopedOdciTrace trace(info->indextype, impl->TraceLabel(),
+                          "ODCIIndexCreateStorage");
+    Status storage = impl->CreateStorage(odci_info, ctx);
+    if (!storage.ok()) {
+      trace.set_failed();
+      return storage;
+    }
+  }
 
   // Snapshot (rid, value) pairs for the indexed column up front; workers
   // never touch shared catalog state except through read-only forwarding
@@ -127,11 +144,18 @@ Status DomainIndexManager::ParallelBuild(IndexInfo* info,
     size_t begin = std::min(rows.size(), w * chunk);
     size_t end = std::min(rows.size(), begin + chunk);
     BufferingServerContext* buf = buffers[w].get();
+    // `info` (and so info->indextype) outlives the futures drained below.
+    const std::string& itype = info->indextype;
     pending.push_back(workpool.Submit([impl, &odci_info, &rows, begin, end,
-                                       buf]() -> Status {
+                                       buf, &itype]() -> Status {
       for (size_t i = begin; i < end; ++i) {
-        EXI_RETURN_IF_ERROR(
-            impl->Insert(odci_info, rows[i].first, rows[i].second, *buf));
+        ScopedOdciTrace trace(itype, impl->TraceLabel(), "ODCIIndexInsert");
+        Status s = impl->Insert(odci_info, rows[i].first, rows[i].second,
+                                *buf);
+        if (!s.ok()) {
+          trace.set_failed();
+          return s;
+        }
       }
       return Status::OK();
     }));
@@ -170,7 +194,13 @@ Status DomainIndexManager::AlterIndex(const std::string& index_name,
                            : index->parameters + " " + parameters;
   info.parameters = merged;
   GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
-  EXI_RETURN_IF_ERROR(index->domain_impl->Alter(info, ctx));
+  ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+                        "ODCIIndexAlter");
+  Status alter = index->domain_impl->Alter(info, ctx);
+  if (!alter.ok()) {
+    trace.set_failed();
+    return alter;
+  }
   index->parameters = merged;
   return Status::OK();
 }
@@ -180,7 +210,15 @@ Status DomainIndexManager::DropIndex(const std::string& index_name,
   EXI_ASSIGN_OR_RETURN(IndexInfo * index, GetDomainIndex(index_name));
   OdciIndexInfo info = InfoFor(index);
   GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
-  EXI_RETURN_IF_ERROR(index->domain_impl->Drop(info, ctx));
+  {
+    ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+                          "ODCIIndexDrop");
+    Status drop = index->domain_impl->Drop(info, ctx);
+    if (!drop.ok()) {
+      trace.set_failed();
+      return drop;
+    }
+  }
   return catalog_->RemoveIndex(index_name);
 }
 
@@ -189,7 +227,11 @@ Status DomainIndexManager::TruncateIndex(const std::string& index_name,
   EXI_ASSIGN_OR_RETURN(IndexInfo * index, GetDomainIndex(index_name));
   OdciIndexInfo info = InfoFor(index);
   GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
-  return index->domain_impl->Truncate(info, ctx);
+  ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+                        "ODCIIndexTruncate");
+  Status s = index->domain_impl->Truncate(info, ctx);
+  if (!s.ok()) trace.set_failed();
+  return s;
 }
 
 namespace {
@@ -215,7 +257,13 @@ Status DomainIndexManager::OnInsert(const std::string& table_name, RowId rid,
     OdciIndexInfo info = index->ToOdciInfo(table->schema());
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
     GlobalMetrics().odci_maintenance_calls++;
-    EXI_RETURN_IF_ERROR(index->domain_impl->Insert(info, rid, v, ctx));
+    ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+                          "ODCIIndexInsert");
+    Status s = index->domain_impl->Insert(info, rid, v, ctx);
+    if (!s.ok()) {
+      trace.set_failed();
+      return s;
+    }
   }
   return Status::OK();
 }
@@ -230,7 +278,13 @@ Status DomainIndexManager::OnDelete(const std::string& table_name, RowId rid,
     OdciIndexInfo info = index->ToOdciInfo(table->schema());
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
     GlobalMetrics().odci_maintenance_calls++;
-    EXI_RETURN_IF_ERROR(index->domain_impl->Delete(info, rid, v, ctx));
+    ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+                          "ODCIIndexDelete");
+    Status s = index->domain_impl->Delete(info, rid, v, ctx);
+    if (!s.ok()) {
+      trace.set_failed();
+      return s;
+    }
   }
   return Status::OK();
 }
@@ -248,8 +302,13 @@ Status DomainIndexManager::OnUpdate(const std::string& table_name, RowId rid,
     OdciIndexInfo info = index->ToOdciInfo(table->schema());
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
     GlobalMetrics().odci_maintenance_calls++;
-    EXI_RETURN_IF_ERROR(
-        index->domain_impl->Update(info, rid, old_v, new_v, ctx));
+    ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+                          "ODCIIndexUpdate");
+    Status s = index->domain_impl->Update(info, rid, old_v, new_v, ctx);
+    if (!s.ok()) {
+      trace.set_failed();
+      return s;
+    }
   }
   return Status::OK();
 }
@@ -262,10 +321,16 @@ DomainIndexManager::StartScan(const std::string& index_name,
   auto ctx = std::make_unique<GuardedServerContext>(catalog_, nullptr,
                                                     CallbackMode::kScan);
   GlobalMetrics().odci_start_calls++;
-  EXI_ASSIGN_OR_RETURN(OdciScanContext sctx,
-                       index->domain_impl->Start(info, pred, *ctx));
-  return std::unique_ptr<Scan>(
-      new Scan(index, std::move(info), std::move(ctx), std::move(sctx)));
+  ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+                        "ODCIIndexStart");
+  Result<OdciScanContext> sctx = index->domain_impl->Start(info, pred, *ctx);
+  if (!sctx.ok()) {
+    trace.set_failed();
+    return sctx.status();
+  }
+  return std::unique_ptr<Scan>(new Scan(index, std::move(info),
+                                        std::move(ctx),
+                                        std::move(sctx).value()));
 }
 
 DomainIndexManager::Scan::~Scan() {
@@ -280,15 +345,22 @@ Status DomainIndexManager::Scan::NextBatch(size_t max_rows,
   out->rids.clear();
   out->ancillary.clear();
   GlobalMetrics().odci_fetch_calls++;
+  ScopedOdciTrace trace(index_->indextype, index_->domain_impl->TraceLabel(),
+                        "ODCIIndexFetch");
   if (sctx_.uses_handle()) {
-    return index_->domain_impl->Fetch(info_, sctx_, max_rows, out, *ctx_);
+    Status s = index_->domain_impl->Fetch(info_, sctx_, max_rows, out, *ctx_);
+    if (!s.ok()) trace.set_failed();
+    return s;
   }
   // Return State: the context object crosses the interface by value — copy
   // the serialized state in, invoke, copy the (possibly mutated) state out.
   OdciScanContext by_value;
   by_value.state = sctx_.state;  // copy in
-  EXI_RETURN_IF_ERROR(
-      index_->domain_impl->Fetch(info_, by_value, max_rows, out, *ctx_));
+  Status s = index_->domain_impl->Fetch(info_, by_value, max_rows, out, *ctx_);
+  if (!s.ok()) {
+    trace.set_failed();
+    return s;
+  }
   sctx_.state = by_value.state;  // copy out
   return Status::OK();
 }
@@ -301,7 +373,11 @@ Status DomainIndexManager::Scan::Close() {
   if (closed_) return Status::OK();
   closed_ = true;
   GlobalMetrics().odci_close_calls++;
-  return index_->domain_impl->Close(info_, sctx_, *ctx_);
+  ScopedOdciTrace trace(index_->indextype, index_->domain_impl->TraceLabel(),
+                        "ODCIIndexClose");
+  Status s = index_->domain_impl->Close(info_, sctx_, *ctx_);
+  if (!s.ok()) trace.set_failed();
+  return s;
 }
 
 Result<double> DomainIndexManager::PredicateSelectivity(
@@ -309,7 +385,12 @@ Result<double> DomainIndexManager::PredicateSelectivity(
   if (index->domain_stats == nullptr) return 0.05;  // default guess
   OdciIndexInfo info = InfoFor(index);
   GuardedServerContext ctx(catalog_, nullptr, CallbackMode::kScan);
-  return index->domain_stats->Selectivity(info, pred, table_rows, ctx);
+  ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+                        "ODCIStatsSelectivity");
+  Result<double> sel =
+      index->domain_stats->Selectivity(info, pred, table_rows, ctx);
+  if (!sel.ok()) trace.set_failed();
+  return sel;
 }
 
 Result<double> DomainIndexManager::ScanCost(IndexInfo* index,
@@ -322,8 +403,12 @@ Result<double> DomainIndexManager::ScanCost(IndexInfo* index,
   }
   OdciIndexInfo info = InfoFor(index);
   GuardedServerContext ctx(catalog_, nullptr, CallbackMode::kScan);
-  return index->domain_stats->IndexCost(info, pred, selectivity, table_rows,
-                                        ctx);
+  ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+                        "ODCIStatsIndexCost");
+  Result<double> cost = index->domain_stats->IndexCost(info, pred, selectivity,
+                                                       table_rows, ctx);
+  if (!cost.ok()) trace.set_failed();
+  return cost;
 }
 
 }  // namespace exi

@@ -225,6 +225,11 @@ class OdciIndex {
   // What the framework may parallelize for this cartridge.
   virtual OdciCapabilities Capabilities() const { return {}; }
 
+  // Short stable label identifying the cartridge in observability output
+  // (the `cartridge` column of V$ODCI_CALLS, bench JSON).  One label per
+  // implementation class, not per index: "text", "spatial_tile", ...
+  virtual const char* TraceLabel() const { return "custom"; }
+
   // ---- index definition (§2.2.3 "ODCIIndex definition methods") ----
   virtual Status Create(const OdciIndexInfo& info, ServerContext& ctx) = 0;
 

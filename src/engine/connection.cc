@@ -1,9 +1,13 @@
 #include "engine/connection.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <sstream>
 
+#include "common/metrics.h"
+#include "common/tracer.h"
 #include "exec/evaluator.h"
 #include "exec/expression.h"
 #include "index/bitmap_index.h"
@@ -418,13 +422,7 @@ Result<QueryResult> Connection::RunDelete(sql::DeleteStmt* stmt) {
 }
 
 Result<QueryResult> Connection::RunSelect(sql::SelectStmt* stmt) {
-  // Lazily materialize the dictionary views when a query names one.
-  for (const sql::TableRef& ref : stmt->from) {
-    if (Database::IsDictionaryView(ref.table)) {
-      EXI_RETURN_IF_ERROR(db_->RefreshDictionaryViews());
-      break;
-    }
-  }
+  EXI_RETURN_IF_ERROR(RefreshViewsFor(stmt));
   Planner planner(&db_->catalog(), &db_->domains(), db_->fetch_batch_size(),
                   db_->parallelism());
   EXI_ASSIGN_OR_RETURN(PlannedSelect plan, planner.PlanSelect(stmt));
@@ -446,17 +444,88 @@ Result<QueryResult> Connection::RunSelect(sql::SelectStmt* stmt) {
   return r;
 }
 
+Status Connection::RefreshViewsFor(sql::SelectStmt* stmt) {
+  // Lazily materialize dictionary / performance views when a query names
+  // one.  Perf views snapshot the global Tracer and GlobalMetrics at this
+  // moment — cumulative since process start, Oracle v$ semantics.
+  bool dict = false, perf = false;
+  for (const sql::TableRef& ref : stmt->from) {
+    dict = dict || Database::IsDictionaryView(ref.table);
+    perf = perf || Database::IsPerfView(ref.table);
+  }
+  if (dict) EXI_RETURN_IF_ERROR(db_->RefreshDictionaryViews());
+  if (perf) EXI_RETURN_IF_ERROR(db_->RefreshPerfViews());
+  return Status::OK();
+}
+
 Result<QueryResult> Connection::RunExplain(sql::ExplainStmt* stmt) {
   if (stmt->inner->kind != StmtKind::kSelect) {
     return Status::NotSupported("EXPLAIN supports SELECT only");
   }
+  auto* select = static_cast<sql::SelectStmt*>(stmt->inner.get());
+  if (stmt->analyze) return RunExplainAnalyze(select);
   Planner planner(&db_->catalog(), &db_->domains(), db_->fetch_batch_size(),
                   db_->parallelism());
-  EXI_ASSIGN_OR_RETURN(
-      PlannedSelect plan,
-      planner.PlanSelect(static_cast<sql::SelectStmt*>(stmt->inner.get())));
+  EXI_ASSIGN_OR_RETURN(PlannedSelect plan, planner.PlanSelect(select));
   QueryResult r;
   r.message = plan.explain;
+  return r;
+}
+
+Result<QueryResult> Connection::RunExplainAnalyze(sql::SelectStmt* stmt) {
+  EXI_RETURN_IF_ERROR(RefreshViewsFor(stmt));
+  // Snapshot the ODCI window before planning: ODCIStatsSelectivity /
+  // ODCIStatsIndexCost fire while the planner prices domain access paths,
+  // and those dispatches belong to this statement.
+  TracerSnapshot before = Tracer::Global().Snapshot();
+  StorageMetrics storage_before = GlobalMetrics().Snapshot();
+  int64_t t0 = std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+                   .count();
+
+  Planner planner(&db_->catalog(), &db_->domains(), db_->fetch_batch_size(),
+                  db_->parallelism());
+  EXI_ASSIGN_OR_RETURN(PlannedSelect plan, planner.PlanSelect(stmt));
+  plan.root->EnableStats();
+
+  // Execute to completion, discarding rows (Postgres EXPLAIN ANALYZE
+  // semantics: the query runs for real — including DML-free side effects
+  // like metric increments — but the result set is not returned).
+  EXI_RETURN_IF_ERROR(plan.root->Open());
+  ExecRow row;
+  while (true) {
+    EXI_ASSIGN_OR_RETURN(bool have, plan.root->Next(&row));
+    if (!have) break;
+  }
+  EXI_RETURN_IF_ERROR(plan.root->Close());
+
+  int64_t total_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count() -
+                     t0;
+  TracerSnapshot window =
+      TracerDelta(Tracer::Global().Snapshot(), before);
+  StorageMetrics storage_delta =
+      GlobalMetrics().Snapshot().Delta(storage_before);
+
+  std::ostringstream os;
+  os << "plan:\n" << DescribePlanWithStats(*plan.root);
+  if (!window.empty()) {
+    os << "ODCI calls (this statement):\n";
+    for (const auto& [key, stats] : window) {
+      os << "  " << key.first << " [" << stats.cartridge << "] "
+         << key.second << ": calls=" << stats.calls;
+      if (stats.errors > 0) os << " errors=" << stats.errors;
+      os << " total=" << double(stats.total_us) / 1000.0
+         << " ms avg=" << stats.avg_us() << " us\n";
+    }
+  }
+  std::string storage = storage_delta.ToCompactString();
+  if (!storage.empty()) os << "storage (this statement): " << storage << "\n";
+  os << "total time: " << double(total_us) / 1000.0 << " ms\n";
+
+  QueryResult r;
+  r.message = os.str();
   return r;
 }
 

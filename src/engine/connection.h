@@ -63,6 +63,13 @@ class Connection {
   Result<QueryResult> RunDelete(sql::DeleteStmt* stmt);
   Result<QueryResult> RunSelect(sql::SelectStmt* stmt);
   Result<QueryResult> RunExplain(sql::ExplainStmt* stmt);
+  // EXPLAIN ANALYZE: executes the plan with per-node stats collection and
+  // renders actual rows/loops/time, the statement's ODCI-call window, and
+  // its storage-counter delta.  Result rows are discarded.
+  Result<QueryResult> RunExplainAnalyze(sql::SelectStmt* stmt);
+
+  // Materializes any dictionary / perf views the SELECT's FROM list names.
+  Status RefreshViewsFor(sql::SelectStmt* stmt);
 
   // Runs `body` inside a statement-level transaction: commits an implicit
   // transaction on success, rolls back the statement's mutations on error.

@@ -1,12 +1,15 @@
 #include "engine/database.h"
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/tracer.h"
 
 namespace exi {
 
 namespace {
 constexpr const char* kDictionaryViews[] = {
     "user_tables", "user_indexes", "user_operators", "user_indextypes"};
+constexpr const char* kPerfViews[] = {"v$odci_calls", "v$storage_metrics"};
 }  // namespace
 
 bool Database::IsDictionaryView(const std::string& table_name) {
@@ -99,6 +102,75 @@ Status Database::RefreshDictionaryViews() {
             .status());
   }
   return Status::OK();
+}
+
+bool Database::IsPerfView(const std::string& table_name) {
+  for (const char* view : kPerfViews) {
+    if (EqualsIgnoreCase(table_name, view)) return true;
+  }
+  return false;
+}
+
+Status Database::RefreshPerfViews() {
+  for (const char* view : kPerfViews) {
+    if (catalog_.TableExists(view)) {
+      EXI_RETURN_IF_ERROR(catalog_.DropTable(view));
+    }
+  }
+
+  // V$ODCI_CALLS: one row per traced (indextype, routine).  Keep this
+  // schema in sync with docs/golden/vdollar_schema.txt (docs-check).
+  Schema odci_schema;
+  odci_schema.AddColumn(Column{"indextype", DataType::Varchar(128), true});
+  odci_schema.AddColumn(Column{"cartridge", DataType::Varchar(64), true});
+  odci_schema.AddColumn(Column{"routine", DataType::Varchar(64), true});
+  odci_schema.AddColumn(Column{"calls", DataType::Integer(), true});
+  odci_schema.AddColumn(Column{"errors", DataType::Integer(), true});
+  odci_schema.AddColumn(Column{"total_us", DataType::Integer(), true});
+  odci_schema.AddColumn(Column{"avg_us", DataType::Double(), true});
+  odci_schema.AddColumn(Column{"min_us", DataType::Integer(), true});
+  odci_schema.AddColumn(Column{"max_us", DataType::Integer(), true});
+  odci_schema.AddColumn(Column{"p50_us", DataType::Integer(), true});
+  odci_schema.AddColumn(Column{"p95_us", DataType::Integer(), true});
+  EXI_RETURN_IF_ERROR(catalog_.CreateTable("v$odci_calls", odci_schema));
+
+  // V$STORAGE_METRICS: one row per engine counter.
+  Schema storage_schema;
+  storage_schema.AddColumn(Column{"metric", DataType::Varchar(64), true});
+  storage_schema.AddColumn(Column{"value", DataType::Integer(), true});
+  EXI_RETURN_IF_ERROR(
+      catalog_.CreateTable("v$storage_metrics", storage_schema));
+
+  // Snapshot both sources before inserting: the inserts below bump the
+  // storage counters themselves, and a consistent pre-materialization
+  // reading is more useful than one skewed row by row.
+  TracerSnapshot traced = Tracer::Global().Snapshot();
+  StorageMetrics metrics = GlobalMetrics().Snapshot();
+
+  for (const auto& [key, stats] : traced) {
+    EXI_RETURN_IF_ERROR(
+        InsertRow("v$odci_calls",
+                  {Value::Varchar(key.first), Value::Varchar(stats.cartridge),
+                   Value::Varchar(key.second),
+                   Value::Integer(int64_t(stats.calls)),
+                   Value::Integer(int64_t(stats.errors)),
+                   Value::Integer(stats.total_us),
+                   Value::Double(stats.avg_us()), Value::Integer(stats.min_us),
+                   Value::Integer(stats.max_us),
+                   Value::Integer(stats.hist.ApproxPercentileUs(0.50)),
+                   Value::Integer(stats.hist.ApproxPercentileUs(0.95))},
+                  nullptr)
+            .status());
+  }
+  Status insert = Status::OK();
+  ForEachMetric(metrics, [&](const char* name, uint64_t value) {
+    if (!insert.ok()) return;
+    insert = InsertRow("v$storage_metrics",
+                       {Value::Varchar(name), Value::Integer(int64_t(value))},
+                       nullptr)
+                 .status();
+  });
+  return insert;
 }
 
 Database::Database()

@@ -75,6 +75,19 @@ class Database {
   // True if `table_name` is one of the dictionary view names.
   static bool IsDictionaryView(const std::string& table_name);
 
+  // (Re)materializes the v$-style performance views — V$ODCI_CALLS (one
+  // row per traced (indextype, routine) pair, from the global Tracer) and
+  // V$STORAGE_METRICS (one row per GlobalMetrics counter) — as ordinary
+  // queryable tables.  Counters are cumulative since process start, Oracle
+  // v$ semantics; Connection refreshes them lazily like the dictionary
+  // views.  Note the materialization itself runs through the storage layer,
+  // so V$STORAGE_METRICS readings perturb the storage counters slightly
+  // (never the ODCI counters).
+  Status RefreshPerfViews();
+
+  // True if `table_name` is one of the performance view names.
+  static bool IsPerfView(const std::string& table_name);
+
  private:
   // Maintains built-in indexes for one mutation, logging undo.
   Status MaintainBuiltinOnInsert(const std::string& table_name, RowId rid,

@@ -189,10 +189,13 @@ Status SaveSnapshot(Database* db, const std::string& path) {
   w.U32(kMagic);
   w.U32(kVersion);
 
-  // Tables (user tables only; dictionary views are rebuilt on demand).
+  // Tables (user tables only; dictionary and perf views are rebuilt on
+  // demand).
   std::vector<std::string> tables;
   for (const std::string& name : catalog.TableNames()) {
-    if (!Database::IsDictionaryView(name)) tables.push_back(name);
+    if (!Database::IsDictionaryView(name) && !Database::IsPerfView(name)) {
+      tables.push_back(name);
+    }
   }
   w.U32(uint32_t(tables.size()));
   for (const std::string& name : tables) {
@@ -223,7 +226,10 @@ Status SaveSnapshot(Database* db, const std::string& path) {
   // Index definitions (payloads are rebuilt on load).
   std::vector<const IndexInfo*> indexes;
   for (const IndexInfo* idx : catalog.Indexes()) {
-    if (!Database::IsDictionaryView(idx->table)) indexes.push_back(idx);
+    if (!Database::IsDictionaryView(idx->table) &&
+        !Database::IsPerfView(idx->table)) {
+      indexes.push_back(idx);
+    }
   }
   w.U32(uint32_t(indexes.size()));
   for (const IndexInfo* idx : indexes) {
@@ -250,7 +256,7 @@ Status SaveSnapshot(Database* db, const std::string& path) {
 Status LoadSnapshot(Database* db, Connection* conn,
                     const std::string& path) {
   for (const std::string& name : db->catalog().TableNames()) {
-    if (!Database::IsDictionaryView(name)) {
+    if (!Database::IsDictionaryView(name) && !Database::IsPerfView(name)) {
       return Status::InvalidArgument(
           "LoadSnapshot requires a database without user tables; found " +
           name);

@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <sstream>
 
@@ -11,32 +12,106 @@ namespace exi {
 
 namespace {
 
-void DescribeRec(const ExecNode& node, int depth, std::ostringstream& os) {
+void DescribeRec(const ExecNode& node, int depth, std::ostringstream& os,
+                 bool with_stats) {
   for (int i = 0; i < depth; ++i) os << "  ";
-  os << node.Describe() << "\n";
-  for (const ExecNode* child : node.Children()) {
-    DescribeRec(*child, depth + 1, os);
+  os << node.Describe();
+  if (with_stats) {
+    const ExecNode::NodeStats& st = node.stats();
+    os << " (actual rows=" << st.rows << " loops=" << st.loops
+       << " time=" << double(st.elapsed_us) / 1000.0 << " ms)";
+    std::string storage = st.storage.ToCompactString();
+    if (!storage.empty()) {
+      os << "\n";
+      for (int i = 0; i < depth; ++i) os << "  ";
+      os << "  storage: " << storage;
+    }
   }
+  os << "\n";
+  for (const ExecNode* child : node.Children()) {
+    DescribeRec(*child, depth + 1, os, with_stats);
+  }
+}
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
 
 std::string DescribePlan(const ExecNode& root) {
   std::ostringstream os;
-  DescribeRec(root, 0, os);
+  DescribeRec(root, 0, os, /*with_stats=*/false);
   return os.str();
+}
+
+std::string DescribePlanWithStats(const ExecNode& root) {
+  std::ostringstream os;
+  DescribeRec(root, 0, os, /*with_stats=*/true);
+  return os.str();
+}
+
+// ---- ExecNode stats wrappers ----
+
+void ExecNode::EnableStats() {
+  stats_enabled_ = true;
+  for (const ExecNode* child : Children()) {
+    // Children() is const-qualified for EXPLAIN rendering; the nodes it
+    // yields are this node's own mutable children.
+    const_cast<ExecNode*>(child)->EnableStats();
+  }
+}
+
+Status ExecNode::Open() {
+  if (!stats_enabled_) return OpenImpl();
+  if (!window_open_) {
+    window_open_ = true;
+    window_start_ = GlobalMetrics().Snapshot();
+  }
+  int64_t t0 = NowUs();
+  Status s = OpenImpl();
+  stats_.elapsed_us += NowUs() - t0;
+  if (s.ok()) stats_.loops++;
+  return s;
+}
+
+Result<bool> ExecNode::Next(ExecRow* out) {
+  if (!stats_enabled_) return NextImpl(out);
+  int64_t t0 = NowUs();
+  Result<bool> r = NextImpl(out);
+  stats_.elapsed_us += NowUs() - t0;
+  stats_.next_calls++;
+  if (r.ok() && *r) stats_.rows++;
+  return r;
+}
+
+Status ExecNode::Close() {
+  if (!stats_enabled_) return CloseImpl();
+  int64_t t0 = NowUs();
+  Status s = CloseImpl();
+  stats_.elapsed_us += NowUs() - t0;
+  if (window_open_) {
+    // One storage window per node lifetime: nodes are single-use, but some
+    // parents re-Close children they already closed during Open (Sort,
+    // block NLJ); only the first Open..Close pair defines the window.
+    window_open_ = false;
+    stats_.storage = GlobalMetrics().Snapshot().Delta(window_start_);
+  }
+  return s;
 }
 
 // ---- SeqScanNode ----
 
 SeqScanNode::SeqScanNode(const HeapTable* table) : table_(table) {}
 
-Status SeqScanNode::Open() {
+Status SeqScanNode::OpenImpl() {
   it_ = std::make_unique<HeapTable::Iterator>(table_->Scan());
   return Status::OK();
 }
 
-Result<bool> SeqScanNode::Next(ExecRow* out) {
+Result<bool> SeqScanNode::NextImpl(ExecRow* out) {
   if (!it_->Valid()) return false;
   out->values = it_->row();
   out->rid = it_->row_id();
@@ -46,7 +121,7 @@ Result<bool> SeqScanNode::Next(ExecRow* out) {
   return true;
 }
 
-Status SeqScanNode::Close() {
+Status SeqScanNode::CloseImpl() {
   it_.reset();
   return Status::OK();
 }
@@ -62,12 +137,12 @@ RowIdListScanNode::RowIdListScanNode(const HeapTable* table,
                                      std::string label)
     : table_(table), rids_(std::move(rids)), label_(std::move(label)) {}
 
-Status RowIdListScanNode::Open() {
+Status RowIdListScanNode::OpenImpl() {
   pos_ = 0;
   return Status::OK();
 }
 
-Result<bool> RowIdListScanNode::Next(ExecRow* out) {
+Result<bool> RowIdListScanNode::NextImpl(ExecRow* out) {
   while (pos_ < rids_.size()) {
     RowId rid = rids_[pos_++];
     Result<Row> row = table_->Get(rid);
@@ -80,7 +155,7 @@ Result<bool> RowIdListScanNode::Next(ExecRow* out) {
   return false;
 }
 
-Status RowIdListScanNode::Close() { return Status::OK(); }
+Status RowIdListScanNode::CloseImpl() { return Status::OK(); }
 
 std::string RowIdListScanNode::Describe() const {
   return label_ + " -> fetch " + table_->name() + " (" +
@@ -112,7 +187,7 @@ void DomainIndexScanNode::IssuePrefetch() {
       });
 }
 
-Status DomainIndexScanNode::Open() {
+Status DomainIndexScanNode::OpenImpl() {
   EXI_ASSIGN_OR_RETURN(scan_, manager_->StartScan(index_name_, pred_));
   batch_pos_ = 0;
   batch_.rids.clear();
@@ -126,7 +201,7 @@ Status DomainIndexScanNode::Open() {
   return Status::OK();
 }
 
-Result<bool> DomainIndexScanNode::Next(ExecRow* out) {
+Result<bool> DomainIndexScanNode::NextImpl(ExecRow* out) {
   while (true) {
     if (batch_pos_ >= batch_.rids.size()) {
       if (exhausted_) return false;
@@ -165,7 +240,7 @@ Result<bool> DomainIndexScanNode::Next(ExecRow* out) {
   }
 }
 
-Status DomainIndexScanNode::Close() {
+Status DomainIndexScanNode::CloseImpl() {
   // Join any in-flight prefetch before closing the scan under it.
   if (inflight_.valid()) (void)inflight_.get();
   if (scan_ != nullptr) {
@@ -190,9 +265,9 @@ FilterNode::FilterNode(std::unique_ptr<ExecNode> child,
                        const sql::Expr* predicate, const Catalog* catalog)
     : child_(std::move(child)), predicate_(predicate), evaluator_(catalog) {}
 
-Status FilterNode::Open() { return child_->Open(); }
+Status FilterNode::OpenImpl() { return child_->Open(); }
 
-Result<bool> FilterNode::Next(ExecRow* out) {
+Result<bool> FilterNode::NextImpl(ExecRow* out) {
   while (true) {
     EXI_ASSIGN_OR_RETURN(bool have, child_->Next(out));
     if (!have) return false;
@@ -204,7 +279,7 @@ Result<bool> FilterNode::Next(ExecRow* out) {
   }
 }
 
-Status FilterNode::Close() { return child_->Close(); }
+Status FilterNode::CloseImpl() { return child_->Close(); }
 
 std::string FilterNode::Describe() const {
   return "Filter(" + predicate_->ToString() + ")";
@@ -222,9 +297,9 @@ ProjectNode::ProjectNode(std::unique_ptr<ExecNode> child,
     : child_(std::move(child)), exprs_(std::move(exprs)),
       evaluator_(catalog) {}
 
-Status ProjectNode::Open() { return child_->Open(); }
+Status ProjectNode::OpenImpl() { return child_->Open(); }
 
-Result<bool> ProjectNode::Next(ExecRow* out) {
+Result<bool> ProjectNode::NextImpl(ExecRow* out) {
   ExecRow in;
   EXI_ASSIGN_OR_RETURN(bool have, child_->Next(&in));
   if (!have) return false;
@@ -240,7 +315,7 @@ Result<bool> ProjectNode::Next(ExecRow* out) {
   return true;
 }
 
-Status ProjectNode::Close() { return child_->Close(); }
+Status ProjectNode::CloseImpl() { return child_->Close(); }
 
 std::string ProjectNode::Describe() const {
   std::string s = "Project(";
@@ -261,7 +336,7 @@ NestedLoopJoinNode::NestedLoopJoinNode(std::unique_ptr<ExecNode> left,
                                        std::unique_ptr<ExecNode> right)
     : left_(std::move(left)), right_(std::move(right)) {}
 
-Status NestedLoopJoinNode::Open() {
+Status NestedLoopJoinNode::OpenImpl() {
   EXI_RETURN_IF_ERROR(left_->Open());
   EXI_RETURN_IF_ERROR(right_->Open());
   right_rows_.clear();
@@ -277,7 +352,7 @@ Status NestedLoopJoinNode::Open() {
   return Status::OK();
 }
 
-Result<bool> NestedLoopJoinNode::Next(ExecRow* out) {
+Result<bool> NestedLoopJoinNode::NextImpl(ExecRow* out) {
   while (true) {
     if (!have_left_) {
       EXI_ASSIGN_OR_RETURN(bool have, left_->Next(&left_row_));
@@ -298,7 +373,7 @@ Result<bool> NestedLoopJoinNode::Next(ExecRow* out) {
   }
 }
 
-Status NestedLoopJoinNode::Close() { return left_->Close(); }
+Status NestedLoopJoinNode::CloseImpl() { return left_->Close(); }
 
 std::string NestedLoopJoinNode::Describe() const { return "NestedLoopJoin"; }
 
@@ -319,7 +394,7 @@ IndexJoinNode::IndexJoinNode(std::unique_ptr<ExecNode> left,
       key_expr_(key_expr),
       evaluator_(catalog) {}
 
-Status IndexJoinNode::Open() {
+Status IndexJoinNode::OpenImpl() {
   EXI_RETURN_IF_ERROR(left_->Open());
   have_left_ = false;
   matches_.clear();
@@ -327,7 +402,7 @@ Status IndexJoinNode::Open() {
   return Status::OK();
 }
 
-Result<bool> IndexJoinNode::Next(ExecRow* out) {
+Result<bool> IndexJoinNode::NextImpl(ExecRow* out) {
   while (true) {
     if (!have_left_) {
       EXI_ASSIGN_OR_RETURN(bool have, left_->Next(&left_row_));
@@ -353,7 +428,7 @@ Result<bool> IndexJoinNode::Next(ExecRow* out) {
   }
 }
 
-Status IndexJoinNode::Close() { return left_->Close(); }
+Status IndexJoinNode::CloseImpl() { return left_->Close(); }
 
 std::string IndexJoinNode::Describe() const {
   return "IndexJoin(inner=" + inner_->name() + " via " +
@@ -390,7 +465,7 @@ bool DomainIndexJoinNode::parallel_enabled() const {
   return parallelism_ > 1 && manager_->ScanIsParallelSafe(index_name_);
 }
 
-Status DomainIndexJoinNode::Open() {
+Status DomainIndexJoinNode::OpenImpl() {
   EXI_RETURN_IF_ERROR(outer_->Open());
   padded_.assign(outer_width_ + inner_width_, Value::Null());
   inner_exhausted_ = true;
@@ -472,7 +547,7 @@ Result<bool> DomainIndexJoinNode::AdvanceOuter() {
   return true;
 }
 
-Result<bool> DomainIndexJoinNode::Next(ExecRow* out) {
+Result<bool> DomainIndexJoinNode::NextImpl(ExecRow* out) {
   if (parallel_) {
     while (true) {
       // Keep a window of parallelism*2 probes in flight so workers stay
@@ -527,7 +602,7 @@ Result<bool> DomainIndexJoinNode::Next(ExecRow* out) {
   }
 }
 
-Status DomainIndexJoinNode::Close() {
+Status DomainIndexJoinNode::CloseImpl() {
   // Join outstanding probes before tearing anything down; each probe closes
   // its own scan on the worker.
   while (!window_.empty()) {
@@ -565,7 +640,7 @@ SortNode::SortNode(std::unique_ptr<ExecNode> child,
       ascending_(std::move(ascending)),
       evaluator_(catalog) {}
 
-Status SortNode::Open() {
+Status SortNode::OpenImpl() {
   EXI_RETURN_IF_ERROR(child_->Open());
   rows_.clear();
   ExecRow row;
@@ -607,13 +682,13 @@ Status SortNode::Open() {
   return Status::OK();
 }
 
-Result<bool> SortNode::Next(ExecRow* out) {
+Result<bool> SortNode::NextImpl(ExecRow* out) {
   if (pos_ >= rows_.size()) return false;
   *out = std::move(rows_[pos_++]);
   return true;
 }
 
-Status SortNode::Close() { return Status::OK(); }
+Status SortNode::CloseImpl() { return Status::OK(); }
 
 std::string SortNode::Describe() const {
   std::string s = "Sort(";
@@ -634,12 +709,12 @@ std::vector<const ExecNode*> SortNode::Children() const {
 DistinctNode::DistinctNode(std::unique_ptr<ExecNode> child)
     : child_(std::move(child)) {}
 
-Status DistinctNode::Open() {
+Status DistinctNode::OpenImpl() {
   seen_.clear();
   return child_->Open();
 }
 
-Result<bool> DistinctNode::Next(ExecRow* out) {
+Result<bool> DistinctNode::NextImpl(ExecRow* out) {
   while (true) {
     EXI_ASSIGN_OR_RETURN(bool have, child_->Next(out));
     if (!have) return false;
@@ -647,7 +722,7 @@ Result<bool> DistinctNode::Next(ExecRow* out) {
   }
 }
 
-Status DistinctNode::Close() { return child_->Close(); }
+Status DistinctNode::CloseImpl() { return child_->Close(); }
 
 std::string DistinctNode::Describe() const { return "Distinct"; }
 
@@ -660,12 +735,12 @@ std::vector<const ExecNode*> DistinctNode::Children() const {
 LimitNode::LimitNode(std::unique_ptr<ExecNode> child, int64_t limit)
     : child_(std::move(child)), limit_(limit) {}
 
-Status LimitNode::Open() {
+Status LimitNode::OpenImpl() {
   emitted_ = 0;
   return child_->Open();
 }
 
-Result<bool> LimitNode::Next(ExecRow* out) {
+Result<bool> LimitNode::NextImpl(ExecRow* out) {
   if (emitted_ >= limit_) return false;
   EXI_ASSIGN_OR_RETURN(bool have, child_->Next(out));
   if (!have) return false;
@@ -673,7 +748,7 @@ Result<bool> LimitNode::Next(ExecRow* out) {
   return true;
 }
 
-Status LimitNode::Close() { return child_->Close(); }
+Status LimitNode::CloseImpl() { return child_->Close(); }
 
 std::string LimitNode::Describe() const {
   return "Limit(" + std::to_string(limit_) + ")";
@@ -744,7 +819,7 @@ GroupByNode::GroupByNode(std::unique_ptr<ExecNode> child,
       outputs_(std::move(outputs)),
       evaluator_(catalog) {}
 
-Status GroupByNode::Open() {
+Status GroupByNode::OpenImpl() {
   EXI_RETURN_IF_ERROR(child_->Open());
   std::map<Row, std::vector<AggAcc>, KeyLess> groups;
   ExecRow row;
@@ -792,7 +867,7 @@ Status GroupByNode::Open() {
   return Status::OK();
 }
 
-Result<bool> GroupByNode::Next(ExecRow* out) {
+Result<bool> GroupByNode::NextImpl(ExecRow* out) {
   if (pos_ >= results_.size()) return false;
   out->values = std::move(results_[pos_++]);
   out->rid = kInvalidRowId;
@@ -800,7 +875,7 @@ Result<bool> GroupByNode::Next(ExecRow* out) {
   return true;
 }
 
-Status GroupByNode::Close() { return Status::OK(); }
+Status GroupByNode::CloseImpl() { return Status::OK(); }
 
 std::string GroupByNode::Describe() const {
   std::string s = "GroupBy(keys=";
@@ -827,14 +902,14 @@ AggregateNode::AggregateNode(std::unique_ptr<ExecNode> child,
                              const Catalog* catalog)
     : child_(std::move(child)), aggs_(std::move(aggs)), evaluator_(catalog) {}
 
-Status AggregateNode::Open() {
+Status AggregateNode::OpenImpl() {
   EXI_RETURN_IF_ERROR(child_->Open());
   done_ = false;
   computed_ = false;
   return Status::OK();
 }
 
-Result<bool> AggregateNode::Next(ExecRow* out) {
+Result<bool> AggregateNode::NextImpl(ExecRow* out) {
   if (done_) return false;
   if (!computed_) {
     struct Acc {
@@ -902,7 +977,7 @@ Result<bool> AggregateNode::Next(ExecRow* out) {
   return true;
 }
 
-Status AggregateNode::Close() { return Status::OK(); }
+Status AggregateNode::CloseImpl() { return Status::OK(); }
 
 std::string AggregateNode::Describe() const {
   std::string s = "Aggregate(";

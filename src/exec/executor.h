@@ -10,6 +10,7 @@
 
 #include "catalog/catalog.h"
 #include "index/key.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "core/domain_index.h"
 #include "exec/evaluator.h"
@@ -30,21 +31,60 @@ struct ExecRow {
 
 // Volcano-style iterator.  Open -> Next* -> Close; Next returns false when
 // exhausted.  Nodes are single-use.
+//
+// The public Open/Next/Close are non-virtual wrappers; subclasses implement
+// OpenImpl/NextImpl/CloseImpl.  When EnableStats() has been called on the
+// plan (EXPLAIN ANALYZE), the wrappers record per-node row counts, loop
+// counts, wall time, and a StorageMetrics window; otherwise they add a
+// single predicted branch per call.
 class ExecNode {
  public:
+  // Runtime statistics for one node, Postgres EXPLAIN ANALYZE semantics:
+  // `elapsed_us` and `storage` are inclusive of time/work in descendants
+  // (the storage window spans Open..Close, so work done by pool workers on
+  // this node's behalf — prefetch, parallel probes — is included too).
+  struct NodeStats {
+    uint64_t loops = 0;       // completed Open() invocations
+    uint64_t rows = 0;        // rows produced across all loops
+    uint64_t next_calls = 0;  // Next() invocations (rows + end-of-stream)
+    int64_t elapsed_us = 0;   // wall time inside Open/Next/Close
+    StorageMetrics storage;   // GlobalMetrics delta over Open..Close
+  };
+
   virtual ~ExecNode() = default;
 
-  virtual Status Open() = 0;
-  virtual Result<bool> Next(ExecRow* out) = 0;
-  virtual Status Close() = 0;
+  Status Open();
+  Result<bool> Next(ExecRow* out);
+  Status Close();
+
+  // Turns on stats collection for this node and every descendant.  Call
+  // before Open(); collection cannot be turned off on a live plan.
+  void EnableStats();
+  bool stats_enabled() const { return stats_enabled_; }
+  const NodeStats& stats() const { return stats_; }
 
   // One line describing this node for EXPLAIN output.
   virtual std::string Describe() const = 0;
   virtual std::vector<const ExecNode*> Children() const { return {}; }
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(ExecRow* out) = 0;
+  virtual Status CloseImpl() = 0;
+
+ private:
+  bool stats_enabled_ = false;
+  bool window_open_ = false;  // storage window armed (Open seen, Close not)
+  NodeStats stats_;
+  StorageMetrics window_start_;
 };
 
 // Renders a plan tree (for EXPLAIN).
 std::string DescribePlan(const ExecNode& root);
+
+// Renders a plan tree with per-node actuals appended to each line
+// (EXPLAIN ANALYZE); nodes must have run with EnableStats() on.
+std::string DescribePlanWithStats(const ExecNode& root);
 
 // ---- scans ----
 
@@ -53,9 +93,9 @@ class SeqScanNode : public ExecNode {
  public:
   explicit SeqScanNode(const HeapTable* table);
 
-  Status Open() override;
-  Result<bool> Next(ExecRow* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(ExecRow* out) override;
+  Status CloseImpl() override;
   std::string Describe() const override;
 
  private:
@@ -70,9 +110,9 @@ class RowIdListScanNode : public ExecNode {
   RowIdListScanNode(const HeapTable* table, std::vector<RowId> rids,
                     std::string label);
 
-  Status Open() override;
-  Result<bool> Next(ExecRow* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(ExecRow* out) override;
+  Status CloseImpl() override;
   std::string Describe() const override;
 
  private:
@@ -98,9 +138,9 @@ class DomainIndexScanNode : public ExecNode {
                       std::string index_name, OdciPredInfo pred,
                       size_t batch_size = 64, size_t parallelism = 1);
 
-  Status Open() override;
-  Result<bool> Next(ExecRow* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(ExecRow* out) override;
+  Status CloseImpl() override;
   std::string Describe() const override;
 
  private:
@@ -132,9 +172,9 @@ class FilterNode : public ExecNode {
   FilterNode(std::unique_ptr<ExecNode> child, const sql::Expr* predicate,
              const Catalog* catalog);
 
-  Status Open() override;
-  Result<bool> Next(ExecRow* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(ExecRow* out) override;
+  Status CloseImpl() override;
   std::string Describe() const override;
   std::vector<const ExecNode*> Children() const override;
 
@@ -149,9 +189,9 @@ class ProjectNode : public ExecNode {
   ProjectNode(std::unique_ptr<ExecNode> child,
               std::vector<const sql::Expr*> exprs, const Catalog* catalog);
 
-  Status Open() override;
-  Result<bool> Next(ExecRow* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(ExecRow* out) override;
+  Status CloseImpl() override;
   std::string Describe() const override;
   std::vector<const ExecNode*> Children() const override;
 
@@ -169,9 +209,9 @@ class NestedLoopJoinNode : public ExecNode {
   NestedLoopJoinNode(std::unique_ptr<ExecNode> left,
                      std::unique_ptr<ExecNode> right);
 
-  Status Open() override;
-  Result<bool> Next(ExecRow* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(ExecRow* out) override;
+  Status CloseImpl() override;
   std::string Describe() const override;
   std::vector<const ExecNode*> Children() const override;
 
@@ -193,9 +233,9 @@ class IndexJoinNode : public ExecNode {
                 const BuiltinIndex* inner_index, const sql::Expr* key_expr,
                 const Catalog* catalog);
 
-  Status Open() override;
-  Result<bool> Next(ExecRow* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(ExecRow* out) override;
+  Status CloseImpl() override;
   std::string Describe() const override;
   std::vector<const ExecNode*> Children() const override;
 
@@ -238,9 +278,9 @@ class DomainIndexJoinNode : public ExecNode {
                       const Catalog* catalog, size_t batch_size = 64,
                       size_t parallelism = 1);
 
-  Status Open() override;
-  Result<bool> Next(ExecRow* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(ExecRow* out) override;
+  Status CloseImpl() override;
   std::string Describe() const override;
   std::vector<const ExecNode*> Children() const override;
 
@@ -291,9 +331,9 @@ class SortNode : public ExecNode {
            std::vector<const sql::Expr*> keys, std::vector<bool> ascending,
            const Catalog* catalog);
 
-  Status Open() override;
-  Result<bool> Next(ExecRow* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(ExecRow* out) override;
+  Status CloseImpl() override;
   std::string Describe() const override;
   std::vector<const ExecNode*> Children() const override;
 
@@ -313,9 +353,9 @@ class DistinctNode : public ExecNode {
  public:
   explicit DistinctNode(std::unique_ptr<ExecNode> child);
 
-  Status Open() override;
-  Result<bool> Next(ExecRow* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(ExecRow* out) override;
+  Status CloseImpl() override;
   std::string Describe() const override;
   std::vector<const ExecNode*> Children() const override;
 
@@ -334,9 +374,9 @@ class LimitNode : public ExecNode {
  public:
   LimitNode(std::unique_ptr<ExecNode> child, int64_t limit);
 
-  Status Open() override;
-  Result<bool> Next(ExecRow* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(ExecRow* out) override;
+  Status CloseImpl() override;
   std::string Describe() const override;
   std::vector<const ExecNode*> Children() const override;
 
@@ -364,9 +404,9 @@ class GroupByNode : public ExecNode {
               std::vector<const sql::Expr*> aggs,
               std::vector<Output> outputs, const Catalog* catalog);
 
-  Status Open() override;
-  Result<bool> Next(ExecRow* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(ExecRow* out) override;
+  Status CloseImpl() override;
   std::string Describe() const override;
   std::vector<const ExecNode*> Children() const override;
 
@@ -387,9 +427,9 @@ class AggregateNode : public ExecNode {
   AggregateNode(std::unique_ptr<ExecNode> child,
                 std::vector<const sql::Expr*> aggs, const Catalog* catalog);
 
-  Status Open() override;
-  Result<bool> Next(ExecRow* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(ExecRow* out) override;
+  Status CloseImpl() override;
   std::string Describe() const override;
   std::vector<const ExecNode*> Children() const override;
 

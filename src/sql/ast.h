@@ -260,6 +260,9 @@ struct RollbackStmt : Statement {
 struct ExplainStmt : Statement {
   ExplainStmt() : Statement(StmtKind::kExplain) {}
   std::unique_ptr<Statement> inner;
+  // EXPLAIN ANALYZE: execute the inner statement and annotate the plan
+  // with per-node actuals and the statement's ODCI-call window.
+  bool analyze = false;
 };
 
 }  // namespace exi::sql

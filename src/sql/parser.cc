@@ -487,6 +487,7 @@ Result<std::unique_ptr<Statement>> Parser::ParseAnalyze() {
 Result<std::unique_ptr<Statement>> Parser::ParseExplain() {
   Advance();  // EXPLAIN
   auto stmt = std::make_unique<ExplainStmt>();
+  stmt->analyze = MatchKeyword("ANALYZE");
   EXI_ASSIGN_OR_RETURN(stmt->inner, ParseStatement());
   return std::unique_ptr<Statement>(std::move(stmt));
 }
@@ -717,7 +718,16 @@ Result<std::unique_ptr<Expr>> Parser::ParsePrimary() {
     EXI_RETURN_IF_ERROR(ExpectOperator(")"));
     return inner;
   }
-  if (t.type == TokenType::kIdentifier) {
+  // Non-reserved keywords: words the grammar only uses in DDL positions
+  // that can never start an expression, so they remain legal column names
+  // (the performance views expose an `indextype` column, and user tables
+  // may use these words too).  Keyword tokens carry upper-cased text;
+  // column resolution is case-insensitive, so that is harmless.
+  auto is_non_reserved = [](const Token& tok) {
+    return tok.IsKeyword("INDEXTYPE") || tok.IsKeyword("OPERATOR") ||
+           tok.IsKeyword("BINDING") || tok.IsKeyword("PARAMETERS");
+  };
+  if (t.type == TokenType::kIdentifier || is_non_reserved(t)) {
     // name-dot chain, then maybe a call.
     std::vector<std::string> parts;
     parts.push_back(Advance().text);

@@ -1,0 +1,278 @@
+// Observability-layer tests: EXPLAIN ANALYZE per-node actuals must match
+// what the query really returns, and the V$ODCI_CALLS view must account
+// for every dispatch exactly in serial runs and sum-preservingly when the
+// worker pool splits the build (parallelism 4).
+//
+// The Tracer and GlobalMetrics are process-wide, so each test that asserts
+// exact counts resets the tracer first; tests in this binary run serially.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cartridge/spatial/spatial_cartridge.h"
+#include "cartridge/text/text_cartridge.h"
+#include "common/metrics.h"
+#include "common/tracer.h"
+#include "engine/connection.h"
+#include "engine/workloads.h"
+
+namespace exi {
+namespace {
+
+// Pulls the "actual rows=N" annotation off the first plan line containing
+// `node_substring`; -1 if no such line/annotation exists.
+int64_t ActualRows(const std::string& message,
+                   const std::string& node_substring) {
+  size_t line_start = 0;
+  while (line_start < message.size()) {
+    size_t line_end = message.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = message.size();
+    std::string line = message.substr(line_start, line_end - line_start);
+    if (line.find(node_substring) != std::string::npos) {
+      size_t at = line.find("actual rows=");
+      if (at == std::string::npos) return -1;
+      return std::stoll(line.substr(at + 12));
+    }
+    line_start = line_end + 1;
+  }
+  return -1;
+}
+
+// Calls recorded for `routine` in the global tracer (all indextypes).
+uint64_t TracedCalls(const std::string& routine) {
+  uint64_t calls = 0;
+  for (const auto& [key, stats] : Tracer::Global().Snapshot()) {
+    if (key.second == routine) calls += stats.calls;
+  }
+  return calls;
+}
+
+// One row of V$ODCI_CALLS fetched through SQL, keyed by routine name.
+int64_t ViewCalls(Connection* conn, const std::string& routine) {
+  QueryResult r = conn->MustExecute(
+      "SELECT calls FROM v$odci_calls WHERE routine = '" + routine + "'");
+  if (r.rows.empty()) return 0;
+  int64_t calls = 0;
+  for (const Row& row : r.rows) calls += row[0].AsInteger();
+  return calls;
+}
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  ObservabilityTest() : conn_(&db_) {
+    EXPECT_TRUE(text::InstallTextCartridge(&conn_).ok());
+    EXPECT_TRUE(spatial::InstallSpatialCartridge(&conn_).ok());
+    Tracer::Global().Reset();
+  }
+
+  Database db_;
+  Connection conn_;
+};
+
+TEST(TracerTest, RecordsAndMerges) {
+  Tracer tracer;
+  tracer.Record("TestType", "test", "ODCIIndexFetch", 5, true);
+  tracer.Record("TestType", "test", "ODCIIndexFetch", 11, false);
+  TracerSnapshot snap = tracer.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  const RoutineStats& stats = snap.begin()->second;
+  EXPECT_EQ(stats.calls, 2u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.total_us, 16);
+  EXPECT_EQ(stats.min_us, 5);
+  EXPECT_EQ(stats.max_us, 11);
+  EXPECT_EQ(stats.cartridge, "test");
+}
+
+TEST(TracerTest, CrossThreadShardsSumExactly) {
+  Tracer tracer;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.Record("TestType", "test", "ODCIIndexInsert", 1, true);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  TracerSnapshot snap = tracer.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap.begin()->second.calls, uint64_t(kThreads * kPerThread));
+}
+
+TEST(TracerTest, DeltaDropsUnchangedEntries) {
+  Tracer tracer;
+  tracer.Record("A", "a", "ODCIIndexStart", 2, true);
+  TracerSnapshot before = tracer.Snapshot();
+  tracer.Record("B", "b", "ODCIIndexStart", 3, true);
+  tracer.Record("B", "b", "ODCIIndexStart", 4, true);
+  TracerSnapshot delta = TracerDelta(tracer.Snapshot(), before);
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta.begin()->first.first, "B");
+  EXPECT_EQ(delta.begin()->second.calls, 2u);
+  EXPECT_EQ(delta.begin()->second.total_us, 7);
+}
+
+TEST(TracerTest, HistogramPercentiles) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 99; ++i) hist.Record(2);
+  hist.Record(1000);
+  EXPECT_EQ(hist.ApproxPercentileUs(0.5), 2);
+  EXPECT_GE(hist.ApproxPercentileUs(1.0), 1000 / 2);
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.ApproxPercentileUs(0.5), 0);
+}
+
+TEST_F(ObservabilityTest, ExplainAnalyzeSeqScanRowCounts) {
+  conn_.MustExecute("CREATE TABLE nums (n INTEGER)");
+  conn_.MustExecute("INSERT INTO nums VALUES (1), (2), (3), (4), (5)");
+  QueryResult direct = conn_.MustExecute("SELECT n FROM nums WHERE n <= 3");
+  ASSERT_EQ(direct.rows.size(), 3u);
+
+  QueryResult r =
+      conn_.MustExecute("EXPLAIN ANALYZE SELECT n FROM nums WHERE n <= 3");
+  EXPECT_TRUE(r.rows.empty());  // analyze discards the result set
+  // The seq scan feeds all 5 rows; the filter keeps 3.
+  EXPECT_EQ(ActualRows(r.message, "SeqScan"), 5);
+  EXPECT_EQ(ActualRows(r.message, "Filter"), 3);
+  EXPECT_NE(r.message.find("loops=1"), std::string::npos);
+  EXPECT_NE(r.message.find("total time:"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ExplainAnalyzeDomainIndexScan) {
+  ASSERT_TRUE(
+      workload::BuildTextTable(&conn_, "docs", 300, 12, 200, 0.8, 7).ok());
+  conn_.MustExecute(
+      "CREATE INDEX docs_text ON docs(body) INDEXTYPE IS TextIndexType");
+  conn_.MustExecute("ANALYZE docs");
+
+  QueryResult direct = conn_.MustExecute(
+      "SELECT id FROM docs WHERE Contains(body, 'w1')");
+  ASSERT_GT(direct.rows.size(), 0u);
+
+  QueryResult r = conn_.MustExecute(
+      "EXPLAIN ANALYZE SELECT id FROM docs WHERE Contains(body, 'w1')");
+  EXPECT_EQ(ActualRows(r.message, "DomainIndexScan"),
+            int64_t(direct.rows.size()));
+  // The statement's ODCI window covers the scan dispatches (and the
+  // ODCIStats planning calls).
+  EXPECT_NE(r.message.find("ODCI calls (this statement):"),
+            std::string::npos);
+  EXPECT_NE(r.message.find("ODCIIndexStart: calls=1"), std::string::npos);
+  EXPECT_NE(r.message.find("ODCIIndexClose: calls=1"), std::string::npos);
+  EXPECT_NE(r.message.find("ODCIIndexFetch"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ExplainAnalyzeDomainIndexJoin) {
+  ASSERT_TRUE(workload::BuildSpatialTable(&conn_, "roads", 30, 500.0, 7).ok());
+  ASSERT_TRUE(
+      workload::BuildSpatialTable(&conn_, "parks", 80, 300.0, 8).ok());
+  conn_.MustExecute(
+      "CREATE INDEX p_tile ON parks(geometry) INDEXTYPE IS SpatialIndexType");
+  conn_.MustExecute("ANALYZE roads");
+  conn_.MustExecute("ANALYZE parks");
+
+  const std::string q =
+      "SELECT r.gid, p.gid FROM roads r, parks p "
+      "WHERE Sdo_Relate(p.geometry, r.geometry, 'mask=ANYINTERACT')";
+  QueryResult direct = conn_.MustExecute(q);
+
+  Tracer::Global().Reset();
+  QueryResult r = conn_.MustExecute("EXPLAIN ANALYZE " + q);
+  EXPECT_EQ(ActualRows(r.message, "DomainIndexJoin"),
+            int64_t(direct.rows.size()));
+  // One probe (Start+Close pair) per outer row.
+  EXPECT_EQ(TracedCalls("ODCIIndexStart"), 30u);
+  EXPECT_EQ(TracedCalls("ODCIIndexClose"), 30u);
+}
+
+TEST_F(ObservabilityTest, VOdciCallsExactAtParallelism1) {
+  ASSERT_TRUE(
+      workload::BuildTextTable(&conn_, "docs", 120, 10, 150, 0.8, 3).ok());
+  Tracer::Global().Reset();
+  conn_.MustExecute(
+      "CREATE INDEX docs_text ON docs(body) INDEXTYPE IS TextIndexType");
+  conn_.MustExecute("ANALYZE docs");
+
+  // Serial build: one ODCIIndexCreate, nothing else.
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexCreate"), 1);
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexCreateStorage"), 0);
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexInsert"), 0);
+
+  QueryResult direct = conn_.MustExecute(
+      "SELECT id FROM docs WHERE Contains(body, 'w2')");
+  size_t rows = direct.rows.size();
+  ASSERT_GT(rows, 0u);
+
+  // Exactly one scan: Start and Close once; Fetch once per full batch, one
+  // for the final partial batch, plus the end-of-scan call.
+  size_t batch = db_.fetch_batch_size();
+  int64_t expected_fetches =
+      int64_t(rows / batch) + (rows % batch != 0 ? 1 : 0) + 1;
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexStart"), 1);
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexClose"), 1);
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexFetch"), expected_fetches);
+
+  // The view agrees with the tracer it snapshots.
+  EXPECT_EQ(uint64_t(ViewCalls(&conn_, "ODCIIndexFetch")),
+            TracedCalls("ODCIIndexFetch"));
+
+  // DML maintenance dispatch shows up per-routine as well.
+  conn_.MustExecute("INSERT INTO docs VALUES (9001, 'w2 w3 w4')");
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexInsert"), 1);
+}
+
+TEST_F(ObservabilityTest, VOdciCallsSumPreservingAtParallelism4) {
+  constexpr int kDocs = 150;
+  ASSERT_TRUE(
+      workload::BuildTextTable(&conn_, "docs", kDocs, 10, 150, 0.8, 5).ok());
+  Tracer::Global().Reset();
+  db_.set_parallelism(4);
+  conn_.MustExecute(
+      "CREATE INDEX docs_text ON docs(body) INDEXTYPE IS TextIndexType");
+  conn_.MustExecute("ANALYZE docs");
+
+  // Parallel build: the split protocol traces CreateStorage once and one
+  // Insert per document; worker shards must merge without losing a call.
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexCreateStorage"), 1);
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexCreate"), 0);
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexInsert"), kDocs);
+
+  // Scans under prefetch still pair Start/Close exactly.
+  QueryResult direct = conn_.MustExecute(
+      "SELECT id FROM docs WHERE Contains(body, 'w2')");
+  ASSERT_GT(direct.rows.size(), 0u);
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexStart"), 1);
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexClose"), 1);
+}
+
+TEST_F(ObservabilityTest, VStorageMetricsListsEveryCounter) {
+  conn_.MustExecute("CREATE TABLE t (n INTEGER)");
+  conn_.MustExecute("INSERT INTO t VALUES (1), (2)");
+  conn_.MustExecute("SELECT n FROM t");
+
+  QueryResult r = conn_.MustExecute("SELECT * FROM v$storage_metrics");
+  size_t counters = 0;
+  ForEachMetric(StorageMetrics{}, [&](const char*, uint64_t) { ++counters; });
+  EXPECT_EQ(r.rows.size(), counters);
+  ASSERT_EQ(r.column_names.size(), 2u);
+  EXPECT_EQ(r.column_names[0], "metric");
+  EXPECT_EQ(r.column_names[1], "value");
+
+  bool found = false;
+  for (const Row& row : r.rows) {
+    if (row[0].AsVarchar() == "table_rows_read") {
+      found = true;
+      EXPECT_GE(row[1].AsInteger(), 2);  // at least our SELECT's two rows
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace exi

@@ -1,0 +1,162 @@
+// Documentation lint, run by the `docs-check` build target (and CI):
+//
+//  1. Every relative markdown link in the repo's *.md files must resolve
+//     to an existing file or directory — dead links rot silently.
+//  2. The live V$ view schemas (materialized by Database::RefreshPerfViews)
+//     must match docs/golden/vdollar_schema.txt, so the schemas documented
+//     in docs/observability.md cannot drift from the code.
+//
+// Usage: docs_check <repo_root>
+// Exit 0 = clean; 1 = findings (each printed on its own line).
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/connection.h"
+#include "storage/heap_table.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Directories never scanned for markdown.
+bool SkippedDir(const fs::path& p) {
+  std::string name = p.filename().string();
+  return name == ".git" || name == "build" || name.rfind("build", 0) == 0 ||
+         name == ".claude";
+}
+
+std::vector<fs::path> MarkdownFiles(const fs::path& root) {
+  std::vector<fs::path> out;
+  std::vector<fs::path> stack = {root};
+  while (!stack.empty()) {
+    fs::path dir = stack.back();
+    stack.pop_back();
+    for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+      if (e.is_directory()) {
+        if (!SkippedDir(e.path())) stack.push_back(e.path());
+      } else if (e.path().extension() == ".md") {
+        out.push_back(e.path());
+      }
+    }
+  }
+  return out;
+}
+
+// Extracts markdown link targets `](target)` from one line.  Good enough
+// for this repo's hand-written docs; external and intra-page links are
+// the caller's job to filter.
+std::vector<std::string> LinkTargets(const std::string& line) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while ((pos = line.find("](", pos)) != std::string::npos) {
+    size_t start = pos + 2;
+    size_t end = line.find(')', start);
+    if (end == std::string::npos) break;
+    out.push_back(line.substr(start, end - start));
+    pos = end + 1;
+  }
+  return out;
+}
+
+bool IsExternal(const std::string& target) {
+  return target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+         target.rfind("mailto:", 0) == 0 || target.empty() ||
+         target[0] == '#';
+}
+
+int CheckLinks(const fs::path& root) {
+  int findings = 0;
+  for (const fs::path& md : MarkdownFiles(root)) {
+    std::ifstream in(md);
+    std::string line;
+    size_t lineno = 0;
+    bool in_code_fence = false;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.rfind("```", 0) == 0) in_code_fence = !in_code_fence;
+      if (in_code_fence) continue;
+      for (std::string target : LinkTargets(line)) {
+        if (IsExternal(target)) continue;
+        size_t hash = target.find('#');
+        if (hash != std::string::npos) target.resize(hash);
+        if (target.empty()) continue;
+        fs::path resolved = md.parent_path() / target;
+        if (!fs::exists(resolved)) {
+          std::printf("%s:%zu: dead link: %s\n",
+                      fs::relative(md, root).string().c_str(), lineno,
+                      target.c_str());
+          ++findings;
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+// Renders the live perf-view schemas in the golden-file format.
+std::string LiveVdollarSchemas(exi::Database* db) {
+  std::ostringstream os;
+  for (const char* view : {"v$odci_calls", "v$storage_metrics"}) {
+    os << view << "\n";
+    exi::Result<exi::HeapTable*> table = db->catalog().GetTable(view);
+    if (!table.ok()) {
+      os << "  <missing: " << table.status().ToString() << ">\n";
+      continue;
+    }
+    const exi::Schema& schema = (*table)->schema();
+    for (size_t i = 0; i < schema.size(); ++i) {
+      const exi::Column& col = schema.column(i);
+      os << "  " << col.name << " " << col.type.ToString() << "\n";
+    }
+  }
+  return os.str();
+}
+
+int CheckVdollarGolden(const fs::path& root) {
+  fs::path golden_path = root / "docs" / "golden" / "vdollar_schema.txt";
+  std::ifstream in(golden_path);
+  if (!in) {
+    std::printf("missing golden file: docs/golden/vdollar_schema.txt\n");
+    return 1;
+  }
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  exi::Database db;
+  exi::Status st = db.RefreshPerfViews();
+  if (!st.ok()) {
+    std::printf("RefreshPerfViews failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::string live = LiveVdollarSchemas(&db);
+  if (live != golden.str()) {
+    std::printf(
+        "V$ schema drift: docs/golden/vdollar_schema.txt no longer matches "
+        "Database::RefreshPerfViews.\n---- golden ----\n%s---- live ----\n%s",
+        golden.str().c_str(), live.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: docs_check <repo_root>\n");
+    return 2;
+  }
+  fs::path root = argv[1];
+  int findings = CheckLinks(root) + CheckVdollarGolden(root);
+  if (findings == 0) {
+    std::printf("docs-check: OK\n");
+    return 0;
+  }
+  std::printf("docs-check: %d finding(s)\n", findings);
+  return 1;
+}
