@@ -16,7 +16,7 @@ using namespace exi::bench;  // NOLINT
 
 int main() {
   Header("ablation: tile level — index size vs candidate precision");
-  constexpr uint64_t kRects = 4000;
+  const uint64_t kRects = Scaled(4000, 80);
   std::printf("%6s | %12s | %10s %10s | %10s\n", "level", "iot_entries",
               "query_us", "hits", "idx_reads");
   for (int level : {2, 3, 4, 5, 6, 8, 10}) {

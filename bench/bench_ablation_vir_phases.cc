@@ -31,7 +31,7 @@ std::string ImageLiteral(const vir::Signature& sig) {
 
 int main() {
   Header("ablation: VIR filter phases");
-  constexpr uint64_t kImages = 60000;
+  const uint64_t kImages = Scaled(60000, 200);
   Database db;
   Connection conn(&db);
   if (!vir::InstallVirCartridge(&conn).ok()) return 1;

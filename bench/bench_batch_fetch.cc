@@ -16,7 +16,7 @@ using namespace exi::bench;  // NOLINT
 
 int main() {
   Header("E7: ODCIIndexFetch batch size vs callback round-trips");
-  constexpr uint64_t kDocs = 30000;
+  const uint64_t kDocs = Scaled(30000, 200);
   Database db;
   Connection conn(&db);
   if (!text::InstallTextCartridge(&conn).ok()) return 1;

@@ -20,7 +20,9 @@ int main() {
       "%7s %7s | %12s %14s | %12s %14s | %10s %10s\n", "mols", "store",
       "build_us", "build_bytes_w", "maint_us", "maint_bytes_w", "query_us",
       "matches");
-  for (uint64_t n : {1000, 5000, 20000}) {
+  std::vector<uint64_t> sizes{1000, 5000, 20000};
+  if (SmokeMode()) sizes = {50};
+  for (uint64_t n : sizes) {
     for (const char* storage : {"lob", "file"}) {
       Database db;
       db.catalog().set_external_root("/tmp/extidx_bench_chem");

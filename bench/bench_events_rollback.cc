@@ -37,7 +37,7 @@ RunResult RunTxns(bool with_handler, int txns, int abort_every) {
   db.catalog().set_external_root("/tmp/extidx_bench_events");
   Connection conn(&db);
   (void)chem::InstallChemCartridge(&conn);
-  (void)workload::BuildMoleculeTable(&conn, "mols", 200, 12, 77);
+  (void)workload::BuildMoleculeTable(&conn, "mols", Scaled(200, 20), 12, 77);
   conn.MustExecute(
       "CREATE INDEX mfile ON mols(smiles) INDEXTYPE IS ChemIndexType "
       "PARAMETERS (':Storage file')");
@@ -74,7 +74,7 @@ RunResult RunTxns(bool with_handler, int txns, int abort_every) {
 
 int main() {
   Header("E9: external store + rollback — phantoms without database events");
-  constexpr int kTxns = 100;
+  const int kTxns = int(Scaled(100, 5));
   std::printf("%12s | %18s %12s | %18s %12s\n", "abort_rate",
               "phantoms(no evt)", "us(no evt)", "phantoms(events)",
               "us(events)");

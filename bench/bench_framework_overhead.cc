@@ -41,7 +41,9 @@ int main() {
   Header("E10: native B-tree vs domain-index B-tree (framework overhead)");
   std::printf("%8s %-18s | %12s %12s %10s\n", "rows", "operation",
               "native_us", "domain_us", "overhead");
-  for (uint64_t n : {10000, 100000}) {
+  std::vector<uint64_t> sizes{10000, 100000};
+  if (SmokeMode()) sizes = {500};
+  for (uint64_t n : sizes) {
     Database db;
     Connection conn(&db);
     if (!dbt::InstallDomainBtreeCartridge(&conn).ok()) return 1;
@@ -56,7 +58,7 @@ int main() {
         "CREATE INDEX t_domain ON t(v) INDEXTYPE IS DomainBtreeType");
     conn.MustExecute("ANALYZE t");
 
-    constexpr int kQueries = 200;
+    const int kQueries = int(Scaled(200, 10));
     Rng rng(n);
 
     // Warm both paths (allocator/caches) before any timed loop.

@@ -34,7 +34,7 @@ std::string ChosenPath(const std::string& explain) {
 
 int main() {
   Header("E6: optimizer choice — Contains(body, T) AND id <= W");
-  constexpr uint64_t kDocs = 20000;
+  const uint64_t kDocs = Scaled(20000, 200);
   Database db;
   Connection conn(&db);
   if (!text::InstallTextCartridge(&conn).ok()) return 1;

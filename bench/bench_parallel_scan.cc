@@ -100,12 +100,14 @@ int main() {
     conn.MustExecute(
         "CREATE INDEXTYPE SlowTextIndexType FOR Contains(VARCHAR, VARCHAR) "
         "USING SlowTextIndexMethods");
-    if (!workload::BuildTextTable(&conn, "docs", 1200, 12, 400, 0.8, 5)
+    const uint64_t build_docs = Scaled(1200, 60);
+    if (!workload::BuildTextTable(&conn, "docs", build_docs, 12, 400, 0.8, 5)
              .ok()) {
       return 1;
     }
 
-    std::printf("build: 1200 docs, %lldus per ODCIIndexInsert\n",
+    std::printf("build: %llu docs, %lldus per ODCIIndexInsert\n",
+                (unsigned long long)build_docs,
                 (long long)kInsertLatencyUs);
     std::printf("%10s | %12s %10s\n", "workers", "build_ms", "speedup");
     for (size_t w : kWorkers) {
@@ -141,8 +143,12 @@ int main() {
         "CREATE INDEXTYPE SlowSpatialIndexType FOR Sdo_Relate("
         "OBJECT SDO_GEOMETRY, OBJECT SDO_GEOMETRY, VARCHAR) "
         "USING SlowSpatialIndexMethods");
-    if (!workload::BuildSpatialTable(&conn, "roads", 120, 500.0, 7).ok() ||
-        !workload::BuildSpatialTable(&conn, "parks", 400, 300.0, 8).ok()) {
+    if (!workload::BuildSpatialTable(&conn, "roads", Scaled(120, 20), 500.0,
+                                     7)
+             .ok() ||
+        !workload::BuildSpatialTable(&conn, "parks", Scaled(400, 40), 300.0,
+                                     8)
+             .ok()) {
       return 1;
     }
     conn.MustExecute(

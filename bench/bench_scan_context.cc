@@ -17,7 +17,7 @@ using namespace exi::bench;  // NOLINT
 
 int main() {
   Header("E8: scan context — Return State vs Return Handle");
-  constexpr uint64_t kDocs = 30000;
+  const uint64_t kDocs = Scaled(30000, 200);
   Database db;
   Connection conn(&db);
   db.set_fetch_batch_size(32);  // more fetch calls => more state copies

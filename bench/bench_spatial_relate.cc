@@ -42,7 +42,9 @@ int main() {
   Header("E3a: spatial window query — functional vs tile index vs R-tree");
   std::printf("%8s %6s | %12s %12s %12s\n", "rects", "hits", "func_us",
               "tile_us", "rtree_us");
-  for (uint64_t n : {500, 2000, 8000}) {
+  std::vector<uint64_t> window_sizes{500, 2000, 8000};
+  if (SmokeMode()) window_sizes = {40};
+  for (uint64_t n : window_sizes) {
     Database db;
     Connection conn(&db);
     if (!spatial::InstallSpatialCartridge(&conn).ok()) return 1;
@@ -76,7 +78,9 @@ int main() {
   Header("E3b: roads x parks overlap join — 8i domain-index join vs pre-8i");
   std::printf("%8s %7s | %13s %13s %13s\n", "rects", "pairs", "dijoin_us",
               "legacy_us", "brute_us");
-  for (uint64_t n : {500, 2000, 5000}) {
+  std::vector<uint64_t> join_sizes{500, 2000, 5000};
+  if (SmokeMode()) join_sizes = {40};
+  for (uint64_t n : join_sizes) {
     Database db;
     Connection conn(&db);
     if (!spatial::InstallSpatialCartridge(&conn).ok()) return 1;

@@ -56,7 +56,7 @@ int64_t LegacyTimeToK(Database* db, const std::string& index,
 
 int main() {
   Header("E2: time to first K rows — incremental vs precompute vs pre-8i");
-  constexpr uint64_t kDocs = 30000;
+  const uint64_t kDocs = Scaled(30000, 200);
   Database db;
   Connection conn(&db);
   if (!text::InstallTextCartridge(&conn).ok()) return 1;

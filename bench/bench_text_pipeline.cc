@@ -58,7 +58,9 @@ int main() {
       "rows", "pipe_us", "legacy_us", "speedup", "pipe_tmpw", "leg_tmpw",
       "sql_e2e_us");
 
-  for (uint64_t docs : {1000, 5000, 20000, 50000}) {
+  std::vector<uint64_t> sizes{1000, 5000, 20000, 50000};
+  if (SmokeMode()) sizes = {60};
+  for (uint64_t docs : sizes) {
     Database db;
     Connection conn(&db);
     if (!text::InstallTextCartridge(&conn).ok()) return 1;

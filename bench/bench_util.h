@@ -1,8 +1,10 @@
 #ifndef EXTIDX_BENCH_BENCH_UTIL_H_
 #define EXTIDX_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,6 +13,21 @@
 #include "common/tracer.h"
 
 namespace exi::bench {
+
+// EXTIDX_BENCH_SMOKE=1 shrinks every bench to a seconds-long smoke run so
+// CI can execute the whole suite end to end: Scaled() collapses workload
+// sizes to a tiny floor while the measurement and JSON-report plumbing stay
+// identical.  Smoke numbers are for plumbing validation only — never quote
+// them as results.
+inline bool SmokeMode() {
+  const char* v = std::getenv("EXTIDX_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Workload size: `full` normally, min(full, smoke) under smoke mode.
+inline size_t Scaled(size_t full, size_t smoke = 8) {
+  return SmokeMode() ? std::min(full, smoke) : full;
+}
 
 // Wall-clock stopwatch in microseconds.
 class Timer {

@@ -33,7 +33,9 @@ int main() {
   std::printf("%8s %7s | %12s %12s %8s | %9s %9s %9s\n", "images",
               "matches", "func_us", "index_us", "speedup", "phase1",
               "phase2", "phase3");
-  for (uint64_t n : {10000, 50000, 200000}) {
+  std::vector<uint64_t> sizes{10000, 50000, 200000};
+  if (SmokeMode()) sizes = {200};
+  for (uint64_t n : sizes) {
     Database db;
     Connection conn(&db);
     if (!vir::InstallVirCartridge(&conn).ok()) return 1;

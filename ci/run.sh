@@ -20,13 +20,30 @@ echo "==> tests"
 echo "==> docs-check (markdown links + V\$ schema golden)"
 cmake --build build --target docs-check
 
+echo "==> bench smoke (EXTIDX_BENCH_SMOKE=1: every bench at tiny scale)"
+# Runs from build/ so the committed BENCH_*.json at the repo root keep
+# their full-scale numbers; smoke output is plumbing validation only.
+(
+  cd build
+  for b in bench/bench_*; do
+    [[ -x "$b" && ! -d "$b" ]] || continue
+    if [[ "$(basename "$b")" == "bench_micro_substrate" ]]; then
+      EXTIDX_BENCH_SMOKE=1 "./$b" --benchmark_min_time=0.01 >/dev/null
+    else
+      EXTIDX_BENCH_SMOKE=1 "./$b" >/dev/null
+    fi
+    echo "  ok: $(basename "$b")"
+  done
+)
+
 if [[ "${1:-}" != "quick" ]]; then
-  echo "==> TSan: concurrency_test + observability_test"
+  echo "==> TSan: concurrency_test + observability_test + storage_fastpath_test"
   cmake -B build-tsan -S . -DEXTIDX_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target concurrency_test \
-      observability_test
+      observability_test storage_fastpath_test
   ./build-tsan/tests/concurrency_test
   ./build-tsan/tests/observability_test
+  ./build-tsan/tests/storage_fastpath_test
 fi
 
 echo "CI OK"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <set>
 
 #include "cartridge/params.h"
 #include "common/strings.h"
@@ -236,6 +237,59 @@ Status ChemIndexMethods::Update(const OdciIndexInfo& info, RowId rid,
                                 const Value& new_value, ServerContext& ctx) {
   EXI_RETURN_IF_ERROR(Delete(info, rid, old_value, ctx));
   return Insert(info, rid, new_value, ctx);
+}
+
+Status ChemIndexMethods::BatchInsert(const OdciIndexInfo& info,
+                                     const std::vector<RowId>& rids,
+                                     const ValueList& new_values,
+                                     ServerContext& ctx) {
+  // All fingerprints concatenate into one packed batch, appended with a
+  // single store operation — the per-row path pays one append per row.
+  std::vector<uint8_t> batch;
+  for (size_t i = 0; i < rids.size(); ++i) {
+    const Value& v = new_values[i];
+    if (v.is_null()) continue;
+    EXI_ASSIGN_OR_RETURN(Molecule mol, Molecule::ParseSmiles(v.AsVarchar()));
+    AppendFingerprintRecord(&batch, rids[i], ComputeFingerprint(mol));
+  }
+  if (batch.empty()) return Status::OK();
+  EXI_ASSIGN_OR_RETURN(std::unique_ptr<RecordStore> store,
+                       OpenStore(info, ctx));
+  return store->Append(batch);
+}
+
+Status ChemIndexMethods::BatchDelete(const OdciIndexInfo& info,
+                                     const std::vector<RowId>& rids,
+                                     const ValueList& old_values,
+                                     ServerContext& ctx) {
+  // One pass over the packed store locates every doomed record; the
+  // per-row path re-reads the whole store for each rid.
+  EXI_ASSIGN_OR_RETURN(std::unique_ptr<RecordStore> store,
+                       OpenStore(info, ctx));
+  std::set<RowId> doomed;
+  for (size_t i = 0; i < rids.size(); ++i) {
+    if (!old_values[i].is_null()) doomed.insert(rids[i]);
+  }
+  if (doomed.empty()) return Status::OK();
+  EXI_ASSIGN_OR_RETURN(std::vector<uint8_t> all, store->ReadAll());
+  size_t count = all.size() / kFingerprintRecordBytes;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t rec_rid;
+    std::memcpy(&rec_rid, all.data() + i * kFingerprintRecordBytes, 8);
+    if (rec_rid != 0 && doomed.count(RowId(rec_rid)) > 0) {
+      EXI_RETURN_IF_ERROR(store->Tombstone(i));
+    }
+  }
+  return Status::OK();
+}
+
+Status ChemIndexMethods::BatchUpdate(const OdciIndexInfo& info,
+                                     const std::vector<RowId>& rids,
+                                     const ValueList& old_values,
+                                     const ValueList& new_values,
+                                     ServerContext& ctx) {
+  EXI_RETURN_IF_ERROR(BatchDelete(info, rids, old_values, ctx));
+  return BatchInsert(info, rids, new_values, ctx);
 }
 
 Result<OdciScanContext> ChemIndexMethods::Start(const OdciIndexInfo& info,

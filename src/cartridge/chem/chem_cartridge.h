@@ -35,6 +35,17 @@ class ChemIndexMethods : public OdciIndex {
  public:
   const char* TraceLabel() const override { return "chem"; }
 
+  // Batched maintenance pays off especially here: the packed record store
+  // has no random access, so per-row Insert costs one LOB append (or file
+  // rewrite) each, while BatchInsert concatenates every new fingerprint
+  // into a single append, and BatchDelete scans the store once for all the
+  // doomed rids instead of once per row.  The parallel capabilities stay
+  // off: maintenance mutates one shared packed store.
+  OdciCapabilities Capabilities() const override {
+    return {/*parallel_build=*/false, /*parallel_scan=*/false,
+            /*batch_maintenance=*/true};
+  }
+
   Status Create(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Alter(const OdciIndexInfo& info, ServerContext& ctx) override;
   Status Truncate(const OdciIndexInfo& info, ServerContext& ctx) override;
@@ -46,6 +57,14 @@ class ChemIndexMethods : public OdciIndex {
                 ServerContext& ctx) override;
   Status Update(const OdciIndexInfo& info, RowId rid, const Value& old_value,
                 const Value& new_value, ServerContext& ctx) override;
+
+  Status BatchInsert(const OdciIndexInfo& info, const std::vector<RowId>& rids,
+                     const ValueList& new_values, ServerContext& ctx) override;
+  Status BatchDelete(const OdciIndexInfo& info, const std::vector<RowId>& rids,
+                     const ValueList& old_values, ServerContext& ctx) override;
+  Status BatchUpdate(const OdciIndexInfo& info, const std::vector<RowId>& rids,
+                     const ValueList& old_values, const ValueList& new_values,
+                     ServerContext& ctx) override;
 
   Result<OdciScanContext> Start(const OdciIndexInfo& info,
                                 const OdciPredInfo& pred,

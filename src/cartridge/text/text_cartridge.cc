@@ -228,6 +228,53 @@ Status TextIndexMethods::Update(const OdciIndexInfo& info, RowId rid,
   return Insert(info, rid, new_value, ctx);
 }
 
+Status TextIndexMethods::BatchInsert(const OdciIndexInfo& info,
+                                     const std::vector<RowId>& rids,
+                                     const ValueList& new_values,
+                                     ServerContext& ctx) {
+  std::string iot = PostingTableName(info.index_name);
+  Tokenizer tokenizer = MakeTokenizer(ParseParams(info.parameters));
+  for (size_t i = 0; i < rids.size(); ++i) {
+    const Value& v = new_values[i];
+    if (v.is_null()) continue;
+    for (const auto& [token, freq] :
+         tokenizer.TokenFrequencies(v.AsVarchar())) {
+      EXI_RETURN_IF_ERROR(ctx.IotUpsert(
+          iot, {Value::Varchar(token), Value::Integer(int64_t(rids[i])),
+                Value::Integer(freq)}));
+    }
+  }
+  return Status::OK();
+}
+
+Status TextIndexMethods::BatchDelete(const OdciIndexInfo& info,
+                                     const std::vector<RowId>& rids,
+                                     const ValueList& old_values,
+                                     ServerContext& ctx) {
+  std::string iot = PostingTableName(info.index_name);
+  Tokenizer tokenizer = MakeTokenizer(ParseParams(info.parameters));
+  for (size_t i = 0; i < rids.size(); ++i) {
+    const Value& v = old_values[i];
+    if (v.is_null()) continue;
+    for (const auto& [token, freq] :
+         tokenizer.TokenFrequencies(v.AsVarchar())) {
+      (void)freq;
+      EXI_RETURN_IF_ERROR(ctx.IotDelete(
+          iot, {Value::Varchar(token), Value::Integer(int64_t(rids[i]))}));
+    }
+  }
+  return Status::OK();
+}
+
+Status TextIndexMethods::BatchUpdate(const OdciIndexInfo& info,
+                                     const std::vector<RowId>& rids,
+                                     const ValueList& old_values,
+                                     const ValueList& new_values,
+                                     ServerContext& ctx) {
+  EXI_RETURN_IF_ERROR(BatchDelete(info, rids, old_values, ctx));
+  return BatchInsert(info, rids, new_values, ctx);
+}
+
 // ---- scan ----
 
 Result<OdciScanContext> TextIndexMethods::Start(const OdciIndexInfo& info,

@@ -35,9 +35,12 @@ class TextIndexMethods : public OdciIndex {
   // Insert writes only via IotUpsert and never reads its own writes; posting
   // keys embed the rid, so index contents are insertion-order-insensitive.
   // Start/Fetch/Close touch no mutable cartridge state.  Both parallel
-  // capabilities hold (DESIGN.md §5).
+  // capabilities hold (DESIGN.md §5), and the batched maintenance routines
+  // below amortize parameter parsing and tokenizer construction over a
+  // whole statement's rows.
   OdciCapabilities Capabilities() const override {
-    return {/*parallel_build=*/true, /*parallel_scan=*/true};
+    return {/*parallel_build=*/true, /*parallel_scan=*/true,
+            /*batch_maintenance=*/true};
   }
 
   const char* TraceLabel() const override { return "text"; }
@@ -56,6 +59,16 @@ class TextIndexMethods : public OdciIndex {
                 ServerContext& ctx) override;
   Status Update(const OdciIndexInfo& info, RowId rid, const Value& old_value,
                 const Value& new_value, ServerContext& ctx) override;
+
+  // Batched maintenance (§2.2.3 extension): one parameter parse + one
+  // tokenizer for the whole batch, then a single posting-upsert pass.
+  Status BatchInsert(const OdciIndexInfo& info, const std::vector<RowId>& rids,
+                     const ValueList& new_values, ServerContext& ctx) override;
+  Status BatchDelete(const OdciIndexInfo& info, const std::vector<RowId>& rids,
+                     const ValueList& old_values, ServerContext& ctx) override;
+  Status BatchUpdate(const OdciIndexInfo& info, const std::vector<RowId>& rids,
+                     const ValueList& old_values, const ValueList& new_values,
+                     ServerContext& ctx) override;
 
   // ---- scan ----
   Result<OdciScanContext> Start(const OdciIndexInfo& info,

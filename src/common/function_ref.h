@@ -1,0 +1,53 @@
+#ifndef EXTIDX_COMMON_FUNCTION_REF_H_
+#define EXTIDX_COMMON_FUNCTION_REF_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace exi {
+
+// Non-owning reference to a callable, for visitor parameters on hot scan
+// paths (Iot::ScanPrefix/ScanRange, ServerContext::IndexTableScan).  Unlike
+// `const std::function<...>&`, constructing one from a lambda never
+// allocates: it captures a pointer to the caller's callable plus a
+// trampoline, so per-row posting-list scans pay two words of setup instead
+// of a potential heap allocation per scan.
+//
+// The referenced callable must outlive the FunctionRef.  That holds for the
+// visitor idiom used here — the callable is a caller-frame lambda and the
+// ref never escapes the callee — which is why the scan interfaces can take
+// FunctionRef by value.  Never store one.
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<F>>,
+                                FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, so
+  // callers keep passing plain lambdas.
+  FunctionRef(F&& f)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_COMMON_FUNCTION_REF_H_

@@ -14,6 +14,8 @@ StorageMetrics StorageMetrics::Delta(const StorageMetrics& since) const {
   d.lob_chunks_read = lob_chunks_read - since.lob_chunks_read;
   d.lob_chunks_written = lob_chunks_written - since.lob_chunks_written;
   d.lob_bytes_written = lob_bytes_written - since.lob_bytes_written;
+  d.lob_cow_chunks_copied = lob_cow_chunks_copied - since.lob_cow_chunks_copied;
+  d.lob_snapshot_bytes = lob_snapshot_bytes - since.lob_snapshot_bytes;
   d.file_reads = file_reads - since.file_reads;
   d.file_writes = file_writes - since.file_writes;
   d.file_bytes_written = file_bytes_written - since.file_bytes_written;
@@ -24,6 +26,10 @@ StorageMetrics StorageMetrics::Delta(const StorageMetrics& since) const {
   d.odci_close_calls = odci_close_calls - since.odci_close_calls;
   d.odci_maintenance_calls =
       odci_maintenance_calls - since.odci_maintenance_calls;
+  d.odci_batch_maintenance_calls =
+      odci_batch_maintenance_calls - since.odci_batch_maintenance_calls;
+  d.odci_batch_maintenance_rows =
+      odci_batch_maintenance_rows - since.odci_batch_maintenance_rows;
   d.functional_evaluations =
       functional_evaluations - since.functional_evaluations;
   return d;
@@ -42,6 +48,10 @@ std::string StorageMetrics::ToString() const {
      << " odci_start=" << odci_start_calls << " odci_fetch=" << odci_fetch_calls
      << " odci_close=" << odci_close_calls
      << " odci_maint=" << odci_maintenance_calls
+     << " odci_batch_maint=" << odci_batch_maintenance_calls
+     << " odci_batch_rows=" << odci_batch_maintenance_rows
+     << " lob_cow_copied=" << lob_cow_chunks_copied
+     << " lob_snap_bytes=" << lob_snapshot_bytes
      << " func_evals=" << functional_evaluations;
   return os.str();
 }
@@ -69,6 +79,9 @@ StorageMetrics AtomicStorageMetrics::Snapshot() const {
   s.lob_chunks_read = lob_chunks_read.load(std::memory_order_relaxed);
   s.lob_chunks_written = lob_chunks_written.load(std::memory_order_relaxed);
   s.lob_bytes_written = lob_bytes_written.load(std::memory_order_relaxed);
+  s.lob_cow_chunks_copied =
+      lob_cow_chunks_copied.load(std::memory_order_relaxed);
+  s.lob_snapshot_bytes = lob_snapshot_bytes.load(std::memory_order_relaxed);
   s.file_reads = file_reads.load(std::memory_order_relaxed);
   s.file_writes = file_writes.load(std::memory_order_relaxed);
   s.file_bytes_written = file_bytes_written.load(std::memory_order_relaxed);
@@ -79,6 +92,10 @@ StorageMetrics AtomicStorageMetrics::Snapshot() const {
   s.odci_close_calls = odci_close_calls.load(std::memory_order_relaxed);
   s.odci_maintenance_calls =
       odci_maintenance_calls.load(std::memory_order_relaxed);
+  s.odci_batch_maintenance_calls =
+      odci_batch_maintenance_calls.load(std::memory_order_relaxed);
+  s.odci_batch_maintenance_rows =
+      odci_batch_maintenance_rows.load(std::memory_order_relaxed);
   s.functional_evaluations =
       functional_evaluations.load(std::memory_order_relaxed);
   return s;
@@ -93,6 +110,8 @@ void AtomicStorageMetrics::Reset() {
   lob_chunks_read = 0;
   lob_chunks_written = 0;
   lob_bytes_written = 0;
+  lob_cow_chunks_copied = 0;
+  lob_snapshot_bytes = 0;
   file_reads = 0;
   file_writes = 0;
   file_bytes_written = 0;
@@ -102,6 +121,8 @@ void AtomicStorageMetrics::Reset() {
   odci_fetch_calls = 0;
   odci_close_calls = 0;
   odci_maintenance_calls = 0;
+  odci_batch_maintenance_calls = 0;
+  odci_batch_maintenance_rows = 0;
   functional_evaluations = 0;
 }
 

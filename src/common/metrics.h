@@ -32,6 +32,14 @@ struct StorageMetrics {
   uint64_t lob_chunks_written = 0;
   uint64_t lob_bytes_written = 0;
 
+  // Copy-on-write LOB snapshot work: chunks physically duplicated because a
+  // write landed on a chunk shared with an undo snapshot, and the bytes
+  // those duplications copied.  Under the pre-COW scheme snapshot_bytes
+  // equaled the full LOB size on first touch; now it is proportional to the
+  // bytes actually written.
+  uint64_t lob_cow_chunks_copied = 0;
+  uint64_t lob_snapshot_bytes = 0;
+
   // External file store operations (outside transaction control).
   uint64_t file_reads = 0;
   uint64_t file_writes = 0;
@@ -46,6 +54,10 @@ struct StorageMetrics {
   uint64_t odci_fetch_calls = 0;
   uint64_t odci_close_calls = 0;
   uint64_t odci_maintenance_calls = 0;
+  // Batched maintenance dispatches (each also counts one maintenance call)
+  // and the rows they covered; rows/calls = mean batch width.
+  uint64_t odci_batch_maintenance_calls = 0;
+  uint64_t odci_batch_maintenance_rows = 0;
   uint64_t functional_evaluations = 0;  // per-row operator function calls
 
   StorageMetrics Delta(const StorageMetrics& since) const;
@@ -69,6 +81,8 @@ void ForEachMetric(const StorageMetrics& m, Fn&& fn) {
   fn("lob_chunks_read", m.lob_chunks_read);
   fn("lob_chunks_written", m.lob_chunks_written);
   fn("lob_bytes_written", m.lob_bytes_written);
+  fn("lob_cow_chunks_copied", m.lob_cow_chunks_copied);
+  fn("lob_snapshot_bytes", m.lob_snapshot_bytes);
   fn("file_reads", m.file_reads);
   fn("file_writes", m.file_writes);
   fn("file_bytes_written", m.file_bytes_written);
@@ -78,6 +92,8 @@ void ForEachMetric(const StorageMetrics& m, Fn&& fn) {
   fn("odci_fetch_calls", m.odci_fetch_calls);
   fn("odci_close_calls", m.odci_close_calls);
   fn("odci_maintenance_calls", m.odci_maintenance_calls);
+  fn("odci_batch_maintenance_calls", m.odci_batch_maintenance_calls);
+  fn("odci_batch_maintenance_rows", m.odci_batch_maintenance_rows);
   fn("functional_evaluations", m.functional_evaluations);
 }
 
@@ -95,6 +111,8 @@ struct AtomicStorageMetrics {
   std::atomic<uint64_t> lob_chunks_read{0};
   std::atomic<uint64_t> lob_chunks_written{0};
   std::atomic<uint64_t> lob_bytes_written{0};
+  std::atomic<uint64_t> lob_cow_chunks_copied{0};
+  std::atomic<uint64_t> lob_snapshot_bytes{0};
   std::atomic<uint64_t> file_reads{0};
   std::atomic<uint64_t> file_writes{0};
   std::atomic<uint64_t> file_bytes_written{0};
@@ -104,6 +122,8 @@ struct AtomicStorageMetrics {
   std::atomic<uint64_t> odci_fetch_calls{0};
   std::atomic<uint64_t> odci_close_calls{0};
   std::atomic<uint64_t> odci_maintenance_calls{0};
+  std::atomic<uint64_t> odci_batch_maintenance_calls{0};
+  std::atomic<uint64_t> odci_batch_maintenance_rows{0};
   std::atomic<uint64_t> functional_evaluations{0};
 
   StorageMetrics Snapshot() const;

@@ -102,13 +102,13 @@ Result<Row> BufferingServerContext::IotGet(const std::string& name,
 }
 Status BufferingServerContext::IotScanPrefix(
     const std::string& name, const CompositeKey& prefix,
-    const std::function<bool(const Row&)>& visit) const {
+    FunctionRef<bool(const Row&)> visit) const {
   return reads_.IotScanPrefix(name, prefix, visit);
 }
 Status BufferingServerContext::IotScanRange(
     const std::string& name, const CompositeKey* lo, bool lo_inclusive,
     const CompositeKey* hi, bool hi_inclusive,
-    const std::function<bool(const Row&)>& visit) const {
+    FunctionRef<bool(const Row&)> visit) const {
   return reads_.IotScanRange(name, lo, lo_inclusive, hi, hi_inclusive, visit);
 }
 Result<uint64_t> BufferingServerContext::IotRowCount(
@@ -120,7 +120,7 @@ bool BufferingServerContext::IndexTableExists(const std::string& name) const {
 }
 Status BufferingServerContext::IndexTableScan(
     const std::string& name,
-    const std::function<bool(RowId, const Row&)>& visit) const {
+    FunctionRef<bool(RowId, const Row&)> visit) const {
   return reads_.IndexTableScan(name, visit);
 }
 Result<std::vector<uint8_t>> BufferingServerContext::ReadLob(

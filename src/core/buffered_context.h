@@ -63,18 +63,17 @@ class BufferingServerContext : public ServerContext {
   bool IotExists(const std::string& name) const override;
   Result<Row> IotGet(const std::string& name,
                      const CompositeKey& key) const override;
-  Status IotScanPrefix(
-      const std::string& name, const CompositeKey& prefix,
-      const std::function<bool(const Row&)>& visit) const override;
-  Status IotScanRange(
-      const std::string& name, const CompositeKey* lo, bool lo_inclusive,
-      const CompositeKey* hi, bool hi_inclusive,
-      const std::function<bool(const Row&)>& visit) const override;
+  Status IotScanPrefix(const std::string& name, const CompositeKey& prefix,
+                       FunctionRef<bool(const Row&)> visit) const override;
+  Status IotScanRange(const std::string& name, const CompositeKey* lo,
+                      bool lo_inclusive, const CompositeKey* hi,
+                      bool hi_inclusive,
+                      FunctionRef<bool(const Row&)> visit) const override;
   Result<uint64_t> IotRowCount(const std::string& name) const override;
   bool IndexTableExists(const std::string& name) const override;
   Status IndexTableScan(
       const std::string& name,
-      const std::function<bool(RowId, const Row&)>& visit) const override;
+      FunctionRef<bool(RowId, const Row&)> visit) const override;
   Result<std::vector<uint8_t>> ReadLob(LobId id, uint64_t offset,
                                        uint64_t len) const override;
   Result<std::vector<uint8_t>> ReadLobAll(LobId id) const override;

@@ -98,7 +98,7 @@ Result<Row> GuardedServerContext::IotGet(const std::string& name,
 
 Status GuardedServerContext::IotScanPrefix(
     const std::string& name, const CompositeKey& prefix,
-    const std::function<bool(const Row&)>& visit) const {
+    FunctionRef<bool(const Row&)> visit) const {
   EXI_ASSIGN_OR_RETURN(const Iot* iot,
                        static_cast<const Catalog*>(catalog_)->GetIot(name));
   iot->ScanPrefix(prefix, visit);
@@ -108,7 +108,7 @@ Status GuardedServerContext::IotScanPrefix(
 Status GuardedServerContext::IotScanRange(
     const std::string& name, const CompositeKey* lo, bool lo_inclusive,
     const CompositeKey* hi, bool hi_inclusive,
-    const std::function<bool(const Row&)>& visit) const {
+    FunctionRef<bool(const Row&)> visit) const {
   EXI_ASSIGN_OR_RETURN(const Iot* iot,
                        static_cast<const Catalog*>(catalog_)->GetIot(name));
   iot->ScanRange(lo, lo_inclusive, hi, hi_inclusive, visit);
@@ -172,7 +172,7 @@ Status GuardedServerContext::IndexTableDelete(const std::string& name,
 
 Status GuardedServerContext::IndexTableScan(
     const std::string& name,
-    const std::function<bool(RowId, const Row&)>& visit) const {
+    FunctionRef<bool(RowId, const Row&)> visit) const {
   EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetIndexTable(name));
   for (auto it = table->Scan(); it.Valid(); it.Next()) {
     if (!visit(it.row_id(), it.row())) break;
@@ -185,7 +185,9 @@ Status GuardedServerContext::IndexTableScan(
 Status GuardedServerContext::SnapshotLobForUndo(LobId id) {
   if (txn_ == nullptr || !txn_->MarkLobTouched(id)) return Status::OK();
   LobStore* lobs = &catalog_->lobs();
-  EXI_ASSIGN_OR_RETURN(std::vector<uint8_t> snapshot, lobs->Snapshot(id));
+  // O(#chunks) pointer copy: chunks stay shared with the live LOB until a
+  // write diverges them (copy-on-write in LobStore).
+  EXI_ASSIGN_OR_RETURN(LobStore::LobSnapshot snapshot, lobs->Snapshot(id));
   txn_->PushUndo([lobs, id, snapshot] {
     if (lobs->Exists(id)) (void)lobs->Restore(id, snapshot);
   });

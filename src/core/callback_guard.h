@@ -50,13 +50,12 @@ class GuardedServerContext : public ServerContext {
   // ---- IOT queries ----
   Result<Row> IotGet(const std::string& name,
                      const CompositeKey& key) const override;
-  Status IotScanPrefix(
-      const std::string& name, const CompositeKey& prefix,
-      const std::function<bool(const Row&)>& visit) const override;
-  Status IotScanRange(
-      const std::string& name, const CompositeKey* lo, bool lo_inclusive,
-      const CompositeKey* hi, bool hi_inclusive,
-      const std::function<bool(const Row&)>& visit) const override;
+  Status IotScanPrefix(const std::string& name, const CompositeKey& prefix,
+                       FunctionRef<bool(const Row&)> visit) const override;
+  Status IotScanRange(const std::string& name, const CompositeKey* lo,
+                      bool lo_inclusive, const CompositeKey* hi,
+                      bool hi_inclusive,
+                      FunctionRef<bool(const Row&)> visit) const override;
   Result<uint64_t> IotRowCount(const std::string& name) const override;
 
   // ---- index-data heap tables ----
@@ -68,7 +67,7 @@ class GuardedServerContext : public ServerContext {
   Status IndexTableDelete(const std::string& name, RowId rid) override;
   Status IndexTableScan(
       const std::string& name,
-      const std::function<bool(RowId, const Row&)>& visit) const override;
+      FunctionRef<bool(RowId, const Row&)> visit) const override;
 
   // ---- LOBs ----
   Result<LobId> CreateLob() override;

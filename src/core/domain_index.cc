@@ -313,6 +313,194 @@ Status DomainIndexManager::OnUpdate(const std::string& table_name, RowId rid,
   return Status::OK();
 }
 
+namespace {
+
+// Extracts the indexed column's value for every row of a batch, in order.
+Result<ValueList> IndexedValues(
+    const IndexInfo* index, const Schema& schema,
+    const std::vector<std::pair<RowId, Row>>& rows) {
+  ValueList values;
+  values.reserve(rows.size());
+  for (const auto& [rid, row] : rows) {
+    (void)rid;
+    EXI_ASSIGN_OR_RETURN(Value v, IndexedValue(index, schema, row));
+    values.push_back(std::move(v));
+  }
+  return values;
+}
+
+std::vector<RowId> RidsOf(const std::vector<std::pair<RowId, Row>>& rows) {
+  std::vector<RowId> rids;
+  rids.reserve(rows.size());
+  for (const auto& [rid, row] : rows) rids.push_back(rid);
+  return rids;
+}
+
+// Meters one batched maintenance dispatch (which also counts as one
+// maintenance call, so V$STORAGE_METRICS ratios stay comparable).
+void MeterBatchDispatch(size_t rows) {
+  GlobalMetrics().odci_maintenance_calls++;
+  GlobalMetrics().odci_batch_maintenance_calls++;
+  GlobalMetrics().odci_batch_maintenance_rows += rows;
+}
+
+}  // namespace
+
+Status DomainIndexManager::OnInsertBatch(
+    const std::string& table_name,
+    const std::vector<std::pair<RowId, Row>>& rows, Transaction* txn) {
+  if (rows.empty()) return Status::OK();
+  if (rows.size() == 1) {
+    return OnInsert(table_name, rows[0].first, rows[0].second, txn);
+  }
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetTable(table_name));
+  for (IndexInfo* index : catalog_->IndexesOnTable(table_name)) {
+    if (!index->is_domain()) continue;
+    OdciIndexInfo info = index->ToOdciInfo(table->schema());
+    GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
+    bool handled = false;
+    if (index->domain_impl->Capabilities().batch_maintenance) {
+      EXI_ASSIGN_OR_RETURN(ValueList values,
+                           IndexedValues(index, table->schema(), rows));
+      MeterBatchDispatch(rows.size());
+      ScopedOdciTrace trace(index->indextype,
+                            index->domain_impl->TraceLabel(),
+                            "ODCIIndexBatchInsert");
+      Status s = index->domain_impl->BatchInsert(info, RidsOf(rows), values,
+                                                 ctx);
+      if (s.ok()) {
+        handled = true;
+      } else {
+        trace.set_failed();
+        if (s.code() != StatusCode::kNotSupported) return s;
+        // Opted out at runtime: fall back to the per-row path below.
+      }
+    }
+    if (handled) continue;
+    for (const auto& [rid, row] : rows) {
+      EXI_ASSIGN_OR_RETURN(Value v, IndexedValue(index, table->schema(), row));
+      GlobalMetrics().odci_maintenance_calls++;
+      ScopedOdciTrace trace(index->indextype,
+                            index->domain_impl->TraceLabel(),
+                            "ODCIIndexInsert");
+      Status s = index->domain_impl->Insert(info, rid, v, ctx);
+      if (!s.ok()) {
+        trace.set_failed();
+        return s;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DomainIndexManager::OnDeleteBatch(
+    const std::string& table_name,
+    const std::vector<std::pair<RowId, Row>>& old_rows, Transaction* txn) {
+  if (old_rows.empty()) return Status::OK();
+  if (old_rows.size() == 1) {
+    return OnDelete(table_name, old_rows[0].first, old_rows[0].second, txn);
+  }
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetTable(table_name));
+  for (IndexInfo* index : catalog_->IndexesOnTable(table_name)) {
+    if (!index->is_domain()) continue;
+    OdciIndexInfo info = index->ToOdciInfo(table->schema());
+    GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
+    bool handled = false;
+    if (index->domain_impl->Capabilities().batch_maintenance) {
+      EXI_ASSIGN_OR_RETURN(ValueList values,
+                           IndexedValues(index, table->schema(), old_rows));
+      MeterBatchDispatch(old_rows.size());
+      ScopedOdciTrace trace(index->indextype,
+                            index->domain_impl->TraceLabel(),
+                            "ODCIIndexBatchDelete");
+      Status s = index->domain_impl->BatchDelete(info, RidsOf(old_rows),
+                                                 values, ctx);
+      if (s.ok()) {
+        handled = true;
+      } else {
+        trace.set_failed();
+        if (s.code() != StatusCode::kNotSupported) return s;
+      }
+    }
+    if (handled) continue;
+    for (const auto& [rid, row] : old_rows) {
+      EXI_ASSIGN_OR_RETURN(Value v, IndexedValue(index, table->schema(), row));
+      GlobalMetrics().odci_maintenance_calls++;
+      ScopedOdciTrace trace(index->indextype,
+                            index->domain_impl->TraceLabel(),
+                            "ODCIIndexDelete");
+      Status s = index->domain_impl->Delete(info, rid, v, ctx);
+      if (!s.ok()) {
+        trace.set_failed();
+        return s;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DomainIndexManager::OnUpdateBatch(
+    const std::string& table_name,
+    const std::vector<std::pair<RowId, Row>>& old_rows,
+    const std::vector<Row>& new_rows, Transaction* txn) {
+  if (old_rows.size() != new_rows.size()) {
+    return Status::Internal("OnUpdateBatch: old/new row count mismatch");
+  }
+  if (old_rows.empty()) return Status::OK();
+  if (old_rows.size() == 1) {
+    return OnUpdate(table_name, old_rows[0].first, old_rows[0].second,
+                    new_rows[0], txn);
+  }
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetTable(table_name));
+  for (IndexInfo* index : catalog_->IndexesOnTable(table_name)) {
+    if (!index->is_domain()) continue;
+    OdciIndexInfo info = index->ToOdciInfo(table->schema());
+    GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
+    bool handled = false;
+    if (index->domain_impl->Capabilities().batch_maintenance) {
+      EXI_ASSIGN_OR_RETURN(ValueList old_values,
+                           IndexedValues(index, table->schema(), old_rows));
+      ValueList new_values;
+      new_values.reserve(new_rows.size());
+      for (const Row& row : new_rows) {
+        EXI_ASSIGN_OR_RETURN(Value v,
+                             IndexedValue(index, table->schema(), row));
+        new_values.push_back(std::move(v));
+      }
+      MeterBatchDispatch(old_rows.size());
+      ScopedOdciTrace trace(index->indextype,
+                            index->domain_impl->TraceLabel(),
+                            "ODCIIndexBatchUpdate");
+      Status s = index->domain_impl->BatchUpdate(info, RidsOf(old_rows),
+                                                 old_values, new_values, ctx);
+      if (s.ok()) {
+        handled = true;
+      } else {
+        trace.set_failed();
+        if (s.code() != StatusCode::kNotSupported) return s;
+      }
+    }
+    if (handled) continue;
+    for (size_t i = 0; i < old_rows.size(); ++i) {
+      EXI_ASSIGN_OR_RETURN(
+          Value old_v, IndexedValue(index, table->schema(), old_rows[i].second));
+      EXI_ASSIGN_OR_RETURN(Value new_v,
+                           IndexedValue(index, table->schema(), new_rows[i]));
+      GlobalMetrics().odci_maintenance_calls++;
+      ScopedOdciTrace trace(index->indextype,
+                            index->domain_impl->TraceLabel(),
+                            "ODCIIndexUpdate");
+      Status s = index->domain_impl->Update(info, old_rows[i].first, old_v,
+                                            new_v, ctx);
+      if (!s.ok()) {
+        trace.set_failed();
+        return s;
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<DomainIndexManager::Scan>>
 DomainIndexManager::StartScan(const std::string& index_name,
                               const OdciPredInfo& pred) {
@@ -347,21 +535,33 @@ Status DomainIndexManager::Scan::NextBatch(size_t max_rows,
   GlobalMetrics().odci_fetch_calls++;
   ScopedOdciTrace trace(index_->indextype, index_->domain_impl->TraceLabel(),
                         "ODCIIndexFetch");
+  Status s;
   if (sctx_.uses_handle()) {
-    Status s = index_->domain_impl->Fetch(info_, sctx_, max_rows, out, *ctx_);
-    if (!s.ok()) trace.set_failed();
-    return s;
+    s = index_->domain_impl->Fetch(info_, sctx_, max_rows, out, *ctx_);
+  } else {
+    // Return State: the context object crosses the interface by value —
+    // copy the serialized state in, invoke, copy the (possibly mutated)
+    // state out.
+    OdciScanContext by_value;
+    by_value.state = sctx_.state;  // copy in
+    s = index_->domain_impl->Fetch(info_, by_value, max_rows, out, *ctx_);
+    if (s.ok()) sctx_.state = by_value.state;  // copy out
   }
-  // Return State: the context object crosses the interface by value — copy
-  // the serialized state in, invoke, copy the (possibly mutated) state out.
-  OdciScanContext by_value;
-  by_value.state = sctx_.state;  // copy in
-  Status s = index_->domain_impl->Fetch(info_, by_value, max_rows, out, *ctx_);
   if (!s.ok()) {
     trace.set_failed();
     return s;
   }
-  sctx_.state = by_value.state;  // copy out
+  // Enforce the OdciFetchBatch contract here, at the dispatch layer, so a
+  // buggy cartridge surfaces a clear error instead of silently misaligning
+  // ancillary data with rowids downstream.
+  if (!out->ancillary.empty() && out->ancillary.size() != out->rids.size()) {
+    trace.set_failed();
+    return Status::Internal(
+        "cartridge contract violation: ODCIIndexFetch on " + info_.index_name +
+        " returned " + std::to_string(out->ancillary.size()) +
+        " ancillary values for " + std::to_string(out->rids.size()) +
+        " rowids");
+  }
   return Status::OK();
 }
 

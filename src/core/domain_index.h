@@ -74,6 +74,24 @@ class DomainIndexManager {
   Status OnUpdate(const std::string& table_name, RowId rid,
                   const Row& old_row, const Row& new_row, Transaction* txn);
 
+  // Batched variants for multi-row statements: one ODCI dispatch per domain
+  // index (statement row order preserved) when the cartridge declares
+  // batch_maintenance; per-row fallback with identical tracing/metrics
+  // otherwise, or when a batch routine returns NotSupported at runtime
+  // (same protocol as the CreateStorage split build).  A single-row batch
+  // always takes the per-row path, so single-row DML observability is
+  // byte-identical to the pre-batching engine.
+  Status OnInsertBatch(const std::string& table_name,
+                       const std::vector<std::pair<RowId, Row>>& rows,
+                       Transaction* txn);
+  Status OnDeleteBatch(const std::string& table_name,
+                       const std::vector<std::pair<RowId, Row>>& old_rows,
+                       Transaction* txn);
+  // new_rows[i] replaces old_rows[i].second for rowid old_rows[i].first.
+  Status OnUpdateBatch(const std::string& table_name,
+                       const std::vector<std::pair<RowId, Row>>& old_rows,
+                       const std::vector<Row>& new_rows, Transaction* txn);
+
   // ---- index scan (§2.4.2) ----
 
   // A live domain-index scan: Start has run; NextBatch drives Fetch; Close

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "index/key.h"
@@ -139,13 +140,15 @@ class ServerContext {
   // ---- IOT queries (any mode) ----
   virtual Result<Row> IotGet(const std::string& name,
                              const CompositeKey& key) const = 0;
+  // Visitors are FunctionRef (not std::function) so the per-scan setup on
+  // these hot paths never heap-allocates; callers keep passing lambdas.
   virtual Status IotScanPrefix(
       const std::string& name, const CompositeKey& prefix,
-      const std::function<bool(const Row&)>& visit) const = 0;
+      FunctionRef<bool(const Row&)> visit) const = 0;
   virtual Status IotScanRange(
       const std::string& name, const CompositeKey* lo, bool lo_inclusive,
       const CompositeKey* hi, bool hi_inclusive,
-      const std::function<bool(const Row&)>& visit) const = 0;
+      FunctionRef<bool(const Row&)> visit) const = 0;
   virtual Result<uint64_t> IotRowCount(const std::string& name) const = 0;
 
   // ---- heap tables for index data (same mode rules as IOTs) ----
@@ -158,7 +161,7 @@ class ServerContext {
   virtual Status IndexTableDelete(const std::string& name, RowId rid) = 0;
   virtual Status IndexTableScan(
       const std::string& name,
-      const std::function<bool(RowId, const Row&)>& visit) const = 0;
+      FunctionRef<bool(RowId, const Row&)> visit) const = 0;
 
   // ---- LOBs (create requires kDefinition; writes kDefinition or
   //      kMaintenance; reads any mode) ----
@@ -213,6 +216,13 @@ struct OdciCapabilities {
   // already per-scan; this flag additionally promises no mutable globals
   // or non-atomic shared counters in the scan path.
   bool parallel_scan = false;
+
+  // The cartridge implements BatchInsert/BatchDelete/BatchUpdate, so the
+  // engine may coalesce a multi-row DML statement's maintenance into one
+  // ODCI dispatch per index instead of one per row.  Like the split build
+  // protocol, a batch routine may still return NotSupported at runtime and
+  // the framework falls back to the serial per-row path.
+  bool batch_maintenance = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -257,6 +267,43 @@ class OdciIndex {
   virtual Status Update(const OdciIndexInfo& info, RowId rid,
                         const Value& old_value, const Value& new_value,
                         ServerContext& ctx) = 0;
+
+  // ---- batched maintenance (optional fast path) ----
+  // A multi-row DML statement maintains each domain index with a single
+  // call carrying all affected rows (statement order preserved).  Gated on
+  // Capabilities().batch_maintenance; the NotSupported defaults make the
+  // framework fall back to per-row Insert/Delete/Update, exactly like the
+  // CreateStorage split-build protocol.  Each vector is indexed by row:
+  // values[i] belongs to rids[i].
+  virtual Status BatchInsert(const OdciIndexInfo& info,
+                             const std::vector<RowId>& rids,
+                             const ValueList& new_values, ServerContext& ctx) {
+    (void)info;
+    (void)rids;
+    (void)new_values;
+    (void)ctx;
+    return Status::NotSupported("cartridge has no batch maintenance protocol");
+  }
+  virtual Status BatchDelete(const OdciIndexInfo& info,
+                             const std::vector<RowId>& rids,
+                             const ValueList& old_values, ServerContext& ctx) {
+    (void)info;
+    (void)rids;
+    (void)old_values;
+    (void)ctx;
+    return Status::NotSupported("cartridge has no batch maintenance protocol");
+  }
+  virtual Status BatchUpdate(const OdciIndexInfo& info,
+                             const std::vector<RowId>& rids,
+                             const ValueList& old_values,
+                             const ValueList& new_values, ServerContext& ctx) {
+    (void)info;
+    (void)rids;
+    (void)old_values;
+    (void)new_values;
+    (void)ctx;
+    return Status::NotSupported("cartridge has no batch maintenance protocol");
+  }
 
   // ---- index scan (§2.2.3 "ODCIIndex scan methods") ----
   virtual Result<OdciScanContext> Start(const OdciIndexInfo& info,

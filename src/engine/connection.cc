@@ -103,6 +103,7 @@ Result<QueryResult> Connection::Dispatch(Statement* stmt) {
       auto* s = static_cast<sql::AlterIndexStmt*>(stmt);
       EXI_RETURN_IF_ERROR(
           db_->domains().AlterIndex(s->index, s->parameters, nullptr));
+      db_->planner_stats().Clear();
       QueryResult r;
       r.message = "index altered: " + s->index;
       return r;
@@ -117,6 +118,7 @@ Result<QueryResult> Connection::Dispatch(Statement* stmt) {
       } else {
         EXI_RETURN_IF_ERROR(db_->catalog().RemoveIndex(s->index));
       }
+      db_->planner_stats().Clear();
       QueryResult r;
       r.message = "index dropped: " + s->index;
       return r;
@@ -147,6 +149,7 @@ Result<QueryResult> Connection::Dispatch(Statement* stmt) {
     case StmtKind::kAnalyze: {
       auto* s = static_cast<sql::AnalyzeStmt*>(stmt);
       EXI_RETURN_IF_ERROR(AnalyzeTable(&db_->catalog(), s->table));
+      db_->planner_stats().InvalidateTable(s->table);
       QueryResult r;
       r.message = "table analyzed: " + s->table;
       return r;
@@ -210,6 +213,7 @@ Result<QueryResult> Connection::RunCreateIndex(sql::CreateIndexStmt* stmt) {
     EXI_RETURN_IF_ERROR(db_->domains().CreateIndex(
         stmt->index, stmt->table, stmt->columns[0], stmt->indextype,
         stmt->parameters, nullptr));
+    db_->planner_stats().Clear();
     QueryResult r;
     r.message = "domain index created: " + stmt->index + " (indextype " +
                 stmt->indextype + ")";
@@ -256,6 +260,7 @@ Result<QueryResult> Connection::RunCreateIndex(sql::CreateIndexStmt* stmt) {
     if (!null_key) bidx->Insert(key, it.row_id());
   }
   EXI_RETURN_IF_ERROR(db_->catalog().AddIndex(std::move(info)));
+  db_->planner_stats().Clear();
   QueryResult r;
   r.message = "index created: " + stmt->index;
   return r;
@@ -324,7 +329,8 @@ Result<QueryResult> Connection::RunInsert(sql::InsertStmt* stmt) {
       }
     }
 
-    uint64_t inserted = 0;
+    std::vector<Row> rows;
+    rows.reserve(stmt->rows.size());
     for (auto& exprs : stmt->rows) {
       if (exprs.size() != positions.size()) {
         return Status::InvalidArgument(
@@ -336,9 +342,18 @@ Result<QueryResult> Connection::RunInsert(sql::InsertStmt* stmt) {
         EXI_ASSIGN_OR_RETURN(Value v, eval.Eval(*exprs[i], {}));
         row[positions[i]] = std::move(v);
       }
-      EXI_RETURN_IF_ERROR(db_->InsertRow(stmt->table, std::move(row), txn)
-                              .status());
-      ++inserted;
+      rows.push_back(std::move(row));
+    }
+    // Multi-row VALUES lists coalesce domain-index maintenance into one
+    // batched ODCI dispatch per index (Database::InsertRows); single rows
+    // keep the per-row path so their observable ODCI traffic is unchanged.
+    uint64_t inserted = rows.size();
+    if (rows.size() == 1) {
+      EXI_RETURN_IF_ERROR(
+          db_->InsertRow(stmt->table, std::move(rows[0]), txn).status());
+    } else if (rows.size() > 1) {
+      EXI_RETURN_IF_ERROR(
+          db_->InsertRows(stmt->table, std::move(rows), txn).status());
     }
     QueryResult r;
     r.affected_rows = inserted;
@@ -391,14 +406,24 @@ Result<QueryResult> Connection::RunUpdate(sql::UpdateStmt* stmt) {
 
     EXI_ASSIGN_OR_RETURN(auto matches,
                          CollectMatches(stmt->table, stmt->where.get()));
+    std::vector<std::pair<RowId, Row>> updates;
+    updates.reserve(matches.size());
     for (auto& [rid, old_row] : matches) {
       Row new_row = old_row;
       for (auto& [c, expr] : sets) {
         EXI_ASSIGN_OR_RETURN(Value v, eval.Eval(*expr, old_row));
         new_row[c] = std::move(v);
       }
+      updates.emplace_back(rid, std::move(new_row));
+    }
+    // Same routing as RunInsert: >1 affected row goes through the batched
+    // maintenance entry point, a single row stays on the per-row path.
+    if (updates.size() == 1) {
+      EXI_RETURN_IF_ERROR(db_->UpdateRow(stmt->table, updates[0].first,
+                                         std::move(updates[0].second), txn));
+    } else if (updates.size() > 1) {
       EXI_RETURN_IF_ERROR(
-          db_->UpdateRow(stmt->table, rid, std::move(new_row), txn));
+          db_->UpdateRows(stmt->table, std::move(updates), txn));
     }
     QueryResult r;
     r.affected_rows = matches.size();
@@ -411,8 +436,14 @@ Result<QueryResult> Connection::RunDelete(sql::DeleteStmt* stmt) {
   return WithStatementTxn([&](Transaction* txn) -> Result<QueryResult> {
     EXI_ASSIGN_OR_RETURN(auto matches,
                          CollectMatches(stmt->table, stmt->where.get()));
-    for (auto& [rid, row] : matches) {
-      EXI_RETURN_IF_ERROR(db_->DeleteRow(stmt->table, rid, txn));
+    if (matches.size() == 1) {
+      EXI_RETURN_IF_ERROR(
+          db_->DeleteRow(stmt->table, matches[0].first, txn));
+    } else if (matches.size() > 1) {
+      std::vector<RowId> rids;
+      rids.reserve(matches.size());
+      for (auto& [rid, row] : matches) rids.push_back(rid);
+      EXI_RETURN_IF_ERROR(db_->DeleteRows(stmt->table, rids, txn));
     }
     QueryResult r;
     r.affected_rows = matches.size();
@@ -424,7 +455,7 @@ Result<QueryResult> Connection::RunDelete(sql::DeleteStmt* stmt) {
 Result<QueryResult> Connection::RunSelect(sql::SelectStmt* stmt) {
   EXI_RETURN_IF_ERROR(RefreshViewsFor(stmt));
   Planner planner(&db_->catalog(), &db_->domains(), db_->fetch_batch_size(),
-                  db_->parallelism());
+                  db_->parallelism(), &db_->planner_stats());
   EXI_ASSIGN_OR_RETURN(PlannedSelect plan, planner.PlanSelect(stmt));
   QueryResult r;
   r.column_names = plan.column_names;
@@ -465,7 +496,7 @@ Result<QueryResult> Connection::RunExplain(sql::ExplainStmt* stmt) {
   auto* select = static_cast<sql::SelectStmt*>(stmt->inner.get());
   if (stmt->analyze) return RunExplainAnalyze(select);
   Planner planner(&db_->catalog(), &db_->domains(), db_->fetch_batch_size(),
-                  db_->parallelism());
+                  db_->parallelism(), &db_->planner_stats());
   EXI_ASSIGN_OR_RETURN(PlannedSelect plan, planner.PlanSelect(select));
   QueryResult r;
   r.message = plan.explain;
@@ -484,7 +515,7 @@ Result<QueryResult> Connection::RunExplainAnalyze(sql::SelectStmt* stmt) {
                    .count();
 
   Planner planner(&db_->catalog(), &db_->domains(), db_->fetch_batch_size(),
-                  db_->parallelism());
+                  db_->parallelism(), &db_->planner_stats());
   EXI_ASSIGN_OR_RETURN(PlannedSelect plan, planner.PlanSelect(stmt));
   plan.root->EnableStats();
 

@@ -173,10 +173,15 @@ Status Database::RefreshPerfViews() {
   return insert;
 }
 
-Database::Database()
-    : txns_(&events_), domains_(&catalog_) {}
+Database::Database() : txns_(&events_), domains_(&catalog_) {
+  // Statistics cached mid-transaction may describe uncommitted index state;
+  // a rollback makes them wrong, so drop everything.
+  rollback_handler_ = events_.Register([this](DbEvent event) {
+    if (event == DbEvent::kRollback) planner_stats_.Clear();
+  });
+}
 
-Database::~Database() = default;
+Database::~Database() { events_.Unregister(rollback_handler_); }
 
 Result<std::optional<CompositeKey>> Database::KeyFor(
     const IndexInfo& index, const Schema& schema, const Row& row) const {
@@ -235,6 +240,7 @@ Status Database::MaintainBuiltinOnDelete(const std::string& table_name,
 
 Result<RowId> Database::InsertRow(const std::string& table_name, Row row,
                                   Transaction* txn) {
+  planner_stats_.InvalidateTable(table_name);
   EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
   EXI_ASSIGN_OR_RETURN(RowId rid, table->Insert(row));
   if (txn != nullptr) {
@@ -245,8 +251,31 @@ Result<RowId> Database::InsertRow(const std::string& table_name, Row row,
   return rid;
 }
 
+Result<std::vector<RowId>> Database::InsertRows(const std::string& table_name,
+                                                std::vector<Row> rows,
+                                                Transaction* txn) {
+  planner_stats_.InvalidateTable(table_name);
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
+  std::vector<std::pair<RowId, Row>> inserted;
+  std::vector<RowId> rids;
+  inserted.reserve(rows.size());
+  rids.reserve(rows.size());
+  for (Row& row : rows) {
+    EXI_ASSIGN_OR_RETURN(RowId rid, table->Insert(row));
+    if (txn != nullptr) {
+      txn->PushUndo([table, rid] { (void)table->Delete(rid); });
+    }
+    EXI_RETURN_IF_ERROR(MaintainBuiltinOnInsert(table_name, rid, row, txn));
+    rids.push_back(rid);
+    inserted.emplace_back(rid, std::move(row));
+  }
+  EXI_RETURN_IF_ERROR(domains_.OnInsertBatch(table_name, inserted, txn));
+  return rids;
+}
+
 Status Database::UpdateRow(const std::string& table_name, RowId rid,
                            Row new_row, Transaction* txn) {
+  planner_stats_.InvalidateTable(table_name);
   EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
   EXI_ASSIGN_OR_RETURN(Row old_row, table->Get(rid));
   EXI_RETURN_IF_ERROR(table->Update(rid, new_row));
@@ -262,8 +291,38 @@ Status Database::UpdateRow(const std::string& table_name, RowId rid,
   return Status::OK();
 }
 
+Status Database::UpdateRows(const std::string& table_name,
+                            std::vector<std::pair<RowId, Row>> updates,
+                            Transaction* txn) {
+  planner_stats_.InvalidateTable(table_name);
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
+  std::vector<std::pair<RowId, Row>> old_rows;
+  std::vector<Row> new_rows;
+  old_rows.reserve(updates.size());
+  new_rows.reserve(updates.size());
+  for (auto& [rid, new_row] : updates) {
+    EXI_ASSIGN_OR_RETURN(Row old_row, table->Get(rid));
+    EXI_RETURN_IF_ERROR(table->Update(rid, new_row));
+    if (txn != nullptr) {
+      RowId undo_rid = rid;
+      Row old_copy = old_row;
+      txn->PushUndo([table, undo_rid, old_copy] {
+        (void)table->Update(undo_rid, old_copy);
+      });
+    }
+    EXI_RETURN_IF_ERROR(
+        MaintainBuiltinOnDelete(table_name, rid, old_row, txn));
+    EXI_RETURN_IF_ERROR(
+        MaintainBuiltinOnInsert(table_name, rid, new_row, txn));
+    old_rows.emplace_back(rid, std::move(old_row));
+    new_rows.push_back(std::move(new_row));
+  }
+  return domains_.OnUpdateBatch(table_name, old_rows, new_rows, txn);
+}
+
 Status Database::DeleteRow(const std::string& table_name, RowId rid,
                            Transaction* txn) {
+  planner_stats_.InvalidateTable(table_name);
   EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
   EXI_ASSIGN_OR_RETURN(Row old_row, table->Get(rid));
   EXI_RETURN_IF_ERROR(table->Delete(rid));
@@ -277,8 +336,31 @@ Status Database::DeleteRow(const std::string& table_name, RowId rid,
   return Status::OK();
 }
 
+Status Database::DeleteRows(const std::string& table_name,
+                            const std::vector<RowId>& rids, Transaction* txn) {
+  planner_stats_.InvalidateTable(table_name);
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
+  std::vector<std::pair<RowId, Row>> deleted;
+  deleted.reserve(rids.size());
+  for (RowId rid : rids) {
+    EXI_ASSIGN_OR_RETURN(Row old_row, table->Get(rid));
+    EXI_RETURN_IF_ERROR(table->Delete(rid));
+    if (txn != nullptr) {
+      Row old_copy = old_row;
+      txn->PushUndo([table, rid, old_copy] {
+        (void)table->Resurrect(rid, old_copy);
+      });
+    }
+    EXI_RETURN_IF_ERROR(
+        MaintainBuiltinOnDelete(table_name, rid, old_row, txn));
+    deleted.emplace_back(rid, std::move(old_row));
+  }
+  return domains_.OnDeleteBatch(table_name, deleted, txn);
+}
+
 Status Database::TruncateTable(const std::string& table_name,
                                Transaction* txn) {
+  planner_stats_.InvalidateTable(table_name);
   EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
   table->Truncate();
   for (IndexInfo* index : catalog_.IndexesOnTable(table_name)) {
@@ -295,6 +377,7 @@ Status Database::TruncateTable(const std::string& table_name,
 
 Status Database::DropTableCascade(const std::string& table_name,
                                   Transaction* txn) {
+  planner_stats_.InvalidateTable(table_name);
   // Copy names: dropping mutates the index list.
   std::vector<std::string> names;
   for (IndexInfo* index : catalog_.IndexesOnTable(table_name)) {

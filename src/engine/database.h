@@ -6,6 +6,7 @@
 
 #include "catalog/catalog.h"
 #include "core/domain_index.h"
+#include "optimizer/stats_cache.h"
 #include "txn/events.h"
 #include "txn/transaction.h"
 
@@ -33,6 +34,12 @@ class Database {
   TransactionManager& txns() { return txns_; }
   DomainIndexManager& domains() { return domains_; }
 
+  // Session-wide ODCIStats memoization (optimizer/stats_cache.h).  The
+  // Database owns it because Planners are per-statement; row mutations
+  // below invalidate it, and a rollback event clears it (entries may have
+  // been computed against uncommitted index state).
+  PlannerStatsCache& planner_stats() { return planner_stats_; }
+
   // ODCIIndexFetch batch size used by planned domain-index scans
   // (§2.5 batch interface; experiment E7 sweeps it).
   size_t fetch_batch_size() const { return fetch_batch_size_; }
@@ -58,6 +65,19 @@ class Database {
                    Transaction* txn);
   Status DeleteRow(const std::string& table_name, RowId rid,
                    Transaction* txn);
+
+  // Multi-row variants used by multi-row DML statements: heap and built-in
+  // index maintenance stay per-row (in statement order), but domain-index
+  // maintenance is dispatched once per index through the batched ODCI
+  // routines when the cartridge supports them (core/domain_index.h).
+  Result<std::vector<RowId>> InsertRows(const std::string& table_name,
+                                        std::vector<Row> rows,
+                                        Transaction* txn);
+  Status UpdateRows(const std::string& table_name,
+                    std::vector<std::pair<RowId, Row>> updates,
+                    Transaction* txn);
+  Status DeleteRows(const std::string& table_name,
+                    const std::vector<RowId>& rids, Transaction* txn);
 
   // Truncates the table and all its indexes (built-in natively, domain via
   // ODCIIndexTruncate).
@@ -106,6 +126,8 @@ class Database {
   EventManager events_;
   TransactionManager txns_;
   DomainIndexManager domains_;
+  PlannerStatsCache planner_stats_;
+  uint64_t rollback_handler_ = 0;
   size_t fetch_batch_size_ = 64;
   size_t parallelism_ = 1;
 };

@@ -54,7 +54,7 @@ Result<Row> Iot::Get(const CompositeKey& key) const {
 }
 
 void Iot::ScanPrefix(const CompositeKey& prefix,
-                     const std::function<bool(const Row&)>& visit) const {
+                     FunctionRef<bool(const Row&)> visit) const {
   for (auto it = tree_.Seek(prefix); it.Valid(); it.Next()) {
     const CompositeKey& key = it.key();
     if (key.size() < prefix.size()) break;
@@ -66,7 +66,7 @@ void Iot::ScanPrefix(const CompositeKey& prefix,
 
 void Iot::ScanRange(const CompositeKey* lo, bool lo_inclusive,
                     const CompositeKey* hi, bool hi_inclusive,
-                    const std::function<bool(const Row&)>& visit) const {
+                    FunctionRef<bool(const Row&)> visit) const {
   auto it = lo != nullptr ? tree_.Seek(*lo) : tree_.Begin();
   for (; it.Valid(); it.Next()) {
     if (lo != nullptr && !lo_inclusive && CompareKeys(it.key(), *lo) == 0) {

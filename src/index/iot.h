@@ -1,10 +1,10 @@
 #ifndef EXTIDX_INDEX_IOT_H_
 #define EXTIDX_INDEX_IOT_H_
 
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "common/result.h"
 #include "index/bplus_tree.h"
 #include "types/schema.h"
@@ -43,13 +43,15 @@ class Iot {
 
   // Visits rows whose leading key columns equal `prefix`, in key order.
   // The visitor returns false to stop early (supports incremental scans).
+  // FunctionRef, not std::function: per-posting-list scans on the hottest
+  // callback path must not pay a possible heap allocation per scan.
   void ScanPrefix(const CompositeKey& prefix,
-                  const std::function<bool(const Row&)>& visit) const;
+                  FunctionRef<bool(const Row&)> visit) const;
 
   // Visits rows with key in [lo, hi] (nullptr = unbounded), in key order.
   void ScanRange(const CompositeKey* lo, bool lo_inclusive,
                  const CompositeKey* hi, bool hi_inclusive,
-                 const std::function<bool(const Row&)>& visit) const;
+                 FunctionRef<bool(const Row&)> visit) const;
 
   void Truncate() { tree_.Clear(); }
 

@@ -131,6 +131,41 @@ struct DomainOpMatch {
   OdciPredInfo pred;
 };
 
+// Normalized memoization key for one candidate's ODCIStats pair
+// (optimizer/stats_cache.h): everything the cartridge's Selectivity /
+// IndexCost routines can observe — the index, the full predicate shape
+// (operator, folded arguments, bounds with inclusivity), and the table
+// cardinality fed into the cost inputs.  Literal argument values are part
+// of the key, so `Contains(doc, 'oracle')` and `Contains(doc, 'index')`
+// memoize separately.
+std::string StatsCacheKey(const std::string& index_name,
+                          const OdciPredInfo& pred, uint64_t n) {
+  std::string key = index_name;
+  key += '\x1f';
+  key += pred.operator_name;
+  for (const Value& v : pred.args) {
+    key += '\x1f';
+    key += v.ToString();
+  }
+  key += '\x1f';
+  if (pred.lower_bound.has_value()) {
+    key += pred.lower_inclusive ? "[" : "(";
+    key += pred.lower_bound->ToString();
+  } else {
+    key += "-inf";
+  }
+  key += '\x1f';
+  if (pred.upper_bound.has_value()) {
+    key += pred.upper_inclusive ? "]" : ")";
+    key += pred.upper_bound->ToString();
+  } else {
+    key += "+inf";
+  }
+  key += '\x1f';
+  key += std::to_string(n);
+  return key;
+}
+
 Result<std::optional<DomainOpMatch>> MatchDomainOp(const Evaluator& eval,
                                                    Expr* e,
                                                    const BoundTable& table) {
@@ -451,10 +486,27 @@ Result<std::unique_ptr<ExecNode>> Planner::PlanTableAccess(
         EXI_ASSIGN_OR_RETURN(const IndexTypeDef* itype,
                              catalog_->GetIndexType(idx->indextype));
         if (!itype->Supports(dm->operator_name, col_type)) continue;
-        EXI_ASSIGN_OR_RETURN(
-            double sel, domains_->PredicateSelectivity(idx, dm->pred, n));
-        EXI_ASSIGN_OR_RETURN(
-            double odci_cost, domains_->ScanCost(idx, dm->pred, sel, n));
+        double sel = 0.0;
+        double odci_cost = 0.0;
+        std::string stats_key;
+        std::optional<PlannerStatsCache::Entry> cached;
+        if (stats_cache_ != nullptr) {
+          stats_key = StatsCacheKey(idx->name, dm->pred, n);
+          cached = stats_cache_->Lookup(stats_key);
+        }
+        if (cached.has_value()) {
+          sel = cached->selectivity;
+          odci_cost = cached->cost;
+        } else {
+          EXI_ASSIGN_OR_RETURN(
+              sel, domains_->PredicateSelectivity(idx, dm->pred, n));
+          EXI_ASSIGN_OR_RETURN(
+              odci_cost, domains_->ScanCost(idx, dm->pred, sel, n));
+          if (stats_cache_ != nullptr) {
+            stats_cache_->Store(stats_key, idx->table,
+                                PlannerStatsCache::Entry{sel, odci_cost});
+          }
+        }
         int nb;
         int nu;
         CountResidual(*conjuncts, {int(ci)}, &nb, &nu);

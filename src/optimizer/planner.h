@@ -10,6 +10,7 @@
 #include "core/domain_index.h"
 #include "exec/executor.h"
 #include "exec/expression.h"
+#include "optimizer/stats_cache.h"
 #include "sql/ast.h"
 
 namespace exi {
@@ -38,13 +39,17 @@ class Planner {
   // domain-index scan nodes (experiment E7 sweeps it).  `parallelism` is
   // the session's degree of parallelism (DESIGN.md §5): >1 enables scan
   // prefetch and windowed join probes on capable cartridges; 1 keeps every
-  // plan on the serial path.
+  // plan on the serial path.  `stats_cache`, when non-null, memoizes
+  // ODCIStats results across statements (the Database owns and invalidates
+  // it); null keeps every planning pass calling into the cartridge.
   Planner(Catalog* catalog, DomainIndexManager* domains,
-          size_t default_fetch_batch = 64, size_t parallelism = 1)
+          size_t default_fetch_batch = 64, size_t parallelism = 1,
+          PlannerStatsCache* stats_cache = nullptr)
       : catalog_(catalog),
         domains_(domains),
         fetch_batch_(default_fetch_batch),
-        parallelism_(parallelism ? parallelism : 1) {}
+        parallelism_(parallelism ? parallelism : 1),
+        stats_cache_(stats_cache) {}
 
   // Binds and plans the statement.  The statement is annotated in place and
   // must outlive the returned plan.
@@ -80,6 +85,7 @@ class Planner {
   DomainIndexManager* domains_;
   size_t fetch_batch_;
   size_t parallelism_;
+  PlannerStatsCache* stats_cache_;
 };
 
 }  // namespace exi

@@ -1,0 +1,33 @@
+#include "optimizer/stats_cache.h"
+
+namespace exi {
+
+std::optional<PlannerStatsCache::Entry> PlannerStatsCache::Lookup(
+    const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second.entry;
+}
+
+void PlannerStatsCache::Store(const std::string& key,
+                              const std::string& table_name, Entry entry) {
+  entries_[key] = Stored{table_name, entry};
+}
+
+void PlannerStatsCache::InvalidateTable(const std::string& table_name) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.table == table_name) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlannerStatsCache::Clear() { entries_.clear(); }
+
+}  // namespace exi

@@ -1,0 +1,62 @@
+#ifndef EXTIDX_OPTIMIZER_STATS_CACHE_H_
+#define EXTIDX_OPTIMIZER_STATS_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace exi {
+
+// Memoizes ODCIStatsSelectivity/ODCIStatsIndexCost results per
+// (index, normalized predicate, table cardinality) so repeated identical
+// queries stop paying planning-time ODCI round-trips (visible as flat
+// ODCIStats rows in V$ODCI_CALLS).
+//
+// The cache is owned by the Database (the Planner is per-statement) and is
+// invalidated conservatively:
+//  * DML to a table drops every entry for indexes on that table — index
+//    contents changed, so cartridge statistics may change;
+//  * index DDL (CREATE/ALTER/DROP/TRUNCATE INDEX) clears the cache;
+//  * transaction rollback clears the cache, because entries computed inside
+//    the transaction may reflect uncommitted index state.
+// Both selectivity and cost are cached together: the planner always asks
+// for them as a pair, and IndexCost depends on the selectivity input.
+class PlannerStatsCache {
+ public:
+  struct Entry {
+    double selectivity = 0.0;
+    double cost = 0.0;
+  };
+
+  // `key` is the planner's normalized (index, predicate, rows) string.
+  std::optional<Entry> Lookup(const std::string& key) const;
+
+  // Associates `key` with `entry`; `table_name` is the indexed base table,
+  // used by InvalidateTable.
+  void Store(const std::string& key, const std::string& table_name,
+             Entry entry);
+
+  // Drops all entries whose index lives on `table_name`.
+  void InvalidateTable(const std::string& table_name);
+
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Stored {
+    std::string table;
+    Entry entry;
+  };
+
+  std::unordered_map<std::string, Stored> entries_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace exi
+
+#endif  // EXTIDX_OPTIMIZER_STATS_CACHE_H_

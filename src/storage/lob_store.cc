@@ -22,7 +22,26 @@ Result<uint64_t> LobStore::Size(LobId id) const {
   if (it == lobs_.end()) {
     return Status::NotFound("no LOB " + std::to_string(id));
   }
-  return static_cast<uint64_t>(it->second.size());
+  return it->second.size;
+}
+
+std::vector<uint8_t>& LobStore::MutableChunk(LobSnapshot& lob, uint64_t ci,
+                                             bool full_overwrite) {
+  std::shared_ptr<std::vector<uint8_t>>& slot = lob.chunks[ci];
+  if (slot == nullptr) {
+    slot = std::make_shared<std::vector<uint8_t>>(kChunkSize, 0);
+  } else if (slot.use_count() > 1) {
+    // Shared with at least one snapshot: diverge before mutating.  Only a
+    // partial-chunk write needs the old bytes carried over.
+    if (full_overwrite) {
+      slot = std::make_shared<std::vector<uint8_t>>(kChunkSize, 0);
+    } else {
+      GlobalMetrics().lob_cow_chunks_copied += 1;
+      GlobalMetrics().lob_snapshot_bytes += slot->size();
+      slot = std::make_shared<std::vector<uint8_t>>(*slot);
+    }
+  }
+  return *slot;
 }
 
 Status LobStore::Write(LobId id, uint64_t offset,
@@ -31,10 +50,22 @@ Status LobStore::Write(LobId id, uint64_t offset,
   if (it == lobs_.end()) {
     return Status::NotFound("no LOB " + std::to_string(id));
   }
-  std::vector<uint8_t>& lob = it->second;
+  LobSnapshot& lob = it->second;
   uint64_t end = offset + data.size();
-  if (lob.size() < end) lob.resize(end, 0);
-  std::memcpy(lob.data() + offset, data.data(), data.size());
+  if (lob.size < end) lob.size = end;
+  lob.chunks.resize(ChunkCount(lob.size));
+  uint64_t pos = offset;
+  size_t di = 0;
+  while (di < data.size()) {
+    uint64_t ci = pos / kChunkSize;
+    uint64_t co = pos % kChunkSize;
+    uint64_t n = std::min<uint64_t>(kChunkSize - co, data.size() - di);
+    std::vector<uint8_t>& chunk =
+        MutableChunk(lob, ci, /*full_overwrite=*/co == 0 && n == kChunkSize);
+    std::memcpy(chunk.data() + co, data.data() + di, n);
+    pos += n;
+    di += n;
+  }
   GlobalMetrics().lob_chunks_written += std::max<uint64_t>(
       1, ChunkCount(data.size()));
   GlobalMetrics().lob_bytes_written += data.size();
@@ -46,7 +77,24 @@ Status LobStore::Append(LobId id, const std::vector<uint8_t>& data) {
   if (it == lobs_.end()) {
     return Status::NotFound("no LOB " + std::to_string(id));
   }
-  return Write(id, it->second.size(), data);
+  return Write(id, it->second.size, data);
+}
+
+void LobStore::ReadRange(const LobSnapshot& lob, uint64_t offset, uint64_t n,
+                         uint8_t* out) {
+  uint64_t pos = offset;
+  uint64_t oi = 0;
+  while (oi < n) {
+    uint64_t ci = pos / kChunkSize;
+    uint64_t co = pos % kChunkSize;
+    uint64_t take = std::min<uint64_t>(kChunkSize - co, n - oi);
+    const std::shared_ptr<std::vector<uint8_t>>& slot = lob.chunks[ci];
+    if (slot != nullptr) {
+      std::memcpy(out + oi, slot->data() + co, take);
+    }  // null chunk = zeros; `out` is pre-zeroed by the callers.
+    pos += take;
+    oi += take;
+  }
 }
 
 Result<std::vector<uint8_t>> LobStore::Read(LobId id, uint64_t offset,
@@ -55,12 +103,14 @@ Result<std::vector<uint8_t>> LobStore::Read(LobId id, uint64_t offset,
   if (it == lobs_.end()) {
     return Status::NotFound("no LOB " + std::to_string(id));
   }
-  const std::vector<uint8_t>& lob = it->second;
-  if (offset >= lob.size()) return std::vector<uint8_t>{};
-  uint64_t avail = lob.size() - offset;
+  const LobSnapshot& lob = it->second;
+  if (offset >= lob.size) return std::vector<uint8_t>{};
+  uint64_t avail = lob.size - offset;
   uint64_t n = std::min(len, avail);
   GlobalMetrics().lob_chunks_read += std::max<uint64_t>(1, ChunkCount(n));
-  return std::vector<uint8_t>(lob.begin() + offset, lob.begin() + offset + n);
+  std::vector<uint8_t> out(n, 0);
+  ReadRange(lob, offset, n, out.data());
+  return out;
 }
 
 Result<std::vector<uint8_t>> LobStore::ReadAll(LobId id) const {
@@ -68,9 +118,12 @@ Result<std::vector<uint8_t>> LobStore::ReadAll(LobId id) const {
   if (it == lobs_.end()) {
     return Status::NotFound("no LOB " + std::to_string(id));
   }
+  const LobSnapshot& lob = it->second;
   GlobalMetrics().lob_chunks_read +=
-      std::max<uint64_t>(1, ChunkCount(it->second.size()));
-  return it->second;
+      std::max<uint64_t>(1, ChunkCount(lob.size));
+  std::vector<uint8_t> out(lob.size, 0);
+  ReadRange(lob, 0, lob.size, out.data());
+  return out;
 }
 
 Status LobStore::WriteAll(LobId id, std::vector<uint8_t> data) {
@@ -81,12 +134,32 @@ Status LobStore::WriteAll(LobId id, std::vector<uint8_t> data) {
   GlobalMetrics().lob_chunks_written +=
       std::max<uint64_t>(1, ChunkCount(data.size()));
   GlobalMetrics().lob_bytes_written += data.size();
-  it->second = std::move(data);
+  LobSnapshot fresh;
+  fresh.size = data.size();
+  fresh.chunks.resize(ChunkCount(fresh.size));
+  for (uint64_t ci = 0; ci < fresh.chunks.size(); ++ci) {
+    uint64_t start = ci * kChunkSize;
+    uint64_t n = std::min<uint64_t>(kChunkSize, fresh.size - start);
+    auto chunk = std::make_shared<std::vector<uint8_t>>(kChunkSize, 0);
+    std::memcpy(chunk->data(), data.data() + start, n);
+    fresh.chunks[ci] = std::move(chunk);
+  }
+  it->second = std::move(fresh);
   return Status::OK();
 }
 
-Status LobStore::Restore(LobId id, std::vector<uint8_t> contents) {
-  lobs_[id] = std::move(contents);
+Result<LobStore::LobSnapshot> LobStore::Snapshot(LobId id) const {
+  auto it = lobs_.find(id);
+  if (it == lobs_.end()) {
+    return Status::NotFound("no LOB " + std::to_string(id));
+  }
+  // Pointer copy only: the undo log now holds shared chunk references, and
+  // writes pay the byte copy lazily (and only for the chunks they touch).
+  return it->second;
+}
+
+Status LobStore::Restore(LobId id, LobSnapshot snapshot) {
+  lobs_[id] = std::move(snapshot);
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -18,10 +19,22 @@ namespace exi {
 // against FileStore traffic (experiment E5).
 //
 // LOBs participate in transactions: the txn layer snapshots LOBs touched by
-// a statement and restores them on rollback.
+// a statement and restores them on rollback.  Contents are stored as
+// fixed-size chunks behind shared_ptrs, so a snapshot is an O(#chunks)
+// pointer copy rather than a byte copy; a later write duplicates only the
+// chunks it touches (copy-on-write).  Appending 100 bytes to a 10 MB
+// posting list therefore copies at most one chunk for undo, not the LOB.
 class LobStore {
  public:
   static constexpr size_t kChunkSize = 4096;
+
+  // A point-in-time image of one LOB, held by the undo log.  Chunks are
+  // shared with the live LOB until a write diverges them; a null chunk
+  // pointer stands for an all-zero chunk (sparse zero-extension).
+  struct LobSnapshot {
+    uint64_t size = 0;
+    std::vector<std::shared_ptr<std::vector<uint8_t>>> chunks;
+  };
 
   LobStore() = default;
   LobStore(const LobStore&) = delete;
@@ -53,9 +66,11 @@ class LobStore {
   // Replaces the full contents.
   Status WriteAll(LobId id, std::vector<uint8_t> data);
 
-  // Snapshot/restore used by the transaction layer.
-  Result<std::vector<uint8_t>> Snapshot(LobId id) const { return ReadAll(id); }
-  Status Restore(LobId id, std::vector<uint8_t> contents);
+  // Snapshot/restore used by the transaction layer.  Snapshot shares the
+  // LOB's chunks (no byte copy); Restore reinstates the snapshot image,
+  // creating the LOB if it no longer exists (rollback of a drop).
+  Result<LobSnapshot> Snapshot(LobId id) const;
+  Status Restore(LobId id, LobSnapshot snapshot);
 
   size_t lob_count() const { return lobs_.size(); }
 
@@ -64,7 +79,17 @@ class LobStore {
     return (bytes + kChunkSize - 1) / kChunkSize;
   }
 
-  std::map<LobId, std::vector<uint8_t>> lobs_;
+  // Copies [offset, offset+n) into out (no metering; callers meter).
+  static void ReadRange(const LobSnapshot& lob, uint64_t offset, uint64_t n,
+                        uint8_t* out);
+
+  // Returns chunk `ci` ready for in-place mutation, duplicating it first if
+  // it is shared with a snapshot.  `full_overwrite` skips the byte copy
+  // when the caller is about to overwrite the whole chunk.
+  static std::vector<uint8_t>& MutableChunk(LobSnapshot& lob, uint64_t ci,
+                                            bool full_overwrite);
+
+  std::map<LobId, LobSnapshot> lobs_;
   LobId next_id_ = 1;
 };
 

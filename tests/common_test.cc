@@ -1,9 +1,11 @@
-// Unit tests for src/common: Status/Result, strings, metrics, RNG.
+// Unit tests for src/common: Status/Result, strings, metrics, RNG,
+// FunctionRef.
 
 #include <gtest/gtest.h>
 
 #include <set>
 
+#include "common/function_ref.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -141,6 +143,38 @@ TEST(RngTest, GaussianMoments) {
   }
   EXPECT_NEAR(sum / kN, 0.0, 0.05);
   EXPECT_NEAR(sq / kN, 1.0, 0.1);
+}
+
+int InvokeTwice(FunctionRef<int(int)> fn) { return fn(1) + fn(10); }
+
+TEST(FunctionRefTest, InvokesCallerLambdaWithoutCopying) {
+  int captured = 100;
+  EXPECT_EQ(InvokeTwice([&](int x) { return x + captured; }), 211);
+  // Mutating state through the reference is visible to the caller: the ref
+  // points at the caller's callable rather than holding a copy.  (The
+  // callable must be an lvalue that outlives the ref — binding a temporary
+  // lambda directly would dangle.)
+  int count = 0;
+  auto bump_fn = [&] { ++count; };
+  FunctionRef<void()> bump = bump_fn;
+  bump();
+  bump();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(FunctionRefTest, WorksWithFunctorsAndReturnValues) {
+  struct Square {
+    int operator()(int x) const { return x * x; }
+  };
+  Square sq;
+  FunctionRef<int(int)> ref = sq;
+  EXPECT_EQ(ref(7), 49);
+  bool stop_requested = false;
+  auto keep_going_fn = [&] { return !stop_requested; };
+  FunctionRef<bool()> keep_going = keep_going_fn;
+  EXPECT_TRUE(keep_going());
+  stop_requested = true;
+  EXPECT_FALSE(keep_going());
 }
 
 }  // namespace

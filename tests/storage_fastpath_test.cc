@@ -1,0 +1,518 @@
+// Cooperative-storage fast-path tests (PR 3):
+//  * chunk-level COW LOB snapshots must keep Restore semantics byte-exact
+//    under rollback while copying only the touched chunks;
+//  * batched ODCI maintenance must route multi-row DML through one
+//    ODCIIndexBatch* dispatch per index, fall back per-row on
+//    NotSupported, and produce index contents identical to the serial
+//    path for both the text and chem cartridges;
+//  * the planner stats cache must eliminate planning-time ODCIStats calls
+//    for repeated identical queries and invalidate on DML and rollback.
+//
+// The Tracer and GlobalMetrics are process-wide; tests that assert exact
+// counts reset the tracer first and run serially within this binary.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cartridge/chem/chem_cartridge.h"
+#include "cartridge/domain_btree/domain_btree.h"
+#include "cartridge/text/text_cartridge.h"
+#include "common/metrics.h"
+#include "common/tracer.h"
+#include "core/callback_guard.h"
+#include "engine/connection.h"
+#include "storage/lob_store.h"
+
+namespace exi {
+namespace {
+
+// V$ODCI_CALLS row for `routine`: {calls, errors}, zeros if absent.
+std::pair<int64_t, int64_t> ViewCallsErrors(Connection* conn,
+                                            const std::string& routine) {
+  QueryResult r = conn->MustExecute(
+      "SELECT calls, errors FROM v$odci_calls WHERE routine = '" + routine +
+      "'");
+  int64_t calls = 0;
+  int64_t errors = 0;
+  for (const Row& row : r.rows) {
+    calls += row[0].AsInteger();
+    errors += row[1].AsInteger();
+  }
+  return {calls, errors};
+}
+
+int64_t ViewCalls(Connection* conn, const std::string& routine) {
+  return ViewCallsErrors(conn, routine).first;
+}
+
+// Sorted first-column integers of a SELECT — for comparing index-backed
+// result sets across databases.
+std::vector<int64_t> SortedIds(Connection* conn, const std::string& sql) {
+  QueryResult r = conn->MustExecute(sql);
+  std::vector<int64_t> ids;
+  for (const Row& row : r.rows) ids.push_back(row[0].AsInteger());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+uint64_t PlanningStatsCalls() {
+  uint64_t calls = 0;
+  for (const auto& [key, stats] : Tracer::Global().Snapshot()) {
+    if (key.second.rfind("ODCIStats", 0) == 0) calls += stats.calls;
+  }
+  return calls;
+}
+
+// ---- COW LOB snapshots ----
+
+TEST(CowLobSnapshotTest, RollbackRestoresExactContentsAfterPartialWrites) {
+  Database db;
+  GuardedServerContext ctx(&db.catalog(), nullptr, CallbackMode::kDefinition);
+  ASSERT_TRUE(db.txns().Begin().ok());
+  ctx.set_transaction(db.txns().current());
+
+  // 3.5 chunks of patterned data.
+  const size_t kSize = LobStore::kChunkSize * 3 + LobStore::kChunkSize / 2;
+  std::vector<uint8_t> original(kSize);
+  for (size_t i = 0; i < kSize; ++i) original[i] = uint8_t(i % 251);
+  Result<LobId> lob = ctx.CreateLob();
+  ASSERT_TRUE(lob.ok());
+  ASSERT_TRUE(ctx.AppendLob(*lob, original).ok());
+  ASSERT_TRUE(db.txns().Commit().ok());
+
+  // Partial append + mid-LOB overwrite + extension write past the end,
+  // all inside one transaction that rolls back.
+  ASSERT_TRUE(db.txns().Begin().ok());
+  ctx.set_transaction(db.txns().current());
+  ctx.set_mode(CallbackMode::kMaintenance);
+  StorageMetrics before = GlobalMetrics().Snapshot();
+  ASSERT_TRUE(ctx.AppendLob(*lob, std::vector<uint8_t>(100, 0xCD)).ok());
+  ASSERT_TRUE(
+      ctx.WriteLob(*lob, LobStore::kChunkSize + 7,
+                   std::vector<uint8_t>(50, 0xEE))
+          .ok());
+  ASSERT_TRUE(
+      ctx.WriteLob(*lob, kSize + LobStore::kChunkSize * 2,
+                   std::vector<uint8_t>(10, 0xAA))
+          .ok());
+  StorageMetrics delta = GlobalMetrics().Snapshot().Delta(before);
+  // Only the chunks the writes touched were cloned — far fewer bytes than
+  // the whole LOB.
+  EXPECT_GT(delta.lob_cow_chunks_copied, 0u);
+  EXPECT_LT(delta.lob_snapshot_bytes, uint64_t(kSize));
+  ASSERT_TRUE(db.txns().Rollback().ok());
+  ctx.set_transaction(nullptr);
+  ctx.set_mode(CallbackMode::kDefinition);
+
+  Result<std::vector<uint8_t>> restored = ctx.ReadLobAll(*lob);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, original);
+}
+
+TEST(CowLobSnapshotTest, CommitKeepsWritesAndSharedChunksStayIntact) {
+  Database db;
+  GuardedServerContext ctx(&db.catalog(), nullptr, CallbackMode::kDefinition);
+  Result<LobId> lob = ctx.CreateLob();
+  ASSERT_TRUE(lob.ok());
+  const size_t kSize = LobStore::kChunkSize * 2;
+  ASSERT_TRUE(ctx.AppendLob(*lob, std::vector<uint8_t>(kSize, 0x11)).ok());
+
+  ASSERT_TRUE(db.txns().Begin().ok());
+  ctx.set_transaction(db.txns().current());
+  ctx.set_mode(CallbackMode::kMaintenance);
+  ASSERT_TRUE(ctx.WriteLob(*lob, 10, std::vector<uint8_t>(5, 0x22)).ok());
+  ASSERT_TRUE(db.txns().Commit().ok());
+  ctx.set_transaction(nullptr);
+  ctx.set_mode(CallbackMode::kDefinition);
+
+  Result<std::vector<uint8_t>> all = ctx.ReadLobAll(*lob);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ((*all)[9], 0x11);
+  EXPECT_EQ((*all)[10], 0x22);
+  EXPECT_EQ((*all)[14], 0x22);
+  EXPECT_EQ((*all)[15], 0x11);
+  EXPECT_EQ(all->size(), kSize);
+}
+
+// ---- batched maintenance: routing and exact V$ODCI_CALLS counts ----
+
+class BatchMaintenanceTest : public ::testing::Test {
+ protected:
+  BatchMaintenanceTest() : conn_(&db_) {
+    EXPECT_TRUE(text::InstallTextCartridge(&conn_).ok());
+    conn_.MustExecute("CREATE TABLE docs (id INTEGER, body VARCHAR)");
+    conn_.MustExecute(
+        "CREATE INDEX docs_idx ON docs(body) INDEXTYPE IS TextIndexType");
+    Tracer::Global().Reset();
+  }
+
+  Database db_;
+  Connection conn_;
+};
+
+TEST_F(BatchMaintenanceTest, MultiRowInsertDispatchesOneBatchCall) {
+  StorageMetrics before = GlobalMetrics().Snapshot();
+  conn_.MustExecute(
+      "INSERT INTO docs VALUES (1, 'alpha beta'), (2, 'beta gamma'), "
+      "(3, 'gamma alpha')");
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexBatchInsert"), 1);
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexInsert"), 0);
+  StorageMetrics delta = GlobalMetrics().Snapshot().Delta(before);
+  EXPECT_EQ(delta.odci_batch_maintenance_calls, 1u);
+  EXPECT_EQ(delta.odci_batch_maintenance_rows, 3u);
+  // One dispatch, full index: every row is searchable.
+  EXPECT_EQ(SortedIds(&conn_, "SELECT id FROM docs WHERE "
+                              "Contains(body, 'gamma')"),
+            (std::vector<int64_t>{2, 3}));
+}
+
+TEST_F(BatchMaintenanceTest, SingleRowDmlKeepsPerRowDispatch) {
+  conn_.MustExecute("INSERT INTO docs VALUES (1, 'alpha')");
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexInsert"), 1);
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexBatchInsert"), 0);
+  conn_.MustExecute("UPDATE docs SET body = 'beta' WHERE id = 1");
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexUpdate"), 1);
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexBatchUpdate"), 0);
+  conn_.MustExecute("DELETE FROM docs WHERE id = 1");
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexDelete"), 1);
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexBatchDelete"), 0);
+}
+
+TEST_F(BatchMaintenanceTest, MultiRowUpdateAndDeleteBatch) {
+  conn_.MustExecute(
+      "INSERT INTO docs VALUES (1, 'alpha'), (2, 'alpha'), (3, 'beta')");
+  Tracer::Global().Reset();
+  conn_.MustExecute("UPDATE docs SET body = 'delta' WHERE id <= 2");
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexBatchUpdate"), 1);
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexUpdate"), 0);
+  EXPECT_EQ(SortedIds(&conn_, "SELECT id FROM docs WHERE "
+                              "Contains(body, 'delta')"),
+            (std::vector<int64_t>{1, 2}));
+  conn_.MustExecute("DELETE FROM docs WHERE id <= 2");
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexBatchDelete"), 1);
+  EXPECT_EQ(ViewCalls(&conn_, "ODCIIndexDelete"), 0);
+  EXPECT_TRUE(
+      SortedIds(&conn_, "SELECT id FROM docs WHERE Contains(body, 'delta')")
+          .empty());
+}
+
+TEST_F(BatchMaintenanceTest, MultiRowInsertRollsBackAtomically) {
+  conn_.MustExecute("BEGIN");
+  conn_.MustExecute(
+      "INSERT INTO docs VALUES (1, 'alpha'), (2, 'alpha beta')");
+  EXPECT_EQ(SortedIds(&conn_, "SELECT id FROM docs WHERE "
+                              "Contains(body, 'alpha')"),
+            (std::vector<int64_t>{1, 2}));
+  conn_.MustExecute("ROLLBACK");
+  EXPECT_TRUE(
+      SortedIds(&conn_, "SELECT id FROM docs WHERE Contains(body, 'alpha')")
+          .empty());
+  EXPECT_TRUE(SortedIds(&conn_, "SELECT id FROM docs").empty());
+}
+
+TEST(BatchFallbackTest, NonBatchCartridgeStaysPerRow) {
+  // DomainBtreeMethods advertises no batch capability: multi-row DML must
+  // dispatch per row with no batch routine ever traced.
+  Database db;
+  Connection conn(&db);
+  ASSERT_TRUE(dbt::InstallDomainBtreeCartridge(&conn).ok());
+  conn.MustExecute("CREATE TABLE t (id INTEGER, v INTEGER)");
+  conn.MustExecute(
+      "CREATE INDEX t_idx ON t(v) INDEXTYPE IS DomainBtreeType");
+  Tracer::Global().Reset();
+  conn.MustExecute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+  EXPECT_EQ(ViewCalls(&conn, "ODCIIndexInsert"), 3);
+  EXPECT_EQ(ViewCalls(&conn, "ODCIIndexBatchInsert"), 0);
+  EXPECT_EQ(SortedIds(&conn, "SELECT id FROM t WHERE DEq(v, 20)"),
+            (std::vector<int64_t>{2}));
+}
+
+// Text methods that claim the batch capability but refuse the batch
+// routines — the dispatch must record the failed batch attempt and fall
+// back to per-row maintenance (the CreateStorage protocol, §2.2.3).
+class RefusingBatchTextMethods : public text::TextIndexMethods {
+ public:
+  Status BatchInsert(const OdciIndexInfo&, const std::vector<RowId>&,
+                     const ValueList&, ServerContext&) override {
+    return Status::NotSupported("refused");
+  }
+  Status BatchDelete(const OdciIndexInfo&, const std::vector<RowId>&,
+                     const ValueList&, ServerContext&) override {
+    return Status::NotSupported("refused");
+  }
+  Status BatchUpdate(const OdciIndexInfo&, const std::vector<RowId>&,
+                     const ValueList&, const ValueList&,
+                     ServerContext&) override {
+    return Status::NotSupported("refused");
+  }
+};
+
+TEST(BatchFallbackTest, NotSupportedFallsBackToPerRowWithIdenticalContents) {
+  Database db;
+  Connection conn(&db);
+  ASSERT_TRUE(text::InstallTextCartridge(&conn).ok());
+  ASSERT_TRUE(db.catalog()
+                  .implementations()
+                  .Register(
+                      "RefusingBatchTextMethods",
+                      [] { return std::make_shared<RefusingBatchTextMethods>(); },
+                      [] { return std::make_shared<text::TextStats>(); })
+                  .ok());
+  conn.MustExecute(
+      "CREATE INDEXTYPE RefusingTextType FOR Contains(VARCHAR, VARCHAR) "
+      "USING RefusingBatchTextMethods");
+  conn.MustExecute("CREATE TABLE docs (id INTEGER, body VARCHAR)");
+  conn.MustExecute(
+      "CREATE INDEX docs_idx ON docs(body) INDEXTYPE IS RefusingTextType");
+  Tracer::Global().Reset();
+  conn.MustExecute(
+      "INSERT INTO docs VALUES (1, 'alpha beta'), (2, 'beta'), "
+      "(3, 'alpha')");
+  auto [batch_calls, batch_errors] =
+      ViewCallsErrors(&conn, "ODCIIndexBatchInsert");
+  EXPECT_EQ(batch_calls, 1);
+  EXPECT_EQ(batch_errors, 1);
+  EXPECT_EQ(ViewCalls(&conn, "ODCIIndexInsert"), 3);
+  EXPECT_EQ(SortedIds(&conn, "SELECT id FROM docs WHERE "
+                             "Contains(body, 'alpha')"),
+            (std::vector<int64_t>{1, 3}));
+}
+
+// ---- batch vs serial: identical index contents ----
+
+// Runs the same DML script against a batch-capable indextype and the
+// refusing (per-row fallback) one, comparing index-backed results.
+TEST(BatchEquivalenceTest, TextBatchMatchesSerialFallback) {
+  std::vector<std::string> script = {
+      "INSERT INTO docs VALUES (1, 'alpha beta gamma'), (2, 'beta beta'), "
+      "(3, 'gamma delta'), (4, 'alpha'), (5, 'delta beta alpha')",
+      "UPDATE docs SET body = 'omega alpha' WHERE id >= 4",
+      "DELETE FROM docs WHERE id = 2",
+  };
+  std::vector<std::vector<int64_t>> results[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    Database db;
+    Connection conn(&db);
+    ASSERT_TRUE(text::InstallTextCartridge(&conn).ok());
+    std::string indextype = "TextIndexType";
+    if (variant == 1) {
+      ASSERT_TRUE(
+          db.catalog()
+              .implementations()
+              .Register(
+                  "RefusingBatchTextMethods",
+                  [] { return std::make_shared<RefusingBatchTextMethods>(); },
+                  [] { return std::make_shared<text::TextStats>(); })
+              .ok());
+      conn.MustExecute(
+          "CREATE INDEXTYPE RefusingTextType FOR Contains(VARCHAR, "
+          "VARCHAR) USING RefusingBatchTextMethods");
+      indextype = "RefusingTextType";
+    }
+    conn.MustExecute("CREATE TABLE docs (id INTEGER, body VARCHAR)");
+    conn.MustExecute("CREATE INDEX docs_idx ON docs(body) INDEXTYPE IS " +
+                     indextype);
+    for (const std::string& sql : script) conn.MustExecute(sql);
+    for (const char* term : {"alpha", "beta", "gamma", "delta", "omega"}) {
+      results[variant].push_back(
+          SortedIds(&conn, std::string("SELECT id FROM docs WHERE "
+                                       "Contains(body, '") +
+                               term + "')"));
+    }
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST(BatchEquivalenceTest, ChemBatchMatchesPerRowContents) {
+  // The chem cartridge's batched path (one concatenated append, one
+  // store pass for deletes) must index exactly what per-row statements do.
+  std::vector<std::vector<int64_t>> results[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    Database db;
+    Connection conn(&db);
+    ASSERT_TRUE(chem::InstallChemCartridge(&conn).ok());
+    conn.MustExecute("CREATE TABLE mols (id INTEGER, smiles VARCHAR)");
+    conn.MustExecute(
+        "CREATE INDEX mols_idx ON mols(smiles) INDEXTYPE IS ChemIndexType");
+    std::vector<std::pair<int, std::string>> rows = {
+        {1, "CCO"}, {2, "CCCC"}, {3, "C1CCCCC1"}, {4, "CCN"}, {5, "CC(=O)O"}};
+    if (variant == 0) {
+      std::string sql = "INSERT INTO mols VALUES ";
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (i > 0) sql += ", ";
+        sql += "(" + std::to_string(rows[i].first) + ", '" + rows[i].second +
+               "')";
+      }
+      conn.MustExecute(sql);
+      conn.MustExecute("DELETE FROM mols WHERE id <= 2");
+    } else {
+      for (const auto& [id, smiles] : rows) {
+        conn.MustExecute("INSERT INTO mols VALUES (" + std::to_string(id) +
+                         ", '" + smiles + "')");
+      }
+      conn.MustExecute("DELETE FROM mols WHERE id = 1");
+      conn.MustExecute("DELETE FROM mols WHERE id = 2");
+    }
+    for (const char* sub : {"C", "CC", "O", "N"}) {
+      results[variant].push_back(
+          SortedIds(&conn, std::string("SELECT id FROM mols WHERE "
+                                       "MolContains(smiles, '") +
+                               sub + "')"));
+    }
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+// ---- planner stats cache ----
+
+class StatsCacheTest : public ::testing::Test {
+ protected:
+  StatsCacheTest() : conn_(&db_) {
+    EXPECT_TRUE(text::InstallTextCartridge(&conn_).ok());
+    conn_.MustExecute("CREATE TABLE docs (id INTEGER, body VARCHAR)");
+    conn_.MustExecute(
+        "INSERT INTO docs VALUES (1, 'alpha beta'), (2, 'beta gamma'), "
+        "(3, 'alpha gamma'), (4, 'delta')");
+    conn_.MustExecute(
+        "CREATE INDEX docs_idx ON docs(body) INDEXTYPE IS TextIndexType");
+    conn_.MustExecute("ANALYZE docs");
+    Tracer::Global().Reset();
+  }
+
+  // ODCIStats calls consumed by planning one execution of `sql`.
+  uint64_t StatsCallsFor(const std::string& sql) {
+    uint64_t before = PlanningStatsCalls();
+    conn_.MustExecute(sql);
+    return PlanningStatsCalls() - before;
+  }
+
+  Database db_;
+  Connection conn_;
+  const std::string query_ =
+      "SELECT COUNT(*) FROM docs WHERE Contains(body, 'alpha')";
+};
+
+TEST_F(StatsCacheTest, RepeatedIdenticalQueryPlansWithZeroStatsCalls) {
+  EXPECT_EQ(StatsCallsFor(query_), 2u);  // Selectivity + IndexCost
+  EXPECT_EQ(StatsCallsFor(query_), 0u);
+  EXPECT_EQ(StatsCallsFor(query_), 0u);
+  EXPECT_GE(db_.planner_stats().hits(), 2u);
+  // A different predicate misses the cache.
+  EXPECT_EQ(StatsCallsFor(
+                "SELECT COUNT(*) FROM docs WHERE Contains(body, 'beta')"),
+            2u);
+}
+
+TEST_F(StatsCacheTest, DmlToIndexedTableInvalidates) {
+  EXPECT_EQ(StatsCallsFor(query_), 2u);
+  EXPECT_EQ(StatsCallsFor(query_), 0u);
+  conn_.MustExecute("INSERT INTO docs VALUES (5, 'alpha omega')");
+  // Index contents changed: the cartridge must be re-consulted.
+  EXPECT_EQ(StatsCallsFor(query_), 2u);
+  EXPECT_EQ(StatsCallsFor(query_), 0u);
+}
+
+TEST_F(StatsCacheTest, DmlToOtherTableDoesNotInvalidate) {
+  conn_.MustExecute("CREATE TABLE other (x INTEGER)");
+  EXPECT_EQ(StatsCallsFor(query_), 2u);
+  conn_.MustExecute("INSERT INTO other VALUES (1)");
+  EXPECT_EQ(StatsCallsFor(query_), 0u);
+}
+
+TEST_F(StatsCacheTest, RollbackClearsCache) {
+  EXPECT_EQ(StatsCallsFor(query_), 2u);
+  conn_.MustExecute("BEGIN");
+  conn_.MustExecute("INSERT INTO docs VALUES (6, 'alpha')");
+  conn_.MustExecute("ROLLBACK");
+  EXPECT_EQ(StatsCallsFor(query_), 2u);
+}
+
+TEST_F(StatsCacheTest, IndexDdlClearsCache) {
+  EXPECT_EQ(StatsCallsFor(query_), 2u);
+  conn_.MustExecute("ALTER INDEX docs_idx PARAMETERS (':Ignore omega')");
+  EXPECT_EQ(StatsCallsFor(query_), 2u);
+}
+
+// ---- parallelism 4: batched DML alongside the worker pool ----
+
+TEST(BatchParallelismTest, BatchedDmlCorrectAtParallelism4) {
+  Database db;
+  db.set_parallelism(4);
+  Connection conn(&db);
+  ASSERT_TRUE(text::InstallTextCartridge(&conn).ok());
+  conn.MustExecute("CREATE TABLE docs (id INTEGER, body VARCHAR)");
+  std::string sql = "INSERT INTO docs VALUES ";
+  for (int i = 1; i <= 64; ++i) {
+    if (i > 1) sql += ", ";
+    sql += "(" + std::to_string(i) + ", '" +
+           (i % 2 == 0 ? "alpha even" : "beta odd") + "')";
+  }
+  conn.MustExecute(sql);
+  // Parallel build over the batched-in rows.
+  conn.MustExecute(
+      "CREATE INDEX docs_idx ON docs(body) INDEXTYPE IS TextIndexType");
+  EXPECT_EQ(SortedIds(&conn, "SELECT COUNT(*) FROM docs WHERE "
+                             "Contains(body, 'alpha')"),
+            (std::vector<int64_t>{32}));
+  conn.MustExecute("UPDATE docs SET body = 'gamma' WHERE id <= 10");
+  conn.MustExecute("DELETE FROM docs WHERE id > 60");
+  EXPECT_EQ(SortedIds(&conn, "SELECT COUNT(*) FROM docs WHERE "
+                             "Contains(body, 'gamma')"),
+            (std::vector<int64_t>{10}));
+  EXPECT_EQ(SortedIds(&conn, "SELECT COUNT(*) FROM docs"),
+            (std::vector<int64_t>{60}));
+}
+
+// ---- OdciFetchBatch ancillary contract enforcement ----
+
+// Fetch that returns more ancillary values than rowids — the dispatch
+// layer must reject the batch with a clear contract-violation error.
+class MismatchedFetchTextMethods : public text::TextIndexMethods {
+ public:
+  Status Fetch(const OdciIndexInfo& info, OdciScanContext& sctx,
+               size_t max_rows, OdciFetchBatch* out,
+               ServerContext& ctx) override {
+    EXI_RETURN_IF_ERROR(
+        text::TextIndexMethods::Fetch(info, sctx, max_rows, out, ctx));
+    out->ancillary.push_back(Value::Integer(999));
+    return Status::OK();
+  }
+};
+
+TEST(FetchContractTest, AncillaryCountMismatchRejected) {
+  Database db;
+  Connection conn(&db);
+  ASSERT_TRUE(text::InstallTextCartridge(&conn).ok());
+  ASSERT_TRUE(
+      db.catalog()
+          .implementations()
+          .Register(
+              "MismatchedFetchTextMethods",
+              [] { return std::make_shared<MismatchedFetchTextMethods>(); },
+              [] { return std::make_shared<text::TextStats>(); })
+          .ok());
+  conn.MustExecute(
+      "CREATE INDEXTYPE MismatchedTextType FOR Contains(VARCHAR, VARCHAR) "
+      "USING MismatchedFetchTextMethods");
+  conn.MustExecute("CREATE TABLE docs (id INTEGER, body VARCHAR)");
+  // Enough rows with a selective term that the optimizer picks the domain
+  // index over a sequential scan — the buggy Fetch must actually run.
+  for (int i = 1; i <= 40; ++i) {
+    conn.MustExecute("INSERT INTO docs VALUES (" + std::to_string(i) +
+                     ", '" + (i == 7 ? "alpha" : "beta filler text") + "')");
+  }
+  conn.MustExecute(
+      "CREATE INDEX docs_idx ON docs(body) INDEXTYPE IS MismatchedTextType");
+  conn.MustExecute("ANALYZE docs");
+  Result<QueryResult> r =
+      conn.Execute("SELECT id FROM docs WHERE Contains(body, 'alpha')");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("cartridge contract violation"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace exi

@@ -106,7 +106,7 @@ TEST(LobStoreTest, SnapshotRestoreAndDrop) {
   auto snapshot = *lobs.Snapshot(id);
   ASSERT_TRUE(lobs.WriteAll(id, {9, 9}).ok());
   ASSERT_TRUE(lobs.Restore(id, snapshot).ok());
-  EXPECT_EQ(lobs.ReadAll(id)->size(), 3u);
+  EXPECT_EQ(*lobs.ReadAll(id), (std::vector<uint8_t>{1, 2, 3}));
 
   lobs.Drop(id);
   EXPECT_FALSE(lobs.Exists(id));

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "engine/connection.h"
 #include "storage/heap_table.h"
 
@@ -114,6 +115,15 @@ std::string LiveVdollarSchemas(exi::Database* db) {
       os << "  " << col.name << " " << col.type.ToString() << "\n";
     }
   }
+  // V$STORAGE_METRICS is a (metric, value) pivot, so its *rows* are the
+  // schema that docs/observability.md documents.  Emit the counter names
+  // too: adding or renaming a StorageMetrics counter then forces a golden
+  // (and docs) update.
+  os << "v$storage_metrics rows\n";
+  exi::ForEachMetric(exi::StorageMetrics{},
+                     [&](const char* name, uint64_t) {
+                       os << "  " << name << "\n";
+                     });
   return os.str();
 }
 
