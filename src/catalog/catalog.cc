@@ -1,8 +1,47 @@
 #include "catalog/catalog.h"
 
+#include <functional>
+
 #include "common/strings.h"
+#include "index/key.h"
 
 namespace exi {
+
+const PartitionDef* PartitionScheme::Find(const std::string& name) const {
+  for (const PartitionDef& p : partitions) {
+    if (EqualsIgnoreCase(p.name, name)) return &p;
+  }
+  return nullptr;
+}
+
+size_t PartitionScheme::HashBucket(const Value& key, size_t fanout) {
+  return std::hash<std::string>{}(key.ToString()) % fanout;
+}
+
+Result<const PartitionDef*> PartitionScheme::Route(const Value& key) const {
+  if (partitions.empty()) {
+    return Status::Internal("partition scheme has no partitions");
+  }
+  if (method == PartitionMethod::kHash) {
+    return &partitions[HashBucket(key, partitions.size())];
+  }
+  // RANGE: first partition whose exclusive upper bound admits the key
+  // (partitions are kept sorted by ascending bound, MAXVALUE last).
+  for (const PartitionDef& p : partitions) {
+    if (!p.upper_bound.has_value()) return &p;  // MAXVALUE
+    if (TotalOrderCompare(key, *p.upper_bound) < 0) return &p;
+  }
+  return Status::InvalidArgument(
+      "inserted partition key " + key.ToString() +
+      " does not map to any partition (ORA-14400)");
+}
+
+OdciIndexInfo IndexInfo::ToOdciInfoForPartition(
+    const Schema& table_schema, const std::string& partition) const {
+  OdciIndexInfo info = ToOdciInfo(table_schema);
+  info.index_name = name + "#" + partition;
+  return info;
+}
 
 OdciIndexInfo IndexInfo::ToOdciInfo(const Schema& table_schema) const {
   OdciIndexInfo info;

@@ -36,6 +36,44 @@ struct TableStats {
   bool analyzed = false;
 };
 
+// ---- partitioning (DESIGN.md §7) ----
+
+enum class PartitionMethod { kNone, kRange, kHash };
+
+// One partition: a named slice of the table backed by its own heap segment.
+struct PartitionDef {
+  std::string name;
+  uint32_t segment_id = 0;
+  // RANGE only: exclusive upper bound (VALUES LESS THAN); nullopt = MAXVALUE.
+  std::optional<Value> upper_bound;
+};
+
+// How a table's rows map to partitions.  RANGE partitions are ordered by
+// ascending upper bound; HASH partitions are fixed at CREATE TABLE time.
+struct PartitionScheme {
+  PartitionMethod method = PartitionMethod::kNone;
+  std::string key_column;
+  size_t key_index = 0;  // position of key_column in the table schema
+  std::vector<PartitionDef> partitions;
+
+  bool partitioned() const { return method != PartitionMethod::kNone; }
+  const PartitionDef* Find(const std::string& name) const;
+  // Routes a partition-key value to its owning partition, or an ORA-14400
+  // style error when no RANGE partition's bound admits it.
+  Result<const PartitionDef*> Route(const Value& key) const;
+  // Deterministic hash bucket for HASH routing and planner pruning.
+  static size_t HashBucket(const Value& key, size_t fanout);
+};
+
+// One partition's slice of a LOCAL domain index: a dedicated ODCIIndex
+// implementation instance whose storage objects were created with the
+// suffixed index name `<index>#<partition>` (cartridge-authors-guide.md).
+struct LocalIndexPartition {
+  std::string partition_name;
+  uint32_t segment_id = 0;
+  std::shared_ptr<OdciIndex> impl;
+};
+
 // Dictionary record for an index (built-in or domain).
 struct IndexInfo {
   std::string name;
@@ -52,10 +90,35 @@ struct IndexInfo {
   std::shared_ptr<OdciIndex> domain_impl;
   std::shared_ptr<OdciStats> domain_stats;  // may be null
 
-  bool is_domain() const { return domain_impl != nullptr; }
+  // LOCAL domain index: one implementation instance per partition, in
+  // partition order; `domain_impl` is null and per-partition storage is
+  // addressed via ImplForSegment().
+  std::vector<LocalIndexPartition> local_parts;
+
+  bool is_local() const { return !local_parts.empty(); }
+  bool is_domain() const { return domain_impl != nullptr || is_local(); }
+
+  // Any implementation instance (global, or first partition's): valid for
+  // capability probes and trace labels, which are uniform across partitions.
+  OdciIndex* AnyImpl() const {
+    return domain_impl ? domain_impl.get()
+                       : (local_parts.empty() ? nullptr
+                                              : local_parts.front().impl.get());
+  }
+  // The partition slice owning heap segment `segment`, or nullptr.
+  const LocalIndexPartition* PartForSegment(uint32_t segment) const {
+    for (const LocalIndexPartition& p : local_parts) {
+      if (p.segment_id == segment) return &p;
+    }
+    return nullptr;
+  }
 
   // Metadata bundle passed into every ODCI routine for this index.
   OdciIndexInfo ToOdciInfo(const Schema& table_schema) const;
+  // Same, but named `<index>#<partition>` so a cartridge derives distinct
+  // storage names per partition slice.
+  OdciIndexInfo ToOdciInfoForPartition(const Schema& table_schema,
+                                       const std::string& partition) const;
 };
 
 // Dictionary record for a table plus the names of its indexes.
@@ -63,6 +126,7 @@ struct TableInfo {
   std::unique_ptr<HeapTable> heap;
   std::vector<std::string> index_names;
   TableStats stats;
+  PartitionScheme partitioning;  // method == kNone for ordinary tables
 };
 
 // The data dictionary (§2: operators and indextypes are "top level schema

@@ -32,6 +32,9 @@ StorageMetrics StorageMetrics::Delta(const StorageMetrics& since) const {
       odci_batch_maintenance_rows - since.odci_batch_maintenance_rows;
   d.functional_evaluations =
       functional_evaluations - since.functional_evaluations;
+  d.partitions_pruned = partitions_pruned - since.partitions_pruned;
+  d.partitions_scanned = partitions_scanned - since.partitions_scanned;
+  d.local_index_storages = local_index_storages - since.local_index_storages;
   return d;
 }
 
@@ -52,7 +55,10 @@ std::string StorageMetrics::ToString() const {
      << " odci_batch_rows=" << odci_batch_maintenance_rows
      << " lob_cow_copied=" << lob_cow_chunks_copied
      << " lob_snap_bytes=" << lob_snapshot_bytes
-     << " func_evals=" << functional_evaluations;
+     << " func_evals=" << functional_evaluations
+     << " parts_pruned=" << partitions_pruned
+     << " parts_scanned=" << partitions_scanned
+     << " local_idx_storages=" << local_index_storages;
   return os.str();
 }
 
@@ -98,6 +104,10 @@ StorageMetrics AtomicStorageMetrics::Snapshot() const {
       odci_batch_maintenance_rows.load(std::memory_order_relaxed);
   s.functional_evaluations =
       functional_evaluations.load(std::memory_order_relaxed);
+  s.partitions_pruned = partitions_pruned.load(std::memory_order_relaxed);
+  s.partitions_scanned = partitions_scanned.load(std::memory_order_relaxed);
+  s.local_index_storages =
+      local_index_storages.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -124,6 +134,9 @@ void AtomicStorageMetrics::Reset() {
   odci_batch_maintenance_calls = 0;
   odci_batch_maintenance_rows = 0;
   functional_evaluations = 0;
+  partitions_pruned = 0;
+  partitions_scanned = 0;
+  local_index_storages = 0;
 }
 
 AtomicStorageMetrics& GlobalMetrics() {

@@ -60,6 +60,14 @@ struct StorageMetrics {
   uint64_t odci_batch_maintenance_rows = 0;
   uint64_t functional_evaluations = 0;  // per-row operator function calls
 
+  // Partitioned tables (DESIGN.md §7): partitions eliminated by static
+  // pruning vs. actually opened by partition-aware scans, and the number of
+  // per-partition LOCAL domain-index storage objects built via
+  // ODCIIndexCreate.
+  uint64_t partitions_pruned = 0;
+  uint64_t partitions_scanned = 0;
+  uint64_t local_index_storages = 0;
+
   StorageMetrics Delta(const StorageMetrics& since) const;
   std::string ToString() const;
   // Like ToString() but omits zero-valued counters; "" when all are zero.
@@ -95,6 +103,9 @@ void ForEachMetric(const StorageMetrics& m, Fn&& fn) {
   fn("odci_batch_maintenance_calls", m.odci_batch_maintenance_calls);
   fn("odci_batch_maintenance_rows", m.odci_batch_maintenance_rows);
   fn("functional_evaluations", m.functional_evaluations);
+  fn("partitions_pruned", m.partitions_pruned);
+  fn("partitions_scanned", m.partitions_scanned);
+  fn("local_index_storages", m.local_index_storages);
 }
 
 // The live counters: same fields as StorageMetrics, atomically updatable.
@@ -125,6 +136,9 @@ struct AtomicStorageMetrics {
   std::atomic<uint64_t> odci_batch_maintenance_calls{0};
   std::atomic<uint64_t> odci_batch_maintenance_rows{0};
   std::atomic<uint64_t> functional_evaluations{0};
+  std::atomic<uint64_t> partitions_pruned{0};
+  std::atomic<uint64_t> partitions_scanned{0};
+  std::atomic<uint64_t> local_index_storages{0};
 
   StorageMetrics Snapshot() const;
   void Reset();

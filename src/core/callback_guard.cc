@@ -266,7 +266,9 @@ Status GuardedServerContext::ScanBaseTable(
   EXI_ASSIGN_OR_RETURN(const HeapTable* table,
                        static_cast<const Catalog*>(catalog_)
                            ->GetTable(table_name));
-  for (auto it = table->Scan(); it.Valid(); it.Next()) {
+  auto it = base_scan_restricted_ ? table->ScanSegment(base_scan_segment_)
+                                  : table->Scan();
+  for (; it.Valid(); it.Next()) {
     if (!visit(it.row_id(), it.row())) break;
   }
   return Status::OK();

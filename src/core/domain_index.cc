@@ -69,9 +69,31 @@ Status DomainIndexManager::CreateIndex(const std::string& index_name,
   info->columns = {table->schema().column(col).name};
   info->indextype = indextype->name;
   info->parameters = parameters;
-  info->domain_impl = factory();
   if (stats_factory) info->domain_stats = stats_factory();
 
+  // A partitioned base table gets a LOCAL index: one storage object per
+  // partition, built with the base-table scan restricted to the
+  // partition's segment.
+  EXI_ASSIGN_OR_RETURN(TableInfo * tinfo, catalog_->GetTableInfo(table_name));
+  if (tinfo->partitioning.partitioned()) {
+    for (const PartitionDef& part : tinfo->partitioning.partitions) {
+      Status built = BuildLocalSlice(info.get(), table->schema(), part, txn);
+      if (!built.ok()) {
+        // Unwind slices created so far; the index never existed.
+        GuardedServerContext cleanup(catalog_, txn, CallbackMode::kDefinition);
+        for (const LocalIndexPartition& done : info->local_parts) {
+          (void)done.impl->Drop(
+              info->ToOdciInfoForPartition(table->schema(),
+                                           done.partition_name),
+              cleanup);
+        }
+        return built;
+      }
+    }
+    return catalog_->AddIndex(std::move(info));
+  }
+
+  info->domain_impl = factory();
   OdciIndexInfo odci_info = info->ToOdciInfo(table->schema());
   if (parallelism_ > 1 && info->domain_impl->Capabilities().parallel_build) {
     Status parallel =
@@ -176,10 +198,122 @@ Status DomainIndexManager::ParallelBuild(IndexInfo* info,
   return Status::OK();
 }
 
+Result<std::shared_ptr<OdciIndex>> DomainIndexManager::NewImplFor(
+    const IndexInfo* index) {
+  EXI_ASSIGN_OR_RETURN(const IndexTypeDef* indextype,
+                       catalog_->GetIndexType(index->indextype));
+  EXI_ASSIGN_OR_RETURN(
+      OdciIndexFactory factory,
+      catalog_->implementations().GetIndexFactory(indextype->implementation));
+  return factory();
+}
+
+Status DomainIndexManager::BuildLocalSlice(IndexInfo* index,
+                                           const Schema& schema,
+                                           const PartitionDef& part,
+                                           Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(std::shared_ptr<OdciIndex> impl, NewImplFor(index));
+  OdciIndexInfo part_info = index->ToOdciInfoForPartition(schema, part.name);
+  GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
+  ctx.RestrictBaseScanToSegment(part.segment_id);
+  {
+    ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
+                          "ODCIIndexCreate");
+    Status create = impl->Create(part_info, ctx);
+    if (!create.ok()) {
+      trace.set_failed();
+      return create;
+    }
+  }
+  GlobalMetrics().local_index_storages++;
+  index->local_parts.push_back(
+      LocalIndexPartition{part.name, part.segment_id, std::move(impl)});
+  return Status::OK();
+}
+
+Status DomainIndexManager::AddPartitionIndexes(const std::string& table_name,
+                                               const PartitionDef& part,
+                                               Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetTable(table_name));
+  std::vector<IndexInfo*> done;
+  for (IndexInfo* index : catalog_->IndexesOnTable(table_name)) {
+    if (!index->is_domain()) continue;
+    Status built = BuildLocalSlice(index, table->schema(), part, txn);
+    if (!built.ok()) {
+      // Unwind this call's slices so the failed ADD PARTITION leaves every
+      // index exactly as it was.
+      GuardedServerContext cleanup(catalog_, txn, CallbackMode::kDefinition);
+      for (IndexInfo* undo : done) {
+        const LocalIndexPartition* slice = undo->PartForSegment(part.segment_id);
+        if (slice == nullptr) continue;
+        (void)slice->impl->Drop(
+            undo->ToOdciInfoForPartition(table->schema(), slice->partition_name),
+            cleanup);
+        undo->local_parts.erase(
+            undo->local_parts.begin() +
+            (slice - undo->local_parts.data()));
+      }
+      return built;
+    }
+    done.push_back(index);
+  }
+  return Status::OK();
+}
+
+Status DomainIndexManager::DropPartitionIndexes(const std::string& table_name,
+                                                const PartitionDef& part,
+                                                Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetTable(table_name));
+  for (IndexInfo* index : catalog_->IndexesOnTable(table_name)) {
+    if (!index->is_domain()) continue;
+    const LocalIndexPartition* slice = index->PartForSegment(part.segment_id);
+    if (slice == nullptr) continue;
+    GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
+    {
+      ScopedOdciTrace trace(index->indextype, slice->impl->TraceLabel(),
+                            "ODCIIndexDrop");
+      Status drop = slice->impl->Drop(
+          index->ToOdciInfoForPartition(table->schema(),
+                                        slice->partition_name),
+          ctx);
+      if (!drop.ok()) {
+        trace.set_failed();
+        return drop;
+      }
+    }
+    index->local_parts.erase(index->local_parts.begin() +
+                             (slice - index->local_parts.data()));
+  }
+  return Status::OK();
+}
+
+Status DomainIndexManager::TruncatePartitionIndexes(
+    const std::string& table_name, const PartitionDef& part,
+    Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetTable(table_name));
+  for (IndexInfo* index : catalog_->IndexesOnTable(table_name)) {
+    if (!index->is_domain()) continue;
+    const LocalIndexPartition* slice = index->PartForSegment(part.segment_id);
+    if (slice == nullptr) continue;
+    GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
+    ScopedOdciTrace trace(index->indextype, slice->impl->TraceLabel(),
+                          "ODCIIndexTruncate");
+    Status s = slice->impl->Truncate(
+        index->ToOdciInfoForPartition(table->schema(), slice->partition_name),
+        ctx);
+    if (!s.ok()) {
+      trace.set_failed();
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
 bool DomainIndexManager::ScanIsParallelSafe(const std::string& index_name) {
   Result<IndexInfo*> index = GetDomainIndex(index_name);
   if (!index.ok()) return false;
-  return (*index)->domain_impl->Capabilities().parallel_scan;
+  OdciIndex* impl = (*index)->AnyImpl();
+  return impl != nullptr && impl->Capabilities().parallel_scan;
 }
 
 Status DomainIndexManager::AlterIndex(const std::string& index_name,
@@ -194,6 +328,23 @@ Status DomainIndexManager::AlterIndex(const std::string& index_name,
                            : index->parameters + " " + parameters;
   info.parameters = merged;
   GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
+  if (index->is_local()) {
+    // Apply to every partition slice; the first failure aborts (the
+    // parameter string was not committed, so retrying is safe).
+    for (const LocalIndexPartition& part : index->local_parts) {
+      OdciIndexInfo part_info = info;
+      part_info.index_name = index->name + "#" + part.partition_name;
+      ScopedOdciTrace trace(index->indextype, part.impl->TraceLabel(),
+                            "ODCIIndexAlter");
+      Status alter = part.impl->Alter(part_info, ctx);
+      if (!alter.ok()) {
+        trace.set_failed();
+        return alter;
+      }
+    }
+    index->parameters = merged;
+    return Status::OK();
+  }
   ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
                         "ODCIIndexAlter");
   Status alter = index->domain_impl->Alter(info, ctx);
@@ -210,6 +361,20 @@ Status DomainIndexManager::DropIndex(const std::string& index_name,
   EXI_ASSIGN_OR_RETURN(IndexInfo * index, GetDomainIndex(index_name));
   OdciIndexInfo info = InfoFor(index);
   GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
+  if (index->is_local()) {
+    for (const LocalIndexPartition& part : index->local_parts) {
+      OdciIndexInfo part_info = info;
+      part_info.index_name = index->name + "#" + part.partition_name;
+      ScopedOdciTrace trace(index->indextype, part.impl->TraceLabel(),
+                            "ODCIIndexDrop");
+      Status drop = part.impl->Drop(part_info, ctx);
+      if (!drop.ok()) {
+        trace.set_failed();
+        return drop;
+      }
+    }
+    return catalog_->RemoveIndex(index_name);
+  }
   {
     ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
                           "ODCIIndexDrop");
@@ -227,6 +392,20 @@ Status DomainIndexManager::TruncateIndex(const std::string& index_name,
   EXI_ASSIGN_OR_RETURN(IndexInfo * index, GetDomainIndex(index_name));
   OdciIndexInfo info = InfoFor(index);
   GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
+  if (index->is_local()) {
+    for (const LocalIndexPartition& part : index->local_parts) {
+      OdciIndexInfo part_info = info;
+      part_info.index_name = index->name + "#" + part.partition_name;
+      ScopedOdciTrace trace(index->indextype, part.impl->TraceLabel(),
+                            "ODCIIndexTruncate");
+      Status s = part.impl->Truncate(part_info, ctx);
+      if (!s.ok()) {
+        trace.set_failed();
+        return s;
+      }
+    }
+    return Status::OK();
+  }
   ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
                         "ODCIIndexTruncate");
   Status s = index->domain_impl->Truncate(info, ctx);
@@ -246,6 +425,32 @@ Result<Value> IndexedValue(const IndexInfo* index, const Schema& schema,
   return row[col];
 }
 
+// One maintenance dispatch target: the storage implementation plus the
+// OdciIndexInfo naming it — the index itself for a global index, or the
+// partition slice owning the row's heap segment for a LOCAL index.
+struct MaintenanceTarget {
+  OdciIndex* impl = nullptr;
+  OdciIndexInfo info;
+};
+
+Result<MaintenanceTarget> TargetForRow(IndexInfo* index, const Schema& schema,
+                                       RowId rid) {
+  if (!index->is_local()) {
+    return MaintenanceTarget{index->domain_impl.get(),
+                             index->ToOdciInfo(schema)};
+  }
+  uint32_t segment = HeapTable::SegmentOf(rid);
+  const LocalIndexPartition* part = index->PartForSegment(segment);
+  if (part == nullptr) {
+    return Status::Internal("rowid " + std::to_string(rid) +
+                            " maps to no partition slice of local index " +
+                            index->name);
+  }
+  return MaintenanceTarget{
+      part->impl.get(),
+      index->ToOdciInfoForPartition(schema, part->partition_name)};
+}
+
 }  // namespace
 
 Status DomainIndexManager::OnInsert(const std::string& table_name, RowId rid,
@@ -254,12 +459,13 @@ Status DomainIndexManager::OnInsert(const std::string& table_name, RowId rid,
   for (IndexInfo* index : catalog_->IndexesOnTable(table_name)) {
     if (!index->is_domain()) continue;
     EXI_ASSIGN_OR_RETURN(Value v, IndexedValue(index, table->schema(), row));
-    OdciIndexInfo info = index->ToOdciInfo(table->schema());
+    EXI_ASSIGN_OR_RETURN(MaintenanceTarget target,
+                         TargetForRow(index, table->schema(), rid));
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
     GlobalMetrics().odci_maintenance_calls++;
-    ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+    ScopedOdciTrace trace(index->indextype, target.impl->TraceLabel(),
                           "ODCIIndexInsert");
-    Status s = index->domain_impl->Insert(info, rid, v, ctx);
+    Status s = target.impl->Insert(target.info, rid, v, ctx);
     if (!s.ok()) {
       trace.set_failed();
       return s;
@@ -275,12 +481,13 @@ Status DomainIndexManager::OnDelete(const std::string& table_name, RowId rid,
     if (!index->is_domain()) continue;
     EXI_ASSIGN_OR_RETURN(Value v,
                          IndexedValue(index, table->schema(), old_row));
-    OdciIndexInfo info = index->ToOdciInfo(table->schema());
+    EXI_ASSIGN_OR_RETURN(MaintenanceTarget target,
+                         TargetForRow(index, table->schema(), rid));
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
     GlobalMetrics().odci_maintenance_calls++;
-    ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+    ScopedOdciTrace trace(index->indextype, target.impl->TraceLabel(),
                           "ODCIIndexDelete");
-    Status s = index->domain_impl->Delete(info, rid, v, ctx);
+    Status s = target.impl->Delete(target.info, rid, v, ctx);
     if (!s.ok()) {
       trace.set_failed();
       return s;
@@ -299,12 +506,13 @@ Status DomainIndexManager::OnUpdate(const std::string& table_name, RowId rid,
                          IndexedValue(index, table->schema(), old_row));
     EXI_ASSIGN_OR_RETURN(Value new_v,
                          IndexedValue(index, table->schema(), new_row));
-    OdciIndexInfo info = index->ToOdciInfo(table->schema());
+    EXI_ASSIGN_OR_RETURN(MaintenanceTarget target,
+                         TargetForRow(index, table->schema(), rid));
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
     GlobalMetrics().odci_maintenance_calls++;
-    ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+    ScopedOdciTrace trace(index->indextype, target.impl->TraceLabel(),
                           "ODCIIndexUpdate");
-    Status s = index->domain_impl->Update(info, rid, old_v, new_v, ctx);
+    Status s = target.impl->Update(target.info, rid, old_v, new_v, ctx);
     if (!s.ok()) {
       trace.set_failed();
       return s;
@@ -346,6 +554,117 @@ void MeterBatchDispatch(size_t rows) {
 
 }  // namespace
 
+Status DomainIndexManager::DispatchInsertBatch(
+    IndexInfo* index, OdciIndex* impl, const OdciIndexInfo& info,
+    const Schema& schema, const std::vector<std::pair<RowId, Row>>& rows,
+    GuardedServerContext& ctx) {
+  if (rows.size() > 1 && impl->Capabilities().batch_maintenance) {
+    EXI_ASSIGN_OR_RETURN(ValueList values, IndexedValues(index, schema, rows));
+    MeterBatchDispatch(rows.size());
+    ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
+                          "ODCIIndexBatchInsert");
+    Status s = impl->BatchInsert(info, RidsOf(rows), values, ctx);
+    if (s.ok()) return Status::OK();
+    trace.set_failed();
+    if (s.code() != StatusCode::kNotSupported) return s;
+    // Opted out at runtime: fall back to the per-row path below.
+  }
+  for (const auto& [rid, row] : rows) {
+    EXI_ASSIGN_OR_RETURN(Value v, IndexedValue(index, schema, row));
+    GlobalMetrics().odci_maintenance_calls++;
+    ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
+                          "ODCIIndexInsert");
+    Status s = impl->Insert(info, rid, v, ctx);
+    if (!s.ok()) {
+      trace.set_failed();
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status DomainIndexManager::DispatchDeleteBatch(
+    IndexInfo* index, OdciIndex* impl, const OdciIndexInfo& info,
+    const Schema& schema, const std::vector<std::pair<RowId, Row>>& rows,
+    GuardedServerContext& ctx) {
+  if (rows.size() > 1 && impl->Capabilities().batch_maintenance) {
+    EXI_ASSIGN_OR_RETURN(ValueList values, IndexedValues(index, schema, rows));
+    MeterBatchDispatch(rows.size());
+    ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
+                          "ODCIIndexBatchDelete");
+    Status s = impl->BatchDelete(info, RidsOf(rows), values, ctx);
+    if (s.ok()) return Status::OK();
+    trace.set_failed();
+    if (s.code() != StatusCode::kNotSupported) return s;
+  }
+  for (const auto& [rid, row] : rows) {
+    EXI_ASSIGN_OR_RETURN(Value v, IndexedValue(index, schema, row));
+    GlobalMetrics().odci_maintenance_calls++;
+    ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
+                          "ODCIIndexDelete");
+    Status s = impl->Delete(info, rid, v, ctx);
+    if (!s.ok()) {
+      trace.set_failed();
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status DomainIndexManager::DispatchUpdateBatch(
+    IndexInfo* index, OdciIndex* impl, const OdciIndexInfo& info,
+    const Schema& schema, const std::vector<std::pair<RowId, Row>>& old_rows,
+    const std::vector<Row>& new_rows, GuardedServerContext& ctx) {
+  if (old_rows.size() > 1 && impl->Capabilities().batch_maintenance) {
+    EXI_ASSIGN_OR_RETURN(ValueList old_values,
+                         IndexedValues(index, schema, old_rows));
+    ValueList new_values;
+    new_values.reserve(new_rows.size());
+    for (const Row& row : new_rows) {
+      EXI_ASSIGN_OR_RETURN(Value v, IndexedValue(index, schema, row));
+      new_values.push_back(std::move(v));
+    }
+    MeterBatchDispatch(old_rows.size());
+    ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
+                          "ODCIIndexBatchUpdate");
+    Status s = impl->BatchUpdate(info, RidsOf(old_rows), old_values,
+                                 new_values, ctx);
+    if (s.ok()) return Status::OK();
+    trace.set_failed();
+    if (s.code() != StatusCode::kNotSupported) return s;
+  }
+  for (size_t i = 0; i < old_rows.size(); ++i) {
+    EXI_ASSIGN_OR_RETURN(Value old_v,
+                         IndexedValue(index, schema, old_rows[i].second));
+    EXI_ASSIGN_OR_RETURN(Value new_v,
+                         IndexedValue(index, schema, new_rows[i]));
+    GlobalMetrics().odci_maintenance_calls++;
+    ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
+                          "ODCIIndexUpdate");
+    Status s = impl->Update(info, old_rows[i].first, old_v, new_v, ctx);
+    if (!s.ok()) {
+      trace.set_failed();
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Splits a batch's row positions by owning heap segment, preserving
+// statement order within each segment (LOCAL index routing).
+std::map<uint32_t, std::vector<size_t>> PositionsBySegment(
+    const std::vector<std::pair<RowId, Row>>& rows) {
+  std::map<uint32_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    groups[HeapTable::SegmentOf(rows[i].first)].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace
+
 Status DomainIndexManager::OnInsertBatch(
     const std::string& table_name,
     const std::vector<std::pair<RowId, Row>>& rows, Transaction* txn) {
@@ -356,38 +675,28 @@ Status DomainIndexManager::OnInsertBatch(
   EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetTable(table_name));
   for (IndexInfo* index : catalog_->IndexesOnTable(table_name)) {
     if (!index->is_domain()) continue;
-    OdciIndexInfo info = index->ToOdciInfo(table->schema());
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
-    bool handled = false;
-    if (index->domain_impl->Capabilities().batch_maintenance) {
-      EXI_ASSIGN_OR_RETURN(ValueList values,
-                           IndexedValues(index, table->schema(), rows));
-      MeterBatchDispatch(rows.size());
-      ScopedOdciTrace trace(index->indextype,
-                            index->domain_impl->TraceLabel(),
-                            "ODCIIndexBatchInsert");
-      Status s = index->domain_impl->BatchInsert(info, RidsOf(rows), values,
-                                                 ctx);
-      if (s.ok()) {
-        handled = true;
-      } else {
-        trace.set_failed();
-        if (s.code() != StatusCode::kNotSupported) return s;
-        // Opted out at runtime: fall back to the per-row path below.
-      }
+    if (!index->is_local()) {
+      EXI_RETURN_IF_ERROR(DispatchInsertBatch(
+          index, index->domain_impl.get(),
+          index->ToOdciInfo(table->schema()), table->schema(), rows, ctx));
+      continue;
     }
-    if (handled) continue;
-    for (const auto& [rid, row] : rows) {
-      EXI_ASSIGN_OR_RETURN(Value v, IndexedValue(index, table->schema(), row));
-      GlobalMetrics().odci_maintenance_calls++;
-      ScopedOdciTrace trace(index->indextype,
-                            index->domain_impl->TraceLabel(),
-                            "ODCIIndexInsert");
-      Status s = index->domain_impl->Insert(info, rid, v, ctx);
-      if (!s.ok()) {
-        trace.set_failed();
-        return s;
+    // LOCAL index: one dispatch per touched partition slice.
+    for (const auto& [segment, positions] : PositionsBySegment(rows)) {
+      const LocalIndexPartition* part = index->PartForSegment(segment);
+      if (part == nullptr) {
+        return Status::Internal("batch rows map to no partition slice of " +
+                                index->name);
       }
+      std::vector<std::pair<RowId, Row>> slice;
+      slice.reserve(positions.size());
+      for (size_t i : positions) slice.push_back(rows[i]);
+      EXI_RETURN_IF_ERROR(DispatchInsertBatch(
+          index, part->impl.get(),
+          index->ToOdciInfoForPartition(table->schema(),
+                                        part->partition_name),
+          table->schema(), slice, ctx));
     }
   }
   return Status::OK();
@@ -403,37 +712,28 @@ Status DomainIndexManager::OnDeleteBatch(
   EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetTable(table_name));
   for (IndexInfo* index : catalog_->IndexesOnTable(table_name)) {
     if (!index->is_domain()) continue;
-    OdciIndexInfo info = index->ToOdciInfo(table->schema());
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
-    bool handled = false;
-    if (index->domain_impl->Capabilities().batch_maintenance) {
-      EXI_ASSIGN_OR_RETURN(ValueList values,
-                           IndexedValues(index, table->schema(), old_rows));
-      MeterBatchDispatch(old_rows.size());
-      ScopedOdciTrace trace(index->indextype,
-                            index->domain_impl->TraceLabel(),
-                            "ODCIIndexBatchDelete");
-      Status s = index->domain_impl->BatchDelete(info, RidsOf(old_rows),
-                                                 values, ctx);
-      if (s.ok()) {
-        handled = true;
-      } else {
-        trace.set_failed();
-        if (s.code() != StatusCode::kNotSupported) return s;
-      }
+    if (!index->is_local()) {
+      EXI_RETURN_IF_ERROR(DispatchDeleteBatch(
+          index, index->domain_impl.get(),
+          index->ToOdciInfo(table->schema()), table->schema(), old_rows,
+          ctx));
+      continue;
     }
-    if (handled) continue;
-    for (const auto& [rid, row] : old_rows) {
-      EXI_ASSIGN_OR_RETURN(Value v, IndexedValue(index, table->schema(), row));
-      GlobalMetrics().odci_maintenance_calls++;
-      ScopedOdciTrace trace(index->indextype,
-                            index->domain_impl->TraceLabel(),
-                            "ODCIIndexDelete");
-      Status s = index->domain_impl->Delete(info, rid, v, ctx);
-      if (!s.ok()) {
-        trace.set_failed();
-        return s;
+    for (const auto& [segment, positions] : PositionsBySegment(old_rows)) {
+      const LocalIndexPartition* part = index->PartForSegment(segment);
+      if (part == nullptr) {
+        return Status::Internal("batch rows map to no partition slice of " +
+                                index->name);
       }
+      std::vector<std::pair<RowId, Row>> slice;
+      slice.reserve(positions.size());
+      for (size_t i : positions) slice.push_back(old_rows[i]);
+      EXI_RETURN_IF_ERROR(DispatchDeleteBatch(
+          index, part->impl.get(),
+          index->ToOdciInfoForPartition(table->schema(),
+                                        part->partition_name),
+          table->schema(), slice, ctx));
     }
   }
   return Status::OK();
@@ -454,48 +754,33 @@ Status DomainIndexManager::OnUpdateBatch(
   EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetTable(table_name));
   for (IndexInfo* index : catalog_->IndexesOnTable(table_name)) {
     if (!index->is_domain()) continue;
-    OdciIndexInfo info = index->ToOdciInfo(table->schema());
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
-    bool handled = false;
-    if (index->domain_impl->Capabilities().batch_maintenance) {
-      EXI_ASSIGN_OR_RETURN(ValueList old_values,
-                           IndexedValues(index, table->schema(), old_rows));
-      ValueList new_values;
-      new_values.reserve(new_rows.size());
-      for (const Row& row : new_rows) {
-        EXI_ASSIGN_OR_RETURN(Value v,
-                             IndexedValue(index, table->schema(), row));
-        new_values.push_back(std::move(v));
-      }
-      MeterBatchDispatch(old_rows.size());
-      ScopedOdciTrace trace(index->indextype,
-                            index->domain_impl->TraceLabel(),
-                            "ODCIIndexBatchUpdate");
-      Status s = index->domain_impl->BatchUpdate(info, RidsOf(old_rows),
-                                                 old_values, new_values, ctx);
-      if (s.ok()) {
-        handled = true;
-      } else {
-        trace.set_failed();
-        if (s.code() != StatusCode::kNotSupported) return s;
-      }
+    if (!index->is_local()) {
+      EXI_RETURN_IF_ERROR(DispatchUpdateBatch(
+          index, index->domain_impl.get(),
+          index->ToOdciInfo(table->schema()), table->schema(), old_rows,
+          new_rows, ctx));
+      continue;
     }
-    if (handled) continue;
-    for (size_t i = 0; i < old_rows.size(); ++i) {
-      EXI_ASSIGN_OR_RETURN(
-          Value old_v, IndexedValue(index, table->schema(), old_rows[i].second));
-      EXI_ASSIGN_OR_RETURN(Value new_v,
-                           IndexedValue(index, table->schema(), new_rows[i]));
-      GlobalMetrics().odci_maintenance_calls++;
-      ScopedOdciTrace trace(index->indextype,
-                            index->domain_impl->TraceLabel(),
-                            "ODCIIndexUpdate");
-      Status s = index->domain_impl->Update(info, old_rows[i].first, old_v,
-                                            new_v, ctx);
-      if (!s.ok()) {
-        trace.set_failed();
-        return s;
+    for (const auto& [segment, positions] : PositionsBySegment(old_rows)) {
+      const LocalIndexPartition* part = index->PartForSegment(segment);
+      if (part == nullptr) {
+        return Status::Internal("batch rows map to no partition slice of " +
+                                index->name);
       }
+      std::vector<std::pair<RowId, Row>> old_slice;
+      std::vector<Row> new_slice;
+      old_slice.reserve(positions.size());
+      new_slice.reserve(positions.size());
+      for (size_t i : positions) {
+        old_slice.push_back(old_rows[i]);
+        new_slice.push_back(new_rows[i]);
+      }
+      EXI_RETURN_IF_ERROR(DispatchUpdateBatch(
+          index, part->impl.get(),
+          index->ToOdciInfoForPartition(table->schema(),
+                                        part->partition_name),
+          table->schema(), old_slice, new_slice, ctx));
     }
   }
   return Status::OK();
@@ -505,18 +790,48 @@ Result<std::unique_ptr<DomainIndexManager::Scan>>
 DomainIndexManager::StartScan(const std::string& index_name,
                               const OdciPredInfo& pred) {
   EXI_ASSIGN_OR_RETURN(IndexInfo * index, GetDomainIndex(index_name));
-  OdciIndexInfo info = InfoFor(index);
+  if (index->is_local()) {
+    return Status::InvalidArgument(
+        "local domain index " + index_name +
+        " scans partition-by-partition (StartPartitionScan)");
+  }
+  return StartScanOn(index, index->domain_impl.get(), InfoFor(index), pred);
+}
+
+Result<std::unique_ptr<DomainIndexManager::Scan>>
+DomainIndexManager::StartPartitionScan(const std::string& index_name,
+                                       const std::string& partition_name,
+                                       const OdciPredInfo& pred) {
+  EXI_ASSIGN_OR_RETURN(IndexInfo * index, GetDomainIndex(index_name));
+  if (!index->is_local()) {
+    return Status::InvalidArgument(index_name + " is not a local index");
+  }
+  for (const LocalIndexPartition& part : index->local_parts) {
+    if (EqualsIgnoreCase(part.partition_name, partition_name)) {
+      OdciIndexInfo info = InfoFor(index);
+      info.index_name = index->name + "#" + part.partition_name;
+      return StartScanOn(index, part.impl.get(), std::move(info), pred);
+    }
+  }
+  return Status::NotFound("no partition " + partition_name + " in index " +
+                          index_name);
+}
+
+Result<std::unique_ptr<DomainIndexManager::Scan>>
+DomainIndexManager::StartScanOn(IndexInfo* index, OdciIndex* impl,
+                                OdciIndexInfo info,
+                                const OdciPredInfo& pred) {
   auto ctx = std::make_unique<GuardedServerContext>(catalog_, nullptr,
                                                     CallbackMode::kScan);
   GlobalMetrics().odci_start_calls++;
-  ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+  ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
                         "ODCIIndexStart");
-  Result<OdciScanContext> sctx = index->domain_impl->Start(info, pred, *ctx);
+  Result<OdciScanContext> sctx = impl->Start(info, pred, *ctx);
   if (!sctx.ok()) {
     trace.set_failed();
     return sctx.status();
   }
-  return std::unique_ptr<Scan>(new Scan(index, std::move(info),
+  return std::unique_ptr<Scan>(new Scan(index, impl, std::move(info),
                                         std::move(ctx),
                                         std::move(sctx).value()));
 }
@@ -533,18 +848,18 @@ Status DomainIndexManager::Scan::NextBatch(size_t max_rows,
   out->rids.clear();
   out->ancillary.clear();
   GlobalMetrics().odci_fetch_calls++;
-  ScopedOdciTrace trace(index_->indextype, index_->domain_impl->TraceLabel(),
+  ScopedOdciTrace trace(index_->indextype, impl_->TraceLabel(),
                         "ODCIIndexFetch");
   Status s;
   if (sctx_.uses_handle()) {
-    s = index_->domain_impl->Fetch(info_, sctx_, max_rows, out, *ctx_);
+    s = impl_->Fetch(info_, sctx_, max_rows, out, *ctx_);
   } else {
     // Return State: the context object crosses the interface by value —
     // copy the serialized state in, invoke, copy the (possibly mutated)
     // state out.
     OdciScanContext by_value;
     by_value.state = sctx_.state;  // copy in
-    s = index_->domain_impl->Fetch(info_, by_value, max_rows, out, *ctx_);
+    s = impl_->Fetch(info_, by_value, max_rows, out, *ctx_);
     if (s.ok()) sctx_.state = by_value.state;  // copy out
   }
   if (!s.ok()) {
@@ -566,16 +881,16 @@ Status DomainIndexManager::Scan::NextBatch(size_t max_rows,
 }
 
 bool DomainIndexManager::Scan::parallel_safe() const {
-  return index_->domain_impl->Capabilities().parallel_scan;
+  return impl_->Capabilities().parallel_scan;
 }
 
 Status DomainIndexManager::Scan::Close() {
   if (closed_) return Status::OK();
   closed_ = true;
   GlobalMetrics().odci_close_calls++;
-  ScopedOdciTrace trace(index_->indextype, index_->domain_impl->TraceLabel(),
+  ScopedOdciTrace trace(index_->indextype, impl_->TraceLabel(),
                         "ODCIIndexClose");
-  Status s = index_->domain_impl->Close(info_, sctx_, *ctx_);
+  Status s = impl_->Close(info_, sctx_, *ctx_);
   if (!s.ok()) trace.set_failed();
   return s;
 }
@@ -583,9 +898,32 @@ Status DomainIndexManager::Scan::Close() {
 Result<double> DomainIndexManager::PredicateSelectivity(
     IndexInfo* index, const OdciPredInfo& pred, uint64_t table_rows) {
   if (index->domain_stats == nullptr) return 0.05;  // default guess
-  OdciIndexInfo info = InfoFor(index);
   GuardedServerContext ctx(catalog_, nullptr, CallbackMode::kScan);
-  ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+  if (index->is_local()) {
+    // A LOCAL index has no whole-index storage: ask each partition slice
+    // (per-slice matches / whole-table rows) and sum into the whole-index
+    // selectivity the planner caches.
+    Result<HeapTable*> table = catalog_->GetTable(index->table);
+    static const Schema kEmpty;
+    const Schema& schema = table.ok() ? (*table)->schema() : kEmpty;
+    double total = 0.0;
+    for (const LocalIndexPartition& slice : index->local_parts) {
+      OdciIndexInfo info =
+          index->ToOdciInfoForPartition(schema, slice.partition_name);
+      ScopedOdciTrace trace(index->indextype, index->AnyImpl()->TraceLabel(),
+                            "ODCIStatsSelectivity");
+      Result<double> sel =
+          index->domain_stats->Selectivity(info, pred, table_rows, ctx);
+      if (!sel.ok()) {
+        trace.set_failed();
+        return sel;
+      }
+      total += *sel;
+    }
+    return total > 1.0 ? 1.0 : total;
+  }
+  OdciIndexInfo info = InfoFor(index);
+  ScopedOdciTrace trace(index->indextype, index->AnyImpl()->TraceLabel(),
                         "ODCIStatsSelectivity");
   Result<double> sel =
       index->domain_stats->Selectivity(info, pred, table_rows, ctx);
@@ -601,9 +939,31 @@ Result<double> DomainIndexManager::ScanCost(IndexInfo* index,
     // Default: proportional to expected output plus a fixed start cost.
     return 10.0 + selectivity * double(table_rows);
   }
-  OdciIndexInfo info = InfoFor(index);
   GuardedServerContext ctx(catalog_, nullptr, CallbackMode::kScan);
-  ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+  if (index->is_local()) {
+    // Whole-index cost = sum over slices; the planner scales by the
+    // surviving-partition fraction after pruning.
+    Result<HeapTable*> table = catalog_->GetTable(index->table);
+    static const Schema kEmpty;
+    const Schema& schema = table.ok() ? (*table)->schema() : kEmpty;
+    double total = 0.0;
+    for (const LocalIndexPartition& slice : index->local_parts) {
+      OdciIndexInfo info =
+          index->ToOdciInfoForPartition(schema, slice.partition_name);
+      ScopedOdciTrace trace(index->indextype, index->AnyImpl()->TraceLabel(),
+                            "ODCIStatsIndexCost");
+      Result<double> cost = index->domain_stats->IndexCost(
+          info, pred, selectivity, table_rows, ctx);
+      if (!cost.ok()) {
+        trace.set_failed();
+        return cost;
+      }
+      total += *cost;
+    }
+    return total;
+  }
+  OdciIndexInfo info = InfoFor(index);
+  ScopedOdciTrace trace(index->indextype, index->AnyImpl()->TraceLabel(),
                         "ODCIStatsIndexCost");
   Result<double> cost = index->domain_stats->IndexCost(info, pred, selectivity,
                                                        table_rows, ctx);

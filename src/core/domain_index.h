@@ -64,6 +64,28 @@ class DomainIndexManager {
   // TRUNCATE TABLE propagates to domain indexes via ODCIIndexTruncate.
   Status TruncateIndex(const std::string& index_name, Transaction* txn);
 
+  // ---- partition DDL (LOCAL domain indexes, DESIGN.md §7) ----
+  //
+  // On a partitioned table every domain index is LOCAL: one independently
+  // ODCIIndexCreate'd storage object per partition (the cartridge sees the
+  // suffixed name `<index>#<partition>`), so partition-level DDL maps to
+  // one O(1) ODCI call per index instead of per-row maintenance.
+
+  // ALTER TABLE ... ADD PARTITION: creates (and backfills, restricted to
+  // the new segment) a slice of every local index on the table.  On
+  // failure, slices created by this call are dropped before returning.
+  Status AddPartitionIndexes(const std::string& table_name,
+                             const PartitionDef& part, Transaction* txn);
+
+  // DROP PARTITION: ODCIIndexDrop of each local slice — zero per-row
+  // ODCIIndexDelete calls.
+  Status DropPartitionIndexes(const std::string& table_name,
+                              const PartitionDef& part, Transaction* txn);
+
+  // TRUNCATE PARTITION: ODCIIndexTruncate of each local slice.
+  Status TruncatePartitionIndexes(const std::string& table_name,
+                                  const PartitionDef& part, Transaction* txn);
+
   // ---- implicit maintenance (§2.4.1) ----
 
   // Invoked by the DML executor for every domain index on `table_name`.
@@ -117,14 +139,16 @@ class DomainIndexManager {
 
    private:
     friend class DomainIndexManager;
-    Scan(IndexInfo* index, OdciIndexInfo info,
+    Scan(IndexInfo* index, OdciIndex* impl, OdciIndexInfo info,
          std::unique_ptr<GuardedServerContext> ctx, OdciScanContext sctx)
         : index_(index),
+          impl_(impl),
           info_(std::move(info)),
           ctx_(std::move(ctx)),
           sctx_(std::move(sctx)) {}
 
     IndexInfo* index_;
+    OdciIndex* impl_;  // global impl, or one LOCAL partition slice
     OdciIndexInfo info_;
     std::unique_ptr<GuardedServerContext> ctx_;
     OdciScanContext sctx_;
@@ -132,9 +156,15 @@ class DomainIndexManager {
   };
 
   // Opens a scan evaluating `pred` against domain index `index_name`
-  // (invokes ODCIIndexStart under scan mode).
+  // (invokes ODCIIndexStart under scan mode).  Errors on a LOCAL index —
+  // those scan partition-by-partition via StartPartitionScan.
   Result<std::unique_ptr<Scan>> StartScan(const std::string& index_name,
                                           const OdciPredInfo& pred);
+
+  // Opens a scan over one partition slice of a LOCAL domain index.
+  Result<std::unique_ptr<Scan>> StartPartitionScan(
+      const std::string& index_name, const std::string& partition_name,
+      const OdciPredInfo& pred);
 
   // ---- optimizer hooks (§2.4.2) ----
 
@@ -151,6 +181,37 @@ class DomainIndexManager {
  private:
   Result<IndexInfo*> GetDomainIndex(const std::string& index_name);
   OdciIndexInfo InfoFor(IndexInfo* index);
+
+  // Instantiates a fresh implementation object for `index`'s indextype
+  // (LOCAL indexes need one per partition slice).
+  Result<std::shared_ptr<OdciIndex>> NewImplFor(const IndexInfo* index);
+
+  // Shared ODCIIndexStart dispatch for global and partition-slice scans.
+  Result<std::unique_ptr<Scan>> StartScanOn(IndexInfo* index, OdciIndex* impl,
+                                            OdciIndexInfo info,
+                                            const OdciPredInfo& pred);
+
+  // Creates one partition slice of a LOCAL index: instantiate, then
+  // ODCIIndexCreate with the base-table scan restricted to the partition's
+  // segment, so the cartridge backfills only that partition's rows.
+  Status BuildLocalSlice(IndexInfo* index, const Schema& schema,
+                         const PartitionDef& part, Transaction* txn);
+
+  // One batched dispatch (or per-row fallback) of `rows` against a single
+  // storage object `impl` named by `info`.
+  Status DispatchInsertBatch(IndexInfo* index, OdciIndex* impl,
+                             const OdciIndexInfo& info, const Schema& schema,
+                             const std::vector<std::pair<RowId, Row>>& rows,
+                             GuardedServerContext& ctx);
+  Status DispatchDeleteBatch(IndexInfo* index, OdciIndex* impl,
+                             const OdciIndexInfo& info, const Schema& schema,
+                             const std::vector<std::pair<RowId, Row>>& rows,
+                             GuardedServerContext& ctx);
+  Status DispatchUpdateBatch(IndexInfo* index, OdciIndex* impl,
+                             const OdciIndexInfo& info, const Schema& schema,
+                             const std::vector<std::pair<RowId, Row>>& old_rows,
+                             const std::vector<Row>& new_rows,
+                             GuardedServerContext& ctx);
 
   // Split build protocol (DESIGN.md §5): CreateStorage on this thread,
   // ODCIIndexInsert callbacks concurrently on pool workers against

@@ -7,7 +7,9 @@
 #include <sstream>
 
 #include "common/metrics.h"
+#include "common/strings.h"
 #include "common/tracer.h"
+#include "index/key.h"
 #include "exec/evaluator.h"
 #include "exec/expression.h"
 #include "index/bitmap_index.h"
@@ -95,6 +97,9 @@ Result<QueryResult> Connection::Dispatch(Statement* stmt) {
       r.message = "table truncated: " + s->table;
       return r;
     }
+    case StmtKind::kAlterTable:
+      EXI_RETURN_IF_ERROR(CommitBeforeDdl());
+      return RunAlterTable(static_cast<sql::AlterTableStmt*>(stmt));
     case StmtKind::kCreateIndex:
       EXI_RETURN_IF_ERROR(CommitBeforeDdl());
       return RunCreateIndex(static_cast<sql::CreateIndexStmt*>(stmt));
@@ -196,10 +201,107 @@ Result<QueryResult> Connection::RunCreateTable(sql::CreateTableStmt* stmt) {
     }
     schema.AddColumn(Column{def.name, type, def.not_null});
   }
+  if (!stmt->partition_method.empty()) {
+    // Validate the partition clause against the schema before creating
+    // anything, so a bad clause leaves no half-made table behind.
+    bool range = stmt->partition_method == "RANGE";
+    int c = schema.FindColumn(stmt->partition_column);
+    if (c < 0) {
+      return Status::NotFound("no partition key column " +
+                              stmt->partition_column + " in " + stmt->table);
+    }
+    if (stmt->partitions.empty()) {
+      return Status::InvalidArgument(
+          "partitioned table needs at least one partition");
+    }
+    for (size_t i = 0; i < stmt->partitions.size(); ++i) {
+      const sql::PartitionSpec& spec = stmt->partitions[i];
+      for (size_t j = 0; j < i; ++j) {
+        if (EqualsIgnoreCase(stmt->partitions[j].name, spec.name)) {
+          return Status::AlreadyExists("duplicate partition name " +
+                                       spec.name);
+        }
+      }
+      if (!range) continue;
+      if (spec.maxvalue && i + 1 != stmt->partitions.size()) {
+        return Status::InvalidArgument(
+            "MAXVALUE must be the last partition bound");
+      }
+      if (i > 0 && !spec.maxvalue &&
+          TotalOrderCompare(stmt->partitions[i - 1].bound, spec.bound) >= 0) {
+        return Status::InvalidArgument(
+            "partition bounds must be strictly increasing (" + spec.name +
+            ")");
+      }
+    }
+    EXI_RETURN_IF_ERROR(db_->catalog().CreateTable(stmt->table, schema));
+    EXI_ASSIGN_OR_RETURN(TableInfo * info,
+                         db_->catalog().GetTableInfo(stmt->table));
+    PartitionScheme scheme;
+    scheme.method = range ? PartitionMethod::kRange : PartitionMethod::kHash;
+    scheme.key_column = schema.column(c).name;
+    scheme.key_index = size_t(c);
+    for (const sql::PartitionSpec& spec : stmt->partitions) {
+      PartitionDef def;
+      def.name = spec.name;
+      // Every partition gets its own segment; the implicit segment 0 stays
+      // empty so any partition — including the first — can be dropped.
+      def.segment_id = info->heap->AddSegment();
+      if (range && !spec.maxvalue) def.upper_bound = spec.bound;
+      scheme.partitions.push_back(std::move(def));
+    }
+    info->partitioning = std::move(scheme);
+    QueryResult r;
+    r.message = "table created: " + stmt->table + " (" +
+                stmt->partition_method + " partitioned by " +
+                stmt->partition_column + ", " +
+                std::to_string(stmt->partitions.size()) + " partitions)";
+    return r;
+  }
   EXI_RETURN_IF_ERROR(db_->catalog().CreateTable(stmt->table, schema));
   QueryResult r;
   r.message = "table created: " + stmt->table;
   return r;
+}
+
+Result<QueryResult> Connection::RunAlterTable(sql::AlterTableStmt* stmt) {
+  QueryResult r;
+  switch (stmt->action) {
+    case sql::AlterTableStmt::Action::kAddPartition: {
+      std::optional<Value> bound;
+      if (stmt->partition.maxvalue) {
+        // bound stays empty: the MAXVALUE catch-all.
+      } else if (!stmt->partition.bound.is_null()) {
+        bound = stmt->partition.bound;
+      } else {
+        return Status::InvalidArgument(
+            "ADD PARTITION requires VALUES LESS THAN (...)");
+      }
+      EXI_RETURN_IF_ERROR(db_->AddPartition(stmt->table, stmt->partition.name,
+                                            std::move(bound), nullptr));
+      // New partition => new local index slices; memoized per-index stats
+      // may now be stale (satellite of DESIGN.md §7).
+      db_->planner_stats().InvalidateTable(stmt->table);
+      r.message = "partition added: " + stmt->partition.name + " on " +
+                  stmt->table;
+      return r;
+    }
+    case sql::AlterTableStmt::Action::kDropPartition:
+      EXI_RETURN_IF_ERROR(
+          db_->DropPartition(stmt->table, stmt->partition.name, nullptr));
+      db_->planner_stats().InvalidateTable(stmt->table);
+      r.message = "partition dropped: " + stmt->partition.name + " from " +
+                  stmt->table;
+      return r;
+    case sql::AlterTableStmt::Action::kTruncatePartition:
+      EXI_RETURN_IF_ERROR(
+          db_->TruncatePartition(stmt->table, stmt->partition.name, nullptr));
+      db_->planner_stats().InvalidateTable(stmt->table);
+      r.message = "partition truncated: " + stmt->partition.name + " on " +
+                  stmt->table;
+      return r;
+  }
+  return Status::Internal("unhandled ALTER TABLE action");
 }
 
 Result<QueryResult> Connection::RunCreateIndex(sql::CreateIndexStmt* stmt) {

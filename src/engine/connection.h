@@ -55,6 +55,8 @@ class Connection {
   Result<QueryResult> Dispatch(sql::Statement* stmt);
 
   Result<QueryResult> RunCreateTable(sql::CreateTableStmt* stmt);
+  // ALTER TABLE ... ADD | DROP | TRUNCATE PARTITION (DESIGN.md §7).
+  Result<QueryResult> RunAlterTable(sql::AlterTableStmt* stmt);
   Result<QueryResult> RunCreateIndex(sql::CreateIndexStmt* stmt);
   Result<QueryResult> RunCreateOperator(sql::CreateOperatorStmt* stmt);
   Result<QueryResult> RunCreateIndexType(sql::CreateIndexTypeStmt* stmt);

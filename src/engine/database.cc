@@ -3,13 +3,30 @@
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/tracer.h"
+#include "index/key.h"
 
 namespace exi {
 
 namespace {
 constexpr const char* kDictionaryViews[] = {
     "user_tables", "user_indexes", "user_operators", "user_indextypes"};
-constexpr const char* kPerfViews[] = {"v$odci_calls", "v$storage_metrics"};
+constexpr const char* kPerfViews[] = {"v$odci_calls", "v$storage_metrics",
+                                      "v$partitions"};
+
+// Routes a row to its owning heap segment: 0 for ordinary tables, else the
+// partition picked by the partition-key value (ORA-14400 when none fits).
+Result<uint32_t> SegmentFor(const std::string& table_name,
+                            const TableInfo& info, const Row& row) {
+  const PartitionScheme& scheme = info.partitioning;
+  if (!scheme.partitioned()) return uint32_t{0};
+  if (scheme.key_index >= row.size()) {
+    return Status::Internal("partition key column missing from row for " +
+                            table_name);
+  }
+  EXI_ASSIGN_OR_RETURN(const PartitionDef* part,
+                       scheme.Route(row[scheme.key_index]));
+  return part->segment_id;
+}
 }  // namespace
 
 bool Database::IsDictionaryView(const std::string& table_name) {
@@ -141,6 +158,22 @@ Status Database::RefreshPerfViews() {
   EXI_RETURN_IF_ERROR(
       catalog_.CreateTable("v$storage_metrics", storage_schema));
 
+  // V$PARTITIONS: one row per table partition (DESIGN.md §7).  high_value
+  // is the RANGE upper bound ("MAXVALUE" for the catch-all) and NULL for
+  // HASH partitions; local_index_slices counts per-partition domain-index
+  // storage objects.
+  Schema part_schema;
+  part_schema.AddColumn(Column{"table_name", DataType::Varchar(128), true});
+  part_schema.AddColumn(Column{"partition_name", DataType::Varchar(128),
+                               true});
+  part_schema.AddColumn(Column{"method", DataType::Varchar(16), true});
+  part_schema.AddColumn(Column{"key_column", DataType::Varchar(128), true});
+  part_schema.AddColumn(Column{"high_value", DataType::Varchar(256), false});
+  part_schema.AddColumn(Column{"segment_rows", DataType::Integer(), true});
+  part_schema.AddColumn(Column{"local_index_slices", DataType::Integer(),
+                               true});
+  EXI_RETURN_IF_ERROR(catalog_.CreateTable("v$partitions", part_schema));
+
   // Snapshot both sources before inserting: the inserts below bump the
   // storage counters themselves, and a consistent pre-materialization
   // reading is more useful than one skewed row by row.
@@ -170,7 +203,38 @@ Status Database::RefreshPerfViews() {
                        nullptr)
                  .status();
   });
-  return insert;
+  EXI_RETURN_IF_ERROR(insert);
+
+  for (const std::string& name : catalog_.TableNames()) {
+    if (IsDictionaryView(name) || IsPerfView(name)) continue;
+    TableInfo* info = *catalog_.GetTableInfo(name);
+    const PartitionScheme& scheme = info->partitioning;
+    if (!scheme.partitioned()) continue;
+    bool range = scheme.method == PartitionMethod::kRange;
+    for (const PartitionDef& part : scheme.partitions) {
+      int64_t slices = 0;
+      for (IndexInfo* idx : catalog_.IndexesOnTable(name)) {
+        if (idx->PartForSegment(part.segment_id) != nullptr) slices++;
+      }
+      Value high = Value::Null();
+      if (range) {
+        high = Value::Varchar(part.upper_bound.has_value()
+                                  ? part.upper_bound->ToString()
+                                  : "MAXVALUE");
+      }
+      EXI_RETURN_IF_ERROR(
+          InsertRow("v$partitions",
+                    {Value::Varchar(name), Value::Varchar(part.name),
+                     Value::Varchar(range ? "RANGE" : "HASH"),
+                     Value::Varchar(scheme.key_column), high,
+                     Value::Integer(int64_t(
+                         info->heap->SegmentRowCount(part.segment_id))),
+                     Value::Integer(slices)},
+                    nullptr)
+              .status());
+    }
+  }
+  return Status::OK();
 }
 
 Database::Database() : txns_(&events_), domains_(&catalog_) {
@@ -241,8 +305,10 @@ Status Database::MaintainBuiltinOnDelete(const std::string& table_name,
 Result<RowId> Database::InsertRow(const std::string& table_name, Row row,
                                   Transaction* txn) {
   planner_stats_.InvalidateTable(table_name);
-  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
-  EXI_ASSIGN_OR_RETURN(RowId rid, table->Insert(row));
+  EXI_ASSIGN_OR_RETURN(TableInfo * tinfo, catalog_.GetTableInfo(table_name));
+  HeapTable* table = tinfo->heap.get();
+  EXI_ASSIGN_OR_RETURN(uint32_t segment, SegmentFor(table_name, *tinfo, row));
+  EXI_ASSIGN_OR_RETURN(RowId rid, table->InsertInto(segment, row));
   if (txn != nullptr) {
     txn->PushUndo([table, rid] { (void)table->Delete(rid); });
   }
@@ -255,13 +321,16 @@ Result<std::vector<RowId>> Database::InsertRows(const std::string& table_name,
                                                 std::vector<Row> rows,
                                                 Transaction* txn) {
   planner_stats_.InvalidateTable(table_name);
-  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
+  EXI_ASSIGN_OR_RETURN(TableInfo * tinfo, catalog_.GetTableInfo(table_name));
+  HeapTable* table = tinfo->heap.get();
   std::vector<std::pair<RowId, Row>> inserted;
   std::vector<RowId> rids;
   inserted.reserve(rows.size());
   rids.reserve(rows.size());
   for (Row& row : rows) {
-    EXI_ASSIGN_OR_RETURN(RowId rid, table->Insert(row));
+    EXI_ASSIGN_OR_RETURN(uint32_t segment,
+                         SegmentFor(table_name, *tinfo, row));
+    EXI_ASSIGN_OR_RETURN(RowId rid, table->InsertInto(segment, row));
     if (txn != nullptr) {
       txn->PushUndo([table, rid] { (void)table->Delete(rid); });
     }
@@ -276,7 +345,19 @@ Result<std::vector<RowId>> Database::InsertRows(const std::string& table_name,
 Status Database::UpdateRow(const std::string& table_name, RowId rid,
                            Row new_row, Transaction* txn) {
   planner_stats_.InvalidateTable(table_name);
-  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
+  EXI_ASSIGN_OR_RETURN(TableInfo * tinfo, catalog_.GetTableInfo(table_name));
+  HeapTable* table = tinfo->heap.get();
+  if (tinfo->partitioning.partitioned()) {
+    // Rows never move between partitions (ORA-14402: row movement is not
+    // supported); an update may not change which partition the key maps to.
+    EXI_ASSIGN_OR_RETURN(uint32_t segment,
+                         SegmentFor(table_name, *tinfo, new_row));
+    if (segment != HeapTable::SegmentOf(rid)) {
+      return Status::InvalidArgument(
+          "updating partition key would move the row to another partition "
+          "of " + table_name + " (ORA-14402)");
+    }
+  }
   EXI_ASSIGN_OR_RETURN(Row old_row, table->Get(rid));
   EXI_RETURN_IF_ERROR(table->Update(rid, new_row));
   if (txn != nullptr) {
@@ -295,12 +376,22 @@ Status Database::UpdateRows(const std::string& table_name,
                             std::vector<std::pair<RowId, Row>> updates,
                             Transaction* txn) {
   planner_stats_.InvalidateTable(table_name);
-  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
+  EXI_ASSIGN_OR_RETURN(TableInfo * tinfo, catalog_.GetTableInfo(table_name));
+  HeapTable* table = tinfo->heap.get();
   std::vector<std::pair<RowId, Row>> old_rows;
   std::vector<Row> new_rows;
   old_rows.reserve(updates.size());
   new_rows.reserve(updates.size());
   for (auto& [rid, new_row] : updates) {
+    if (tinfo->partitioning.partitioned()) {
+      EXI_ASSIGN_OR_RETURN(uint32_t segment,
+                           SegmentFor(table_name, *tinfo, new_row));
+      if (segment != HeapTable::SegmentOf(rid)) {
+        return Status::InvalidArgument(
+            "updating partition key would move the row to another partition "
+            "of " + table_name + " (ORA-14402)");
+      }
+    }
     EXI_ASSIGN_OR_RETURN(Row old_row, table->Get(rid));
     EXI_RETURN_IF_ERROR(table->Update(rid, new_row));
     if (txn != nullptr) {
@@ -372,6 +463,137 @@ Status Database::TruncateTable(const std::string& table_name,
       index->builtin->Truncate();
     }
   }
+  return Status::OK();
+}
+
+Status Database::RemoveBuiltinEntriesForSegment(const std::string& table_name,
+                                                uint32_t segment) {
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_.GetTable(table_name));
+  std::vector<std::pair<RowId, Row>> rows;
+  for (auto it = table->ScanSegment(segment); it.Valid(); it.Next()) {
+    rows.emplace_back(it.row_id(), it.row());
+  }
+  // DDL commits; no undo logging (txn = nullptr), matching Oracle partition
+  // maintenance semantics.
+  for (auto& [rid, row] : rows) {
+    EXI_RETURN_IF_ERROR(MaintainBuiltinOnDelete(table_name, rid, row, nullptr));
+  }
+  return Status::OK();
+}
+
+Status Database::AddPartition(const std::string& table_name,
+                              const std::string& partition_name,
+                              std::optional<Value> upper_bound,
+                              Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(TableInfo * info, catalog_.GetTableInfo(table_name));
+  PartitionScheme& scheme = info->partitioning;
+  if (!scheme.partitioned()) {
+    return Status::InvalidArgument("table " + table_name +
+                                   " is not partitioned");
+  }
+  if (scheme.method != PartitionMethod::kRange) {
+    return Status::InvalidArgument(
+        "ADD PARTITION requires a RANGE-partitioned table; the hash fanout "
+        "of " + table_name + " is fixed at CREATE TABLE");
+  }
+  if (scheme.Find(partition_name) != nullptr) {
+    return Status::AlreadyExists("partition " + partition_name +
+                                 " already exists on " + table_name);
+  }
+  const PartitionDef& last = scheme.partitions.back();
+  if (!last.upper_bound.has_value()) {
+    return Status::InvalidArgument(
+        "cannot add a partition above the MAXVALUE partition " + last.name +
+        " of " + table_name);
+  }
+  if (upper_bound.has_value() &&
+      TotalOrderCompare(*upper_bound, *last.upper_bound) <= 0) {
+    return Status::InvalidArgument(
+        "ADD PARTITION bound must be above the current high bound of " +
+        table_name);
+  }
+
+  uint32_t segment = info->heap->AddSegment();
+  scheme.partitions.push_back(
+      PartitionDef{partition_name, segment, std::move(upper_bound)});
+  // Build one slice of every local domain index (empty backfill: the new
+  // segment has no rows yet).  On failure undo this call completely so a
+  // mid-ADD cartridge error leaves the table exactly as before.
+  Status built =
+      domains_.AddPartitionIndexes(table_name, scheme.partitions.back(), txn);
+  if (!built.ok()) {
+    scheme.partitions.pop_back();
+    (void)info->heap->DropSegment(segment);
+    planner_stats_.InvalidateTable(table_name);
+    return built;
+  }
+  planner_stats_.InvalidateTable(table_name);
+  return Status::OK();
+}
+
+Status Database::DropPartition(const std::string& table_name,
+                               const std::string& partition_name,
+                               Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(TableInfo * info, catalog_.GetTableInfo(table_name));
+  PartitionScheme& scheme = info->partitioning;
+  if (!scheme.partitioned()) {
+    return Status::InvalidArgument("table " + table_name +
+                                   " is not partitioned");
+  }
+  if (scheme.method != PartitionMethod::kRange) {
+    return Status::InvalidArgument(
+        "DROP PARTITION requires a RANGE-partitioned table (hash fanout is "
+        "fixed)");
+  }
+  if (scheme.partitions.size() == 1) {
+    return Status::InvalidArgument("cannot drop the only partition of " +
+                                   table_name);
+  }
+  const PartitionDef* found = scheme.Find(partition_name);
+  if (found == nullptr) {
+    return Status::NotFound("no partition " + partition_name + " on " +
+                            table_name);
+  }
+  PartitionDef def = *found;  // the scheme entry is erased below
+
+  // Built-in indexes are global, so their entries for this partition's rows
+  // come out row by row; domain indexes are LOCAL, so the whole slice drops
+  // with one ODCIIndexDrop — zero per-row ODCIIndexDelete calls.
+  EXI_RETURN_IF_ERROR(
+      RemoveBuiltinEntriesForSegment(table_name, def.segment_id));
+  EXI_RETURN_IF_ERROR(domains_.DropPartitionIndexes(table_name, def, txn));
+  EXI_RETURN_IF_ERROR(info->heap->DropSegment(def.segment_id).status());
+  for (auto it = scheme.partitions.begin(); it != scheme.partitions.end();
+       ++it) {
+    if (EqualsIgnoreCase(it->name, partition_name)) {
+      scheme.partitions.erase(it);
+      break;
+    }
+  }
+  planner_stats_.InvalidateTable(table_name);
+  return Status::OK();
+}
+
+Status Database::TruncatePartition(const std::string& table_name,
+                                   const std::string& partition_name,
+                                   Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(TableInfo * info, catalog_.GetTableInfo(table_name));
+  PartitionScheme& scheme = info->partitioning;
+  if (!scheme.partitioned()) {
+    return Status::InvalidArgument("table " + table_name +
+                                   " is not partitioned");
+  }
+  const PartitionDef* part = scheme.Find(partition_name);
+  if (part == nullptr) {
+    return Status::NotFound("no partition " + partition_name + " on " +
+                            table_name);
+  }
+  EXI_RETURN_IF_ERROR(
+      RemoveBuiltinEntriesForSegment(table_name, part->segment_id));
+  EXI_RETURN_IF_ERROR(domains_.TruncatePartitionIndexes(table_name, *part,
+                                                        txn));
+  EXI_RETURN_IF_ERROR(info->heap->TruncateSegment(part->segment_id).status());
+  planner_stats_.InvalidateTable(table_name);
   return Status::OK();
 }
 

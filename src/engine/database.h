@@ -2,6 +2,7 @@
 #define EXTIDX_ENGINE_DATABASE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "catalog/catalog.h"
@@ -83,6 +84,33 @@ class Database {
   // ODCIIndexTruncate).
   Status TruncateTable(const std::string& table_name, Transaction* txn);
 
+  // ---- partition DDL (DESIGN.md §7) ----
+  // RANGE tables only for ADD/DROP (a HASH table's fanout is fixed at
+  // CREATE); TRUNCATE works for both methods.  Partition DDL is DDL: the
+  // connection commits first and these effects are not undone.
+
+  // ALTER TABLE ... ADD PARTITION p VALUES LESS THAN (...): allocates a new
+  // heap segment and builds one slice of every local domain index,
+  // backfilled from the (empty) segment.  If any slice build fails, slices
+  // and the segment created by this call are removed before returning.
+  // `upper_bound` empty = MAXVALUE.
+  Status AddPartition(const std::string& table_name,
+                      const std::string& partition_name,
+                      std::optional<Value> upper_bound, Transaction* txn);
+
+  // ALTER TABLE ... DROP PARTITION: removes built-in index entries for the
+  // partition's rows, then drops each local domain-index slice with a
+  // single ODCIIndexDrop — zero per-row ODCIIndexDelete calls — and frees
+  // the heap segment.
+  Status DropPartition(const std::string& table_name,
+                       const std::string& partition_name, Transaction* txn);
+
+  // ALTER TABLE ... TRUNCATE PARTITION: same shape with ODCIIndexTruncate;
+  // the partition stays defined and empty.
+  Status TruncatePartition(const std::string& table_name,
+                           const std::string& partition_name,
+                           Transaction* txn);
+
   // Drops the table after dropping all its indexes.
   Status DropTableCascade(const std::string& table_name, Transaction* txn);
 
@@ -114,6 +142,11 @@ class Database {
                                  const Row& row, Transaction* txn);
   Status MaintainBuiltinOnDelete(const std::string& table_name, RowId rid,
                                  const Row& row, Transaction* txn);
+
+  // Removes every built-in index entry for rows living in `segment`
+  // (DROP/TRUNCATE PARTITION groundwork; built-in indexes are global).
+  Status RemoveBuiltinEntriesForSegment(const std::string& table_name,
+                                        uint32_t segment);
 
   // Builds the composite key for an index from a base-table row; returns
   // an empty optional when the leading key value is NULL (NULLs are not

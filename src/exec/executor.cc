@@ -130,6 +130,53 @@ std::string SeqScanNode::Describe() const {
   return "SeqScan(" + table_->name() + ")";
 }
 
+// ---- PartitionSeqScanNode ----
+
+PartitionSeqScanNode::PartitionSeqScanNode(const HeapTable* table,
+                                           std::vector<uint32_t> segments,
+                                           size_t pruned)
+    : table_(table), segments_(std::move(segments)), pruned_(pruned) {}
+
+Status PartitionSeqScanNode::OpenImpl() {
+  GlobalMetrics().partitions_scanned += segments_.size();
+  GlobalMetrics().partitions_pruned += pruned_;
+  seg_pos_ = 0;
+  it_.reset();
+  return Status::OK();
+}
+
+Result<bool> PartitionSeqScanNode::NextImpl(ExecRow* out) {
+  while (true) {
+    if (it_ == nullptr) {
+      if (seg_pos_ >= segments_.size()) return false;
+      it_ = std::make_unique<HeapTable::Iterator>(
+          table_->ScanSegment(segments_[seg_pos_]));
+      ++seg_pos_;
+    }
+    if (!it_->Valid()) {
+      it_.reset();
+      continue;
+    }
+    out->values = it_->row();
+    out->rid = it_->row_id();
+    out->ancillary = Value::Null();
+    GlobalMetrics().table_rows_read++;
+    it_->Next();
+    return true;
+  }
+}
+
+Status PartitionSeqScanNode::CloseImpl() {
+  it_.reset();
+  return Status::OK();
+}
+
+std::string PartitionSeqScanNode::Describe() const {
+  return "PartitionSeqScan(" + table_->name() +
+         ", partitions=" + std::to_string(segments_.size()) + "/" +
+         std::to_string(segments_.size() + pruned_) + ")";
+}
+
 // ---- RowIdListScanNode ----
 
 RowIdListScanNode::RowIdListScanNode(const HeapTable* table,
@@ -256,6 +303,200 @@ std::string DomainIndexScanNode::Describe() const {
                      ", op=" + pred_.operator_name +
                      ", batch=" + std::to_string(batch_size_);
   if (prefetch_enabled()) desc += ", prefetch";
+  return desc + ")";
+}
+
+// ---- PartitionedIndexScanNode ----
+
+PartitionedIndexScanNode::PartitionedIndexScanNode(
+    DomainIndexManager* manager, const HeapTable* table,
+    std::string index_name, OdciPredInfo pred,
+    std::vector<std::string> partitions, size_t pruned, size_t batch_size,
+    size_t parallelism)
+    : manager_(manager),
+      table_(table),
+      index_name_(std::move(index_name)),
+      pred_(std::move(pred)),
+      partitions_(std::move(partitions)),
+      pruned_(pruned),
+      batch_size_(batch_size),
+      parallelism_(parallelism ? parallelism : 1) {}
+
+bool PartitionedIndexScanNode::parallel_capable() const {
+  return parallelism_ > 1 && manager_->ScanIsParallelSafe(index_name_);
+}
+
+void PartitionedIndexScanNode::IssuePrefetch() {
+  inflight_ = manager_->pool().Submit(
+      [scan = scan_.get(), n = batch_size_, out = &next_batch_]() -> Status {
+        return scan->NextBatch(n, out);
+      });
+}
+
+Status PartitionedIndexScanNode::OpenImpl() {
+  GlobalMetrics().partitions_scanned += partitions_.size();
+  GlobalMetrics().partitions_pruned += pruned_;
+  part_pos_ = 0;
+  batch_pos_ = 0;
+  batch_ = OdciFetchBatch();
+  merged_ = SliceResult();
+  merged_pos_ = 0;
+  merged_ready_ = false;
+  futures_.clear();
+  scan_.reset();
+  parallel_ = parallel_capable() && partitions_.size() > 1;
+  prefetch_ = parallel_capable() && partitions_.size() == 1;
+  prefetch_exhausted_ = false;
+  if (parallel_) {
+    // Partition-wise fan-out: each pool task drives one slice's full
+    // ODCIIndexStart/Fetch*/Close cycle; results merge in partition order.
+    manager_->pool().EnsureWorkerCount(parallelism_);
+    for (const std::string& part : partitions_) {
+      futures_.push_back(manager_->pool().Submit(
+          [manager = manager_, index = index_name_, part, pred = pred_,
+           n = batch_size_]() -> Result<SliceResult> {
+            EXI_ASSIGN_OR_RETURN(auto scan,
+                                 manager->StartPartitionScan(index, part,
+                                                             pred));
+            SliceResult r;
+            OdciFetchBatch b;
+            while (true) {
+              EXI_RETURN_IF_ERROR(scan->NextBatch(n, &b));
+              if (b.end_of_scan()) break;
+              for (size_t i = 0; i < b.rids.size(); ++i) {
+                r.rids.push_back(b.rids[i]);
+                r.ancillary.push_back(i < b.ancillary.size()
+                                          ? b.ancillary[i]
+                                          : Value::Null());
+              }
+            }
+            EXI_RETURN_IF_ERROR(scan->Close());
+            return r;
+          }));
+    }
+  } else if (prefetch_) {
+    // Single surviving slice: PR-1 double-buffered prefetch.
+    EXI_ASSIGN_OR_RETURN(
+        scan_,
+        manager_->StartPartitionScan(index_name_, partitions_[0], pred_));
+    part_pos_ = 1;
+    manager_->pool().EnsureWorkerCount(parallelism_);
+    IssuePrefetch();
+  }
+  return Status::OK();
+}
+
+Result<bool> PartitionedIndexScanNode::NextImpl(ExecRow* out) {
+  if (parallel_) {
+    if (!merged_ready_) {
+      Status failed = Status::OK();
+      for (auto& f : futures_) {
+        Result<SliceResult> r = f.get();
+        if (!r.ok()) {
+          if (failed.ok()) failed = r.status();
+          continue;
+        }
+        SliceResult slice = std::move(r).value();
+        merged_.rids.insert(merged_.rids.end(), slice.rids.begin(),
+                            slice.rids.end());
+        merged_.ancillary.insert(merged_.ancillary.end(),
+                                 slice.ancillary.begin(),
+                                 slice.ancillary.end());
+      }
+      futures_.clear();
+      EXI_RETURN_IF_ERROR(failed);
+      merged_ready_ = true;
+    }
+    while (merged_pos_ < merged_.rids.size()) {
+      RowId rid = merged_.rids[merged_pos_];
+      Value anc = merged_.ancillary[merged_pos_];
+      ++merged_pos_;
+      Result<Row> row = table_->Get(rid);
+      if (!row.ok()) continue;  // stale rowid
+      out->values = std::move(row).value();
+      out->rid = rid;
+      out->ancillary = std::move(anc);
+      return true;
+    }
+    return false;
+  }
+
+  while (true) {
+    if (scan_ == nullptr) {
+      if (part_pos_ >= partitions_.size()) return false;
+      EXI_ASSIGN_OR_RETURN(
+          scan_, manager_->StartPartitionScan(index_name_,
+                                              partitions_[part_pos_], pred_));
+      ++part_pos_;
+      batch_ = OdciFetchBatch();
+      batch_pos_ = 0;
+    }
+    if (batch_pos_ >= batch_.rids.size()) {
+      bool slice_done = false;
+      if (prefetch_) {
+        if (prefetch_exhausted_) {
+          slice_done = true;
+        } else {
+          EXI_RETURN_IF_ERROR(inflight_.get());
+          batch_ = std::move(next_batch_);
+          next_batch_ = OdciFetchBatch();
+          batch_pos_ = 0;
+          if (batch_.end_of_scan()) {
+            prefetch_exhausted_ = true;
+            slice_done = true;
+          } else {
+            IssuePrefetch();
+          }
+        }
+      } else {
+        EXI_RETURN_IF_ERROR(scan_->NextBatch(batch_size_, &batch_));
+        batch_pos_ = 0;
+        slice_done = batch_.end_of_scan();
+      }
+      if (slice_done) {
+        EXI_RETURN_IF_ERROR(scan_->Close());
+        scan_.reset();
+        continue;
+      }
+    }
+    RowId rid = batch_.rids[batch_pos_];
+    Value anc = batch_pos_ < batch_.ancillary.size()
+                    ? batch_.ancillary[batch_pos_]
+                    : Value::Null();
+    ++batch_pos_;
+    Result<Row> row = table_->Get(rid);
+    if (!row.ok()) continue;  // stale rowid
+    out->values = std::move(row).value();
+    out->rid = rid;
+    out->ancillary = std::move(anc);
+    return true;
+  }
+}
+
+Status PartitionedIndexScanNode::CloseImpl() {
+  // Join any outstanding pool work before tearing down scan state.
+  if (inflight_.valid()) (void)inflight_.get();
+  for (auto& f : futures_) {
+    if (f.valid()) (void)f.get();
+  }
+  futures_.clear();
+  if (scan_ != nullptr) {
+    Status st = scan_->Close();
+    scan_.reset();
+    return st;
+  }
+  return Status::OK();
+}
+
+std::string PartitionedIndexScanNode::Describe() const {
+  std::string desc = "PartitionedIndexScan(" + index_name_ +
+                     ", op=" + pred_.operator_name +
+                     ", partitions=" + std::to_string(partitions_.size()) +
+                     "/" + std::to_string(partitions_.size() + pruned_) +
+                     ", batch=" + std::to_string(batch_size_);
+  if (parallelism_ > 1 && manager_->ScanIsParallelSafe(index_name_)) {
+    desc += partitions_.size() > 1 ? ", parallel" : ", prefetch";
+  }
   return desc + ")";
 }
 

@@ -103,6 +103,27 @@ class SeqScanNode : public ExecNode {
   std::unique_ptr<HeapTable::Iterator> it_;
 };
 
+// Sequential scan over the surviving partitions of a partitioned table
+// after static pruning (DESIGN.md §7).  Bumps the partitions_scanned /
+// partitions_pruned counters at Open.
+class PartitionSeqScanNode : public ExecNode {
+ public:
+  PartitionSeqScanNode(const HeapTable* table, std::vector<uint32_t> segments,
+                       size_t pruned);
+
+  Status OpenImpl() override;
+  Result<bool> NextImpl(ExecRow* out) override;
+  Status CloseImpl() override;
+  std::string Describe() const override;
+
+ private:
+  const HeapTable* table_;
+  std::vector<uint32_t> segments_;  // surviving partitions' heap segments
+  size_t pruned_;                   // partitions eliminated by the planner
+  size_t seg_pos_ = 0;
+  std::unique_ptr<HeapTable::Iterator> it_;
+};
+
 // Fetches an explicit RowId list from a heap table (the output of a
 // built-in index scan).
 class RowIdListScanNode : public ExecNode {
@@ -163,6 +184,66 @@ class DomainIndexScanNode : public ExecNode {
   bool prefetch_ = false;
   std::future<Status> inflight_;
   OdciFetchBatch next_batch_;
+};
+
+// Scan over a LOCAL domain index: one ODCIIndexStart/Fetch*/Close cycle
+// per surviving partition slice, results concatenated in partition order
+// (DESIGN.md §7).
+//
+// With `parallelism` > 1 and a parallel_scan-capable cartridge:
+//   - multiple surviving partitions fan out across the worker pool, one
+//     task per partition driving that slice's full scan;
+//   - a single surviving partition falls back to the PR-1 double-buffered
+//     prefetch (while the consumer drains batch N, a pool task fetches
+//     batch N+1).
+// With parallelism == 1 every slice scans serially on the consumer thread.
+class PartitionedIndexScanNode : public ExecNode {
+ public:
+  PartitionedIndexScanNode(DomainIndexManager* manager,
+                           const HeapTable* table, std::string index_name,
+                           OdciPredInfo pred,
+                           std::vector<std::string> partitions, size_t pruned,
+                           size_t batch_size = 64, size_t parallelism = 1);
+
+  Status OpenImpl() override;
+  Result<bool> NextImpl(ExecRow* out) override;
+  Status CloseImpl() override;
+  std::string Describe() const override;
+
+ private:
+  bool parallel_capable() const;
+  void IssuePrefetch();
+
+  DomainIndexManager* manager_;
+  const HeapTable* table_;
+  std::string index_name_;
+  OdciPredInfo pred_;
+  std::vector<std::string> partitions_;  // surviving, in partition order
+  size_t pruned_;
+  size_t batch_size_;
+  size_t parallelism_;
+
+  // Serial / prefetch path: one live slice scan at a time.
+  size_t part_pos_ = 0;
+  std::unique_ptr<DomainIndexManager::Scan> scan_;
+  OdciFetchBatch batch_;
+  size_t batch_pos_ = 0;
+  bool prefetch_ = false;
+  bool prefetch_exhausted_ = false;
+  std::future<Status> inflight_;
+  OdciFetchBatch next_batch_;
+
+  // Fan-out path: each future holds one partition's fully-drained rid
+  // stream; merged strictly in partition order.
+  struct SliceResult {
+    std::vector<RowId> rids;
+    std::vector<Value> ancillary;
+  };
+  bool parallel_ = false;
+  std::vector<std::future<Result<SliceResult>>> futures_;
+  SliceResult merged_;
+  size_t merged_pos_ = 0;
+  bool merged_ready_ = false;
 };
 
 // ---- relational operators ----

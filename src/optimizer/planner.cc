@@ -323,6 +323,66 @@ struct ColumnRange {
   }
 };
 
+// Static partition pruning (DESIGN.md §7): which partitions can hold rows
+// satisfying the accumulated range on the partition-key column?
+// Conservative — a partition is pruned only when provably disjoint from the
+// predicate interval.  The conjuncts themselves are NOT consumed; they stay
+// as residual filters above the scan.
+std::vector<const PartitionDef*> PrunePartitions(const PartitionScheme& scheme,
+                                                 const ColumnRange* range) {
+  std::vector<const PartitionDef*> out;
+  if (range == nullptr) {
+    for (const PartitionDef& p : scheme.partitions) out.push_back(&p);
+    return out;
+  }
+  if (scheme.method == PartitionMethod::kHash) {
+    // Hash distribution preserves nothing but equality.
+    if (range->has_eq && !scheme.partitions.empty()) {
+      size_t b = PartitionScheme::HashBucket(range->eq,
+                                             scheme.partitions.size());
+      out.push_back(&scheme.partitions[b]);
+      return out;
+    }
+    for (const PartitionDef& p : scheme.partitions) out.push_back(&p);
+    return out;
+  }
+  // RANGE: partition i covers [bound(i-1), bound(i)), MAXVALUE = +inf.
+  std::optional<Value> lo;
+  std::optional<Value> hi;
+  bool hi_inclusive = true;
+  if (range->has_eq) {
+    lo = range->eq;
+    hi = range->eq;
+  } else {
+    if (range->lo.has_value()) lo = range->lo->key[0];
+    if (range->hi.has_value()) {
+      hi = range->hi->key[0];
+      hi_inclusive = range->hi->inclusive;
+    }
+  }
+  const Value* prev = nullptr;  // this partition's (inclusive) lower bound
+  for (const PartitionDef& p : scheme.partitions) {
+    bool keep = true;
+    // Disjoint below: partition upper bound (exclusive) <= predicate lower.
+    // (Holds whether the predicate's lower bound is open or closed: every
+    // row in the partition is strictly below `lo` either way.)
+    if (lo.has_value() && p.upper_bound.has_value() &&
+        TotalOrderCompare(*p.upper_bound, *lo) <= 0) {
+      keep = false;
+    }
+    // Disjoint above: partition lower bound (inclusive) is past the
+    // predicate upper — strictly above it, or equal when the predicate
+    // excludes its endpoint (key < X prunes the partition starting at X).
+    if (hi.has_value() && prev != nullptr) {
+      int cmp = TotalOrderCompare(*prev, *hi);
+      if (cmp > 0 || (cmp == 0 && !hi_inclusive)) keep = false;
+    }
+    if (keep) out.push_back(&p);
+    prev = p.upper_bound.has_value() ? &p.upper_bound.value() : nullptr;
+  }
+  return out;
+}
+
 }  // namespace
 
 void Planner::SplitConjuncts(Expr* expr, std::vector<Expr*>* out) {
@@ -373,20 +433,6 @@ Result<std::unique_ptr<ExecNode>> Planner::PlanTableAccess(
   };
   std::vector<Candidate> candidates;
 
-  // Sequential scan with per-row (possibly functional) evaluation.
-  {
-    int nb;
-    int nu;
-    CountResidual(*conjuncts, {}, &nb, &nu);
-    Candidate c;
-    c.cost = CostModel::SeqScan(n, nb, nu);
-    c.desc = "SeqScan(" + heap->name() + ")";
-    c.build = [heap]() -> Result<std::unique_ptr<ExecNode>> {
-      return std::unique_ptr<ExecNode>(new SeqScanNode(heap));
-    };
-    candidates.push_back(std::move(c));
-  }
-
   // Accumulate comparison conjuncts into per-column ranges so that
   // `v >= a AND v <= b` becomes one bounded scan.
   std::map<int, ColumnRange> ranges;
@@ -395,6 +441,59 @@ Result<std::unique_ptr<ExecNode>> Planner::PlanTableAccess(
                          MatchColumnComparison(eval, (*conjuncts)[ci],
                                                table));
     if (cc.has_value()) ranges[cc->local_column].Absorb(int(ci), *cc);
+  }
+
+  // Static partition pruning: a range on the partition key narrows every
+  // partition-aware access path to the surviving partitions (DESIGN.md §7).
+  const PartitionScheme& scheme = tinfo->partitioning;
+  bool partitioned = scheme.partitioned();
+  std::vector<const PartitionDef*> survivors;
+  size_t total_parts = scheme.partitions.size();
+  uint64_t surviving_rows = n;
+  if (partitioned) {
+    const ColumnRange* key_range = nullptr;
+    auto kit = ranges.find(int(scheme.key_index));
+    if (kit != ranges.end()) key_range = &kit->second;
+    survivors = PrunePartitions(scheme, key_range);
+    surviving_rows = 0;
+    for (const PartitionDef* p : survivors) {
+      surviving_rows += heap->SegmentRowCount(p->segment_id);
+    }
+    *explain += "partition pruning on " + table.alias + ": " +
+                std::to_string(survivors.size()) + " of " +
+                std::to_string(total_parts) + " partitions survive\n";
+  }
+
+  // Sequential scan with per-row (possibly functional) evaluation; on a
+  // partitioned table it touches only the surviving partitions' segments.
+  {
+    int nb;
+    int nu;
+    CountResidual(*conjuncts, {}, &nb, &nu);
+    Candidate c;
+    if (partitioned) {
+      c.cost = CostModel::SeqScan(surviving_rows, nb, nu);
+      c.desc = "PartitionSeqScan(" + heap->name() + ") partitions=" +
+               std::to_string(survivors.size()) + "/" +
+               std::to_string(total_parts);
+      std::vector<uint32_t> segments;
+      for (const PartitionDef* p : survivors) {
+        segments.push_back(p->segment_id);
+      }
+      size_t pruned = total_parts - survivors.size();
+      c.build = [heap, segments,
+                 pruned]() -> Result<std::unique_ptr<ExecNode>> {
+        return std::unique_ptr<ExecNode>(
+            new PartitionSeqScanNode(heap, segments, pruned));
+      };
+    } else {
+      c.cost = CostModel::SeqScan(n, nb, nu);
+      c.desc = "SeqScan(" + heap->name() + ")";
+      c.build = [heap]() -> Result<std::unique_ptr<ExecNode>> {
+        return std::unique_ptr<ExecNode>(new SeqScanNode(heap));
+      };
+    }
+    candidates.push_back(std::move(c));
   }
 
   for (auto& [local_column, range] : ranges) {
@@ -510,22 +609,47 @@ Result<std::unique_ptr<ExecNode>> Planner::PlanTableAccess(
         int nb;
         int nu;
         CountResidual(*conjuncts, {int(ci)}, &nb, &nu);
-        double matches = sel * double(n);
         Candidate c;
-        c.cost = CostModel::DomainIndexScan(odci_cost, matches, nb, nu);
-        c.desc = "DomainIndex(" + idx->name + ") op=" + dm->operator_name +
-                 " sel=" + std::to_string(sel);
         c.consumed = {int(ci)};
         std::string index_name = idx->name;
         OdciPredInfo pred = dm->pred;
         DomainIndexManager* domains = domains_;
         size_t batch = fetch_batch_;
         size_t dop = parallelism_;
-        c.build = [domains, heap, index_name, pred, batch,
-                   dop]() -> Result<std::unique_ptr<ExecNode>> {
-          return std::unique_ptr<ExecNode>(new DomainIndexScanNode(
-              domains, heap, index_name, pred, batch, dop));
-        };
+        if (idx->is_local()) {
+          // LOCAL index: only the surviving partitions' slices are scanned.
+          // The cached sel/cost describe the whole index; the surviving
+          // fraction is applied here, outside the cache, so pruning changes
+          // never invalidate memoized ODCIStats results.
+          double frac = total_parts > 0
+                            ? double(survivors.size()) / double(total_parts)
+                            : 1.0;
+          double matches = sel * double(n) * frac;
+          c.cost = CostModel::DomainIndexScan(odci_cost * frac, matches, nb,
+                                              nu);
+          c.desc = "PartitionedDomainIndex(" + idx->name + ") op=" +
+                   dm->operator_name + " sel=" + std::to_string(sel) +
+                   " partitions=" + std::to_string(survivors.size()) + "/" +
+                   std::to_string(total_parts);
+          std::vector<std::string> parts;
+          for (const PartitionDef* p : survivors) parts.push_back(p->name);
+          size_t pruned = total_parts - survivors.size();
+          c.build = [domains, heap, index_name, pred, parts, pruned, batch,
+                     dop]() -> Result<std::unique_ptr<ExecNode>> {
+            return std::unique_ptr<ExecNode>(new PartitionedIndexScanNode(
+                domains, heap, index_name, pred, parts, pruned, batch, dop));
+          };
+        } else {
+          double matches = sel * double(n);
+          c.cost = CostModel::DomainIndexScan(odci_cost, matches, nb, nu);
+          c.desc = "DomainIndex(" + idx->name + ") op=" + dm->operator_name +
+                   " sel=" + std::to_string(sel);
+          c.build = [domains, heap, index_name, pred, batch,
+                     dop]() -> Result<std::unique_ptr<ExecNode>> {
+            return std::unique_ptr<ExecNode>(new DomainIndexScanNode(
+                domains, heap, index_name, pred, batch, dop));
+          };
+        }
         candidates.push_back(std::move(c));
       }
     }
@@ -595,6 +719,10 @@ Result<std::unique_ptr<ExecNode>> Planner::TryDomainIndexJoin(
     for (IndexInfo* idx :
          catalog_->IndexesOnColumn(inner_t.table_name, col_name)) {
       if (!idx->is_domain()) continue;
+      // LOCAL indexes scan partition-by-partition; the per-outer-row probe
+      // rewrite assumes a single scannable storage object, so skip them
+      // (the nested-loop fallback still evaluates the operator per row).
+      if (idx->is_local()) continue;
       EXI_ASSIGN_OR_RETURN(const IndexTypeDef* itype,
                            catalog_->GetIndexType(idx->indextype));
       if (!itype->Supports(e->function, col_type)) continue;

@@ -94,7 +94,7 @@ struct Expr {
 // ---------------------------------------------------------------------------
 
 enum class StmtKind {
-  kCreateTable, kDropTable, kTruncateTable,
+  kCreateTable, kDropTable, kTruncateTable, kAlterTable,
   kCreateIndex, kAlterIndex, kDropIndex,
   kCreateOperator, kDropOperator,
   kCreateIndexType, kDropIndexType,
@@ -116,10 +116,23 @@ struct ColumnDef {
   bool not_null = false;
 };
 
+// One partition in a PARTITION BY clause or ALTER TABLE ... ADD PARTITION.
+struct PartitionSpec {
+  std::string name;
+  // RANGE: the VALUES LESS THAN bound literal; maxvalue = true for the
+  // MAXVALUE sentinel (bound is then ignored).  Unused for HASH.
+  Value bound;
+  bool maxvalue = false;
+};
+
 struct CreateTableStmt : Statement {
   CreateTableStmt() : Statement(StmtKind::kCreateTable) {}
   std::string table;
   std::vector<ColumnDef> columns;
+  // PARTITION BY clause; empty method = unpartitioned.
+  std::string partition_method;  // "RANGE" | "HASH"
+  std::string partition_column;
+  std::vector<PartitionSpec> partitions;
 };
 
 struct DropTableStmt : Statement {
@@ -130,6 +143,17 @@ struct DropTableStmt : Statement {
 struct TruncateTableStmt : Statement {
   TruncateTableStmt() : Statement(StmtKind::kTruncateTable) {}
   std::string table;
+};
+
+// ALTER TABLE t ADD PARTITION p VALUES LESS THAN (...)
+//             | DROP PARTITION p
+//             | TRUNCATE PARTITION p
+struct AlterTableStmt : Statement {
+  AlterTableStmt() : Statement(StmtKind::kAlterTable) {}
+  enum class Action { kAddPartition, kDropPartition, kTruncatePartition };
+  std::string table;
+  Action action = Action::kAddPartition;
+  PartitionSpec partition;
 };
 
 // CREATE INDEX name ON table(col)

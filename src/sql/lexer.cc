@@ -22,7 +22,7 @@ const std::set<std::string>& Keywords() {
       "LIKE",     "AS",        "VARRAY",    "OF",        "OBJECT",
       "IN",       "BETWEEN",   "COUNT",     "SUM",       "MIN",
       "GROUP",
-      "MAX",      "AVG",       "DISTINCT",
+      "MAX",      "AVG",       "DISTINCT",  "PARTITION",
   };
   return *kKeywords;
 }

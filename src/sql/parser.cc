@@ -57,11 +57,42 @@ class Parser {
     return Status::OK();
   }
 
+  // Keywords the grammar only uses in positions that can never collide
+  // with a name, so they stay legal as ordinary column / alias / table
+  // identifiers (the performance views expose an `indextype` column, and
+  // user tables may use words like `partition` or `values` too).  Keyword
+  // tokens carry upper-cased text; name resolution is case-insensitive,
+  // so that is harmless.
+  static bool IsNonReservedKeyword(const Token& tok) {
+    return tok.IsKeyword("INDEXTYPE") || tok.IsKeyword("OPERATOR") ||
+           tok.IsKeyword("BINDING") || tok.IsKeyword("PARAMETERS") ||
+           tok.IsKeyword("PARTITION") || tok.IsKeyword("VALUES");
+  }
+  // True when the next token can serve as a name.
+  bool PeekName() const {
+    return Peek().type == TokenType::kIdentifier ||
+           IsNonReservedKeyword(Peek());
+  }
+
   Result<std::string> ExpectIdentifier(const char* what) {
-    if (Peek().type != TokenType::kIdentifier) {
+    if (!PeekName()) {
       return Error(std::string("expected ") + what);
     }
     return Advance().text;
+  }
+
+  // Contextual (unreserved) word: matches an identifier or keyword spelled
+  // `word`, case-insensitively.  Used for clause words like RANGE / HASH /
+  // LESS / THAN / MAXVALUE that are not worth reserving in the lexer.
+  bool MatchWord(const char* word) {
+    const Token& t = Peek();
+    if ((t.type == TokenType::kIdentifier ||
+         t.type == TokenType::kKeyword) &&
+        EqualsIgnoreCase(t.text, word)) {
+      Advance();
+      return true;
+    }
+    return false;
   }
 
   Status Error(const std::string& msg) const {
@@ -93,6 +124,11 @@ class Parser {
   Result<std::unique_ptr<Statement>> ParseCreateIndexType();
   Result<std::unique_ptr<Statement>> ParseDrop();
   Result<std::unique_ptr<Statement>> ParseAlter();
+  Result<std::unique_ptr<Statement>> ParseAlterTable();
+  Status ParsePartitionClause(CreateTableStmt* stmt);
+  // VALUES LESS THAN ( <literal> | MAXVALUE )
+  Status ParseValuesLessThan(PartitionSpec* spec);
+  Result<Value> ParseBoundLiteral();
   Result<std::unique_ptr<Statement>> ParseTruncate();
   Result<std::unique_ptr<Statement>> ParseSelect();
   Result<std::unique_ptr<Statement>> ParseInsert();
@@ -208,7 +244,88 @@ Result<std::unique_ptr<Statement>> Parser::ParseCreateTable() {
     break;
   }
   EXI_RETURN_IF_ERROR(ExpectOperator(")"));
+  if (MatchKeyword("PARTITION")) {
+    EXI_RETURN_IF_ERROR(ParsePartitionClause(stmt.get()));
+  }
   return std::unique_ptr<Statement>(std::move(stmt));
+}
+
+// PARTITION BY RANGE (col) (PARTITION p VALUES LESS THAN (...), ...)
+// PARTITION BY HASH (col) (PARTITION p0, PARTITION p1, ...)
+// PARTITION BY HASH (col) PARTITIONS n            -- names p0 .. p<n-1>
+// (the leading PARTITION keyword is already consumed)
+Status Parser::ParsePartitionClause(CreateTableStmt* stmt) {
+  EXI_RETURN_IF_ERROR(ExpectKeyword("BY"));
+  if (MatchWord("RANGE")) {
+    stmt->partition_method = "RANGE";
+  } else if (MatchWord("HASH")) {
+    stmt->partition_method = "HASH";
+  } else {
+    return Error("expected RANGE or HASH after PARTITION BY");
+  }
+  EXI_RETURN_IF_ERROR(ExpectOperator("("));
+  EXI_ASSIGN_OR_RETURN(stmt->partition_column,
+                       ExpectIdentifier("partition key column"));
+  EXI_RETURN_IF_ERROR(ExpectOperator(")"));
+  if (stmt->partition_method == "HASH" && MatchWord("PARTITIONS")) {
+    if (Peek().type != TokenType::kInteger) {
+      return Error("expected partition count after PARTITIONS");
+    }
+    int64_t count = Advance().int_value;
+    if (count < 1) return Error("PARTITIONS count must be positive");
+    for (int64_t i = 0; i < count; ++i) {
+      PartitionSpec spec;
+      spec.name = "p" + std::to_string(i);
+      stmt->partitions.push_back(std::move(spec));
+    }
+    return Status::OK();
+  }
+  EXI_RETURN_IF_ERROR(ExpectOperator("("));
+  while (true) {
+    EXI_RETURN_IF_ERROR(ExpectKeyword("PARTITION"));
+    PartitionSpec spec;
+    EXI_ASSIGN_OR_RETURN(spec.name, ExpectIdentifier("partition name"));
+    if (stmt->partition_method == "RANGE") {
+      EXI_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+      EXI_RETURN_IF_ERROR(ParseValuesLessThan(&spec));
+    }
+    stmt->partitions.push_back(std::move(spec));
+    if (MatchOperator(",")) continue;
+    break;
+  }
+  return ExpectOperator(")");
+}
+
+Status Parser::ParseValuesLessThan(PartitionSpec* spec) {
+  // The VALUES keyword is already consumed.
+  if (!MatchWord("LESS") || !MatchWord("THAN")) {
+    return Error("expected LESS THAN in partition bound");
+  }
+  EXI_RETURN_IF_ERROR(ExpectOperator("("));
+  if (MatchWord("MAXVALUE")) {
+    spec->maxvalue = true;
+  } else {
+    EXI_ASSIGN_OR_RETURN(spec->bound, ParseBoundLiteral());
+  }
+  return ExpectOperator(")");
+}
+
+Result<Value> Parser::ParseBoundLiteral() {
+  bool neg = MatchOperator("-");
+  const Token& t = Peek();
+  if (t.type == TokenType::kInteger) {
+    Advance();
+    return Value::Integer(neg ? -t.int_value : t.int_value);
+  }
+  if (t.type == TokenType::kDouble) {
+    Advance();
+    return Value::Double(neg ? -t.double_value : t.double_value);
+  }
+  if (!neg && t.type == TokenType::kString) {
+    Advance();
+    return Value::Varchar(t.text);
+  }
+  return Error("expected a literal partition bound");
 }
 
 Result<std::string> Parser::ParseParametersClause() {
@@ -331,11 +448,34 @@ Result<std::unique_ptr<Statement>> Parser::ParseDrop() {
 
 Result<std::unique_ptr<Statement>> Parser::ParseAlter() {
   Advance();  // ALTER
+  if (MatchKeyword("TABLE")) return ParseAlterTable();
   EXI_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
   auto stmt = std::make_unique<AlterIndexStmt>();
   EXI_ASSIGN_OR_RETURN(stmt->index, ExpectIdentifier("index name"));
   EXI_RETURN_IF_ERROR(ExpectKeyword("PARAMETERS"));
   EXI_ASSIGN_OR_RETURN(stmt->parameters, ParseParametersClause());
+  return std::unique_ptr<Statement>(std::move(stmt));
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseAlterTable() {
+  auto stmt = std::make_unique<AlterTableStmt>();
+  EXI_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+  if (MatchWord("ADD")) {
+    stmt->action = AlterTableStmt::Action::kAddPartition;
+  } else if (MatchKeyword("DROP")) {
+    stmt->action = AlterTableStmt::Action::kDropPartition;
+  } else if (MatchKeyword("TRUNCATE")) {
+    stmt->action = AlterTableStmt::Action::kTruncatePartition;
+  } else {
+    return Error("expected ADD, DROP, or TRUNCATE in ALTER TABLE");
+  }
+  EXI_RETURN_IF_ERROR(ExpectKeyword("PARTITION"));
+  EXI_ASSIGN_OR_RETURN(stmt->partition.name,
+                       ExpectIdentifier("partition name"));
+  if (stmt->action == AlterTableStmt::Action::kAddPartition &&
+      MatchKeyword("VALUES")) {
+    EXI_RETURN_IF_ERROR(ParseValuesLessThan(&stmt->partition));
+  }
   return std::unique_ptr<Statement>(std::move(stmt));
 }
 
@@ -361,7 +501,7 @@ Result<std::unique_ptr<Statement>> Parser::ParseSelect() {
       EXI_ASSIGN_OR_RETURN(item.expr, ParseExpr());
       if (MatchKeyword("AS")) {
         EXI_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
-      } else if (Peek().type == TokenType::kIdentifier) {
+      } else if (PeekName()) {
         item.alias = Advance().text;
       }
     }
@@ -373,7 +513,7 @@ Result<std::unique_ptr<Statement>> Parser::ParseSelect() {
   while (true) {
     TableRef ref;
     EXI_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier("table name"));
-    if (Peek().type == TokenType::kIdentifier) ref.alias = Advance().text;
+    if (PeekName()) ref.alias = Advance().text;
     stmt->from.push_back(std::move(ref));
     if (MatchOperator(",")) continue;
     break;
@@ -718,16 +858,10 @@ Result<std::unique_ptr<Expr>> Parser::ParsePrimary() {
     EXI_RETURN_IF_ERROR(ExpectOperator(")"));
     return inner;
   }
-  // Non-reserved keywords: words the grammar only uses in DDL positions
-  // that can never start an expression, so they remain legal column names
-  // (the performance views expose an `indextype` column, and user tables
-  // may use these words too).  Keyword tokens carry upper-cased text;
-  // column resolution is case-insensitive, so that is harmless.
-  auto is_non_reserved = [](const Token& tok) {
-    return tok.IsKeyword("INDEXTYPE") || tok.IsKeyword("OPERATOR") ||
-           tok.IsKeyword("BINDING") || tok.IsKeyword("PARAMETERS");
-  };
-  if (t.type == TokenType::kIdentifier || is_non_reserved(t)) {
+  // Non-reserved keywords (IsNonReservedKeyword) remain legal column
+  // names: the grammar only uses them in positions that can never start
+  // an expression.
+  if (t.type == TokenType::kIdentifier || IsNonReservedKeyword(t)) {
     // name-dot chain, then maybe a call.
     std::vector<std::string> parts;
     parts.push_back(Advance().text);

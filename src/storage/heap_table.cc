@@ -4,64 +4,130 @@
 
 namespace exi {
 
-Result<RowId> HeapTable::Insert(Row row) {
+uint32_t HeapTable::AddSegment() {
+  uint32_t id = next_segment_++;
+  segments_[id];
+  return id;
+}
+
+Result<uint64_t> HeapTable::DropSegment(uint32_t segment) {
+  if (segment == 0) {
+    return Status::InvalidArgument("cannot drop segment 0 of " + name_);
+  }
+  auto it = segments_.find(segment);
+  if (it == segments_.end()) {
+    return Status::NotFound("no segment " + std::to_string(segment) + " in " +
+                            name_);
+  }
+  uint64_t removed = it->second.live;
+  live_count_ -= removed;
+  GlobalMetrics().table_rows_deleted += removed;
+  segments_.erase(it);
+  return removed;
+}
+
+Result<uint64_t> HeapTable::TruncateSegment(uint32_t segment) {
+  auto it = segments_.find(segment);
+  if (it == segments_.end()) {
+    return Status::NotFound("no segment " + std::to_string(segment) + " in " +
+                            name_);
+  }
+  uint64_t removed = it->second.live;
+  for (auto& slot : it->second.slots) slot.reset();
+  it->second.live = 0;
+  live_count_ -= removed;
+  GlobalMetrics().table_rows_deleted += removed;
+  return removed;
+}
+
+uint64_t HeapTable::SegmentRowCount(uint32_t segment) const {
+  auto it = segments_.find(segment);
+  return it == segments_.end() ? 0 : it->second.live;
+}
+
+Result<RowId> HeapTable::InsertInto(uint32_t segment, Row row) {
   EXI_RETURN_IF_ERROR(schema_.ValidateRow(row));
-  slots_.emplace_back(std::move(row));
+  auto it = segments_.find(segment);
+  if (it == segments_.end()) {
+    return Status::NotFound("no segment " + std::to_string(segment) + " in " +
+                            name_);
+  }
+  it->second.slots.emplace_back(std::move(row));
+  it->second.live++;
   ++live_count_;
   GlobalMetrics().table_rows_written++;
-  return static_cast<RowId>(slots_.size());
+  return (static_cast<RowId>(segment) << kSegmentShift) |
+         static_cast<RowId>(it->second.slots.size());
+}
+
+const std::optional<Row>* HeapTable::SlotFor(RowId rid) const {
+  if (rid == kInvalidRowId) return nullptr;
+  auto it = segments_.find(SegmentOf(rid));
+  if (it == segments_.end()) return nullptr;
+  uint64_t local = rid & kSlotMask;
+  if (local == 0 || local > it->second.slots.size()) return nullptr;
+  return &it->second.slots[local - 1];
 }
 
 Status HeapTable::Update(RowId rid, Row row) {
-  if (!Exists(rid)) {
+  std::optional<Row>* slot = SlotFor(rid);
+  if (slot == nullptr || !slot->has_value()) {
     return Status::NotFound("no row " + std::to_string(rid) + " in " + name_);
   }
   EXI_RETURN_IF_ERROR(schema_.ValidateRow(row));
-  slots_[rid - 1] = std::move(row);
+  *slot = std::move(row);
   GlobalMetrics().table_rows_written++;
   return Status::OK();
 }
 
 Status HeapTable::Delete(RowId rid) {
-  if (!Exists(rid)) {
+  std::optional<Row>* slot = SlotFor(rid);
+  if (slot == nullptr || !slot->has_value()) {
     return Status::NotFound("no row " + std::to_string(rid) + " in " + name_);
   }
-  slots_[rid - 1].reset();
+  slot->reset();
+  segments_[SegmentOf(rid)].live--;
   --live_count_;
   GlobalMetrics().table_rows_deleted++;
   return Status::OK();
 }
 
 Status HeapTable::Resurrect(RowId rid, Row row) {
-  if (rid == kInvalidRowId || rid > slots_.size()) {
+  std::optional<Row>* slot = SlotFor(rid);
+  if (slot == nullptr) {
     return Status::InvalidArgument("resurrect: rowid " + std::to_string(rid) +
                                    " was never allocated in " + name_);
   }
-  if (slots_[rid - 1].has_value()) {
+  if (slot->has_value()) {
     return Status::AlreadyExists("resurrect: rowid " + std::to_string(rid) +
                                  " is live in " + name_);
   }
-  slots_[rid - 1] = std::move(row);
+  *slot = std::move(row);
+  segments_[SegmentOf(rid)].live++;
   ++live_count_;
   GlobalMetrics().table_rows_written++;
   return Status::OK();
 }
 
 Result<Row> HeapTable::Get(RowId rid) const {
-  if (!Exists(rid)) {
+  const std::optional<Row>* slot = SlotFor(rid);
+  if (slot == nullptr || !slot->has_value()) {
     return Status::NotFound("no row " + std::to_string(rid) + " in " + name_);
   }
   GlobalMetrics().table_rows_read++;
-  return *slots_[rid - 1];
+  return **slot;
 }
 
 bool HeapTable::Exists(RowId rid) const {
-  return rid != kInvalidRowId && rid <= slots_.size() &&
-         slots_[rid - 1].has_value();
+  const std::optional<Row>* slot = SlotFor(rid);
+  return slot != nullptr && slot->has_value();
 }
 
 void HeapTable::Truncate() {
-  for (auto& slot : slots_) slot.reset();
+  for (auto& [id, seg] : segments_) {
+    for (auto& slot : seg.slots) slot.reset();
+    seg.live = 0;
+  }
   live_count_ = 0;
 }
 

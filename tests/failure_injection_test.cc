@@ -233,6 +233,65 @@ TEST_F(FailureInjectionTest, FailedScanSurfacesErrorAndLeaksNothing) {
   EXPECT_EQ(Count("FEq(v, 2)"), 1);
 }
 
+TEST_F(FailureInjectionTest, FailedAddPartitionSliceBuildRollsBack) {
+  conn_.MustExecute(
+      "CREATE TABLE pt (v INTEGER) PARTITION BY RANGE (v) "
+      "(PARTITION p0 VALUES LESS THAN (100))");
+  conn_.MustExecute("INSERT INTO pt VALUES (1)");
+  conn_.MustExecute("CREATE INDEX pidx ON pt(v) INDEXTYPE IS FlakyType");
+
+  // ADD PARTITION must ODCIIndexCreate a slice of every local index; when
+  // that build fails, the partition (and its heap segment) must not be
+  // left behind half-created.
+  g_flaky.fail_create = true;
+  EXPECT_FALSE(
+      conn_.Execute("ALTER TABLE pt ADD PARTITION p1 VALUES LESS THAN (200)")
+          .ok());
+  g_flaky.fail_create = false;
+  // The partition was rolled back: keys in its range still have no home.
+  EXPECT_FALSE(conn_.Execute("INSERT INTO pt VALUES (150)").ok());
+  int64_t parts = conn_.MustExecute(
+                           "SELECT COUNT(*) FROM v$partitions "
+                           "WHERE table_name = 'pt'")
+                      .rows[0][0]
+                      .AsInteger();
+  EXPECT_EQ(parts, 1);
+  // A retry with failures off succeeds and the new slice is maintained.
+  conn_.MustExecute("ALTER TABLE pt ADD PARTITION p1 VALUES LESS THAN (200)");
+  conn_.MustExecute("INSERT INTO pt VALUES (150)");
+  EXPECT_EQ(conn_.MustExecute("SELECT COUNT(*) FROM pt WHERE FEq(v, 150)")
+                .rows[0][0]
+                .AsInteger(),
+            1);
+  // The existing partition's index was untouched throughout.
+  EXPECT_EQ(conn_.MustExecute("SELECT COUNT(*) FROM pt WHERE FEq(v, 1)")
+                .rows[0][0]
+                .AsInteger(),
+            1);
+}
+
+TEST_F(FailureInjectionTest, FailedLocalIndexCreateDropsPartialSlices) {
+  conn_.MustExecute(
+      "CREATE TABLE pt (v INTEGER) PARTITION BY RANGE (v) "
+      "(PARTITION p0 VALUES LESS THAN (100), "
+      "PARTITION p1 VALUES LESS THAN (200))");
+  conn_.MustExecute("INSERT INTO pt VALUES (1), (150)");
+  // The slice builds fail: no index may be registered and any slice
+  // created before the failure must be gone.
+  g_flaky.fail_create = true;
+  EXPECT_FALSE(
+      conn_.Execute("CREATE INDEX pidx ON pt(v) INDEXTYPE IS FlakyType").ok());
+  g_flaky.fail_create = false;
+  EXPECT_FALSE(db_.catalog().IndexExists("pidx"));
+  // Retry succeeds — nothing stale blocks the names.
+  EXPECT_TRUE(
+      conn_.Execute("CREATE INDEX pidx ON pt(v) INDEXTYPE IS FlakyType").ok());
+  EXPECT_EQ(conn_.MustExecute("SELECT COUNT(*) FROM pt WHERE FEq(v, 150)")
+                .rows[0][0]
+                .AsInteger(),
+            1);
+}
+
 TEST_F(FailureInjectionTest, ExplicitTransactionSurvivesFailedStatement) {
   conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
   conn_.MustExecute("BEGIN");

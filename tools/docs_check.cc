@@ -102,7 +102,8 @@ int CheckLinks(const fs::path& root) {
 // Renders the live perf-view schemas in the golden-file format.
 std::string LiveVdollarSchemas(exi::Database* db) {
   std::ostringstream os;
-  for (const char* view : {"v$odci_calls", "v$storage_metrics"}) {
+  for (const char* view : {"v$odci_calls", "v$storage_metrics",
+                           "v$partitions"}) {
     os << view << "\n";
     exi::Result<exi::HeapTable*> table = db->catalog().GetTable(view);
     if (!table.ok()) {
