@@ -36,15 +36,19 @@ echo "==> bench smoke (EXTIDX_BENCH_SMOKE=1: every bench at tiny scale)"
   done
 )
 
+echo "==> fault smoke (EXTIDX_BENCH_SMOKE=1: fail-point sweep at tiny scale)"
+(cd build && EXTIDX_BENCH_SMOKE=1 ./tests/fault_sweep_test)
+
 if [[ "${1:-}" != "quick" ]]; then
-  echo "==> TSan: concurrency_test + observability_test + storage_fastpath_test + partition_test"
+  echo "==> TSan: concurrency_test + observability_test + storage_fastpath_test + partition_test + fault_sweep_test"
   cmake -B build-tsan -S . -DEXTIDX_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target concurrency_test \
-      observability_test storage_fastpath_test partition_test
+      observability_test storage_fastpath_test partition_test fault_sweep_test
   ./build-tsan/tests/concurrency_test
   ./build-tsan/tests/observability_test
   ./build-tsan/tests/storage_fastpath_test
   ./build-tsan/tests/partition_test
+  ./build-tsan/tests/fault_sweep_test
 fi
 
 echo "CI OK"

@@ -60,6 +60,20 @@ OdciIndexInfo IndexInfo::ToOdciInfo(const Schema& table_schema) const {
 
 std::string Catalog::Key(const std::string& name) { return ToLower(name); }
 
+const char* IndexStatusName(IndexStatus status) {
+  switch (status) {
+    case IndexStatus::kValid:
+      return "VALID";
+    case IndexStatus::kInProgress:
+      return "IN_PROGRESS";
+    case IndexStatus::kFailed:
+      return "FAILED";
+    case IndexStatus::kUnusable:
+      return "UNUSABLE";
+  }
+  return "UNKNOWN";
+}
+
 // ---- tables ----
 
 Status Catalog::CreateTable(const std::string& name, Schema schema) {
@@ -345,6 +359,12 @@ bool Catalog::IotExists(const std::string& name) const {
   return iots_.count(Key(name)) > 0;
 }
 
+std::vector<std::string> Catalog::IotNames() const {
+  std::vector<std::string> names;
+  for (const auto& [key, iot] : iots_) names.push_back(iot->name());
+  return names;
+}
+
 Status Catalog::CreateIndexTable(const std::string& name, Schema schema) {
   std::string key = Key(name);
   if (index_tables_.count(key) > 0) {
@@ -371,6 +391,12 @@ Result<HeapTable*> Catalog::GetIndexTable(const std::string& name) {
 
 bool Catalog::IndexTableExists(const std::string& name) const {
   return index_tables_.count(Key(name)) > 0;
+}
+
+std::vector<std::string> Catalog::IndexTableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [key, table] : index_tables_) names.push_back(table->name());
+  return names;
 }
 
 Result<FileStore*> Catalog::GetOrCreateFileStore(

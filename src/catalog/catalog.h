@@ -65,6 +65,21 @@ struct PartitionScheme {
   static size_t HashBucket(const Value& key, size_t fanout);
 };
 
+// Domain-index lifecycle states (docs/fault-tolerance.md).  Mirrors
+// Oracle's DBA_INDEXES.STATUS / DBA_IND_PARTITIONS.STATUS for domain
+// indexes: a failing cartridge routine marks the index (or one LOCAL
+// slice) rather than corrupting the table, and `ALTER INDEX ... REBUILD`
+// returns it to VALID.
+enum class IndexStatus {
+  kValid,       // usable by the planner and maintained by DML
+  kInProgress,  // build/rebuild running; scans get an ORA-01502-style error
+  kFailed,      // deferred-policy maintenance failure; contents stale
+  kUnusable,    // rebuild itself failed; storage state unknown
+};
+
+// "VALID" / "IN_PROGRESS" / "FAILED" / "UNUSABLE".
+const char* IndexStatusName(IndexStatus status);
+
 // One partition's slice of a LOCAL domain index: a dedicated ODCIIndex
 // implementation instance whose storage objects were created with the
 // suffixed index name `<index>#<partition>` (cartridge-authors-guide.md).
@@ -72,6 +87,7 @@ struct LocalIndexPartition {
   std::string partition_name;
   uint32_t segment_id = 0;
   std::shared_ptr<OdciIndex> impl;
+  IndexStatus status = IndexStatus::kValid;
 };
 
 // Dictionary record for an index (built-in or domain).
@@ -95,8 +111,42 @@ struct IndexInfo {
   // addressed via ImplForSegment().
   std::vector<LocalIndexPartition> local_parts;
 
+  // Lifecycle state (docs/fault-tolerance.md).  For LOCAL indexes the
+  // per-slice statuses are authoritative and `status` only reflects
+  // whole-index transitions (CREATE/REBUILD without a PARTITION clause);
+  // use effective_status() for display.
+  IndexStatus status = IndexStatus::kValid;
+  std::string last_error;   // most recent failure that changed the status
+  uint64_t retries = 0;     // guard retry attempts charged to this index
+
   bool is_local() const { return !local_parts.empty(); }
   bool is_domain() const { return domain_impl != nullptr || is_local(); }
+
+  // Worst state across the index and (for LOCAL) its slices, in severity
+  // order UNUSABLE > FAILED > IN_PROGRESS > VALID.
+  IndexStatus effective_status() const {
+    IndexStatus worst = status;
+    auto sev = [](IndexStatus s) {
+      switch (s) {
+        case IndexStatus::kValid: return 0;
+        case IndexStatus::kInProgress: return 1;
+        case IndexStatus::kFailed: return 2;
+        case IndexStatus::kUnusable: return 3;
+      }
+      return 0;
+    };
+    for (const LocalIndexPartition& p : local_parts) {
+      if (sev(p.status) > sev(worst)) worst = p.status;
+    }
+    return worst;
+  }
+  size_t failed_slices() const {
+    size_t n = 0;
+    for (const LocalIndexPartition& p : local_parts) {
+      if (p.status != IndexStatus::kValid) ++n;
+    }
+    return n;
+  }
 
   // Any implementation instance (global, or first partition's): valid for
   // capability probes and trace labels, which are uniform across partitions.
@@ -108,6 +158,12 @@ struct IndexInfo {
   // The partition slice owning heap segment `segment`, or nullptr.
   const LocalIndexPartition* PartForSegment(uint32_t segment) const {
     for (const LocalIndexPartition& p : local_parts) {
+      if (p.segment_id == segment) return &p;
+    }
+    return nullptr;
+  }
+  LocalIndexPartition* PartForSegment(uint32_t segment) {
+    for (LocalIndexPartition& p : local_parts) {
       if (p.segment_id == segment) return &p;
     }
     return nullptr;
@@ -191,11 +247,13 @@ class Catalog {
   Result<Iot*> GetIot(const std::string& name);
   Result<const Iot*> GetIot(const std::string& name) const;
   bool IotExists(const std::string& name) const;
+  std::vector<std::string> IotNames() const;
 
   Status CreateIndexTable(const std::string& name, Schema schema);
   Status DropIndexTable(const std::string& name);
   Result<HeapTable*> GetIndexTable(const std::string& name);
   bool IndexTableExists(const std::string& name) const;
+  std::vector<std::string> IndexTableNames() const;
 
   LobStore& lobs() { return lobs_; }
   const LobStore& lobs() const { return lobs_; }

@@ -30,6 +30,8 @@ StorageMetrics StorageMetrics::Delta(const StorageMetrics& since) const {
       odci_batch_maintenance_calls - since.odci_batch_maintenance_calls;
   d.odci_batch_maintenance_rows =
       odci_batch_maintenance_rows - since.odci_batch_maintenance_rows;
+  d.odci_retries = odci_retries - since.odci_retries;
+  d.odci_call_timeouts = odci_call_timeouts - since.odci_call_timeouts;
   d.functional_evaluations =
       functional_evaluations - since.functional_evaluations;
   d.partitions_pruned = partitions_pruned - since.partitions_pruned;
@@ -53,6 +55,8 @@ std::string StorageMetrics::ToString() const {
      << " odci_maint=" << odci_maintenance_calls
      << " odci_batch_maint=" << odci_batch_maintenance_calls
      << " odci_batch_rows=" << odci_batch_maintenance_rows
+     << " odci_retries=" << odci_retries
+     << " odci_timeouts=" << odci_call_timeouts
      << " lob_cow_copied=" << lob_cow_chunks_copied
      << " lob_snap_bytes=" << lob_snapshot_bytes
      << " func_evals=" << functional_evaluations
@@ -102,6 +106,8 @@ StorageMetrics AtomicStorageMetrics::Snapshot() const {
       odci_batch_maintenance_calls.load(std::memory_order_relaxed);
   s.odci_batch_maintenance_rows =
       odci_batch_maintenance_rows.load(std::memory_order_relaxed);
+  s.odci_retries = odci_retries.load(std::memory_order_relaxed);
+  s.odci_call_timeouts = odci_call_timeouts.load(std::memory_order_relaxed);
   s.functional_evaluations =
       functional_evaluations.load(std::memory_order_relaxed);
   s.partitions_pruned = partitions_pruned.load(std::memory_order_relaxed);
@@ -133,6 +139,8 @@ void AtomicStorageMetrics::Reset() {
   odci_maintenance_calls = 0;
   odci_batch_maintenance_calls = 0;
   odci_batch_maintenance_rows = 0;
+  odci_retries = 0;
+  odci_call_timeouts = 0;
   functional_evaluations = 0;
   partitions_pruned = 0;
   partitions_scanned = 0;

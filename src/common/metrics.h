@@ -58,6 +58,11 @@ struct StorageMetrics {
   // and the rows they covered; rows/calls = mean batch width.
   uint64_t odci_batch_maintenance_calls = 0;
   uint64_t odci_batch_maintenance_rows = 0;
+  // Retrying ODCI call guard (docs/fault-tolerance.md): attempts re-issued
+  // after a transient (IoError/Busy) failure, and logical calls abandoned
+  // because the per-call retry deadline expired.
+  uint64_t odci_retries = 0;
+  uint64_t odci_call_timeouts = 0;
   uint64_t functional_evaluations = 0;  // per-row operator function calls
 
   // Partitioned tables (DESIGN.md §7): partitions eliminated by static
@@ -102,6 +107,8 @@ void ForEachMetric(const StorageMetrics& m, Fn&& fn) {
   fn("odci_maintenance_calls", m.odci_maintenance_calls);
   fn("odci_batch_maintenance_calls", m.odci_batch_maintenance_calls);
   fn("odci_batch_maintenance_rows", m.odci_batch_maintenance_rows);
+  fn("odci_retries", m.odci_retries);
+  fn("odci_call_timeouts", m.odci_call_timeouts);
   fn("functional_evaluations", m.functional_evaluations);
   fn("partitions_pruned", m.partitions_pruned);
   fn("partitions_scanned", m.partitions_scanned);
@@ -135,6 +142,8 @@ struct AtomicStorageMetrics {
   std::atomic<uint64_t> odci_maintenance_calls{0};
   std::atomic<uint64_t> odci_batch_maintenance_calls{0};
   std::atomic<uint64_t> odci_batch_maintenance_rows{0};
+  std::atomic<uint64_t> odci_retries{0};
+  std::atomic<uint64_t> odci_call_timeouts{0};
   std::atomic<uint64_t> functional_evaluations{0};
   std::atomic<uint64_t> partitions_pruned{0};
   std::atomic<uint64_t> partitions_scanned{0};

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "CallbackViolation";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kBusy:
+      return "Busy";
     case StatusCode::kInternal:
       return "Internal";
   }

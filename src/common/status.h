@@ -22,6 +22,7 @@ enum class StatusCode {
   kTransactionAborted,
   kCallbackViolation,  // indextype routine broke the SQL-callback rules
   kIoError,
+  kBusy,  // transient resource contention; safe to retry (like kIoError)
   kInternal,
 };
 
@@ -66,6 +67,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,5 +1,7 @@
 #include "core/callback_guard.h"
 
+#include "common/failpoint.h"
+
 namespace exi {
 
 Status GuardedServerContext::RequireDdl(const char* what) const {
@@ -48,6 +50,7 @@ Status GuardedServerContext::IotTruncate(const std::string& name) {
 
 Status GuardedServerContext::IotInsert(const std::string& name, Row row) {
   EXI_RETURN_IF_ERROR(RequireDml("IotInsert"));
+  EXI_RETURN_IF_ERROR(FailPointRegistry::Global().Fire("callback/iot_insert"));
   EXI_ASSIGN_OR_RETURN(Iot * iot, catalog_->GetIot(name));
   CompositeKey key = iot->KeyOf(row);
   EXI_RETURN_IF_ERROR(iot->Insert(std::move(row)));
@@ -59,6 +62,7 @@ Status GuardedServerContext::IotInsert(const std::string& name, Row row) {
 
 Status GuardedServerContext::IotUpsert(const std::string& name, Row row) {
   EXI_RETURN_IF_ERROR(RequireDml("IotUpsert"));
+  EXI_RETURN_IF_ERROR(FailPointRegistry::Global().Fire("callback/iot_upsert"));
   EXI_ASSIGN_OR_RETURN(Iot * iot, catalog_->GetIot(name));
   CompositeKey key = iot->KeyOf(row);
   Result<Row> old = iot->Get(key);
@@ -78,6 +82,7 @@ Status GuardedServerContext::IotUpsert(const std::string& name, Row row) {
 Status GuardedServerContext::IotDelete(const std::string& name,
                                        const CompositeKey& key) {
   EXI_RETURN_IF_ERROR(RequireDml("IotDelete"));
+  EXI_RETURN_IF_ERROR(FailPointRegistry::Global().Fire("callback/iot_delete"));
   EXI_ASSIGN_OR_RETURN(Iot * iot, catalog_->GetIot(name));
   EXI_ASSIGN_OR_RETURN(Row old_row, iot->Get(key));
   EXI_RETURN_IF_ERROR(iot->Delete(key));
@@ -149,6 +154,8 @@ Status GuardedServerContext::IndexTableTruncate(const std::string& name) {
 Result<RowId> GuardedServerContext::IndexTableInsert(const std::string& name,
                                                      Row row) {
   EXI_RETURN_IF_ERROR(RequireDml("IndexTableInsert"));
+  EXI_RETURN_IF_ERROR(
+      FailPointRegistry::Global().Fire("callback/index_table_insert"));
   EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetIndexTable(name));
   EXI_ASSIGN_OR_RETURN(RowId rid, table->Insert(std::move(row)));
   if (txn_ != nullptr) {
@@ -160,6 +167,8 @@ Result<RowId> GuardedServerContext::IndexTableInsert(const std::string& name,
 Status GuardedServerContext::IndexTableDelete(const std::string& name,
                                               RowId rid) {
   EXI_RETURN_IF_ERROR(RequireDml("IndexTableDelete"));
+  EXI_RETURN_IF_ERROR(
+      FailPointRegistry::Global().Fire("callback/index_table_delete"));
   EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetIndexTable(name));
   EXI_ASSIGN_OR_RETURN(Row old_row, table->Get(rid));
   EXI_RETURN_IF_ERROR(table->Delete(rid));
@@ -224,6 +233,7 @@ Status GuardedServerContext::DropLob(LobId id) {
 Status GuardedServerContext::WriteLob(LobId id, uint64_t offset,
                                       const std::vector<uint8_t>& data) {
   EXI_RETURN_IF_ERROR(RequireDml("WriteLob"));
+  EXI_RETURN_IF_ERROR(FailPointRegistry::Global().Fire("callback/lob_write"));
   EXI_RETURN_IF_ERROR(SnapshotLobForUndo(id));
   return catalog_->lobs().Write(id, offset, data);
 }
@@ -231,6 +241,7 @@ Status GuardedServerContext::WriteLob(LobId id, uint64_t offset,
 Status GuardedServerContext::AppendLob(LobId id,
                                        const std::vector<uint8_t>& data) {
   EXI_RETURN_IF_ERROR(RequireDml("AppendLob"));
+  EXI_RETURN_IF_ERROR(FailPointRegistry::Global().Fire("callback/lob_append"));
   EXI_RETURN_IF_ERROR(SnapshotLobForUndo(id));
   return catalog_->lobs().Append(id, data);
 }
@@ -263,6 +274,7 @@ Result<FileStore*> GuardedServerContext::ExternalFiles(
 Status GuardedServerContext::ScanBaseTable(
     const std::string& table_name,
     const std::function<bool(RowId, const Row&)>& visit) const {
+  EXI_RETURN_IF_ERROR(FailPointRegistry::Global().Fire("callback/base_scan"));
   EXI_ASSIGN_OR_RETURN(const HeapTable* table,
                        static_cast<const Catalog*>(catalog_)
                            ->GetTable(table_name));

@@ -1,15 +1,88 @@
 #include "core/domain_index.h"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
+#include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/tracer.h"
 #include "core/buffered_context.h"
 
 namespace exi {
+
+namespace {
+
+// Statuses the call guard treats as transient and retries; everything else
+// fails the call on the first attempt (cartridge-authors-guide.md "Error
+// contract").
+bool IsTransientStatus(const Status& s) {
+  return s.code() == StatusCode::kIoError || s.code() == StatusCode::kBusy;
+}
+
+// ORA-01502-style error for scans that race an index status transition.
+Status IndexUnusableError(const std::string& index_name, IndexStatus status) {
+  return Status::ConstraintViolation(
+      "ORA-01502: index '" + index_name +
+      "' or partition of such index is in " +
+      std::string(IndexStatusName(status)) + " state");
+}
+
+}  // namespace
+
+Status DomainIndexManager::GuardedOdciCall(IndexInfo* index, const char* site,
+                                           const char* routine,
+                                           const char* label,
+                                           FunctionRef<Status()> call) {
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t backoff_us = retry_policy_.initial_backoff_us;
+  for (int attempt = 1;; ++attempt) {
+    Status s;
+    {
+      // One trace entry per attempt: retries show up in V$ODCI_CALLS as
+      // extra (failed) calls, exactly like re-issued dispatches would.
+      ScopedOdciTrace trace(index->indextype, label, routine);
+      s = FailPointRegistry::Global().Fire(site);
+      if (s.ok()) s = call();
+      if (!s.ok()) trace.set_failed();
+    }
+    if (s.ok() || !IsTransientStatus(s)) return s;
+    if (attempt >= retry_policy_.max_attempts) return s;
+    const uint64_t elapsed_us = uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    if (elapsed_us + backoff_us > retry_policy_.call_deadline_us) {
+      GlobalMetrics().odci_call_timeouts++;
+      return Status(s.code(),
+                    s.message() + " (" + routine +
+                        " abandoned: retry deadline of " +
+                        std::to_string(retry_policy_.call_deadline_us) +
+                        "us exceeded after " + std::to_string(attempt) +
+                        " attempts)");
+    }
+    GlobalMetrics().odci_retries++;
+    index->retries++;
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us = std::min(backoff_us * 4, retry_policy_.max_backoff_us);
+  }
+}
+
+Status DomainIndexManager::MaintenanceFailed(IndexInfo* index,
+                                             LocalIndexPartition* slice,
+                                             const Status& error) {
+  if (maintenance_policy_ == IndexMaintenancePolicy::kStrict) return error;
+  if (slice != nullptr) {
+    slice->status = IndexStatus::kFailed;
+  } else {
+    index->status = IndexStatus::kFailed;
+  }
+  index->last_error = error.ToString();
+  return Status::OK();
+}
 
 Result<IndexInfo*> DomainIndexManager::GetDomainIndex(
     const std::string& index_name) {
@@ -99,21 +172,28 @@ Status DomainIndexManager::CreateIndex(const std::string& index_name,
     Status parallel =
         ParallelBuild(info.get(), odci_info, table->schema(), txn);
     if (parallel.ok()) return catalog_->AddIndex(std::move(info));
-    if (parallel.code() != StatusCode::kNotSupported) return parallel;
+    if (parallel.code() != StatusCode::kNotSupported) {
+      // Discard whatever storage the aborted build created; the index never
+      // existed, so nothing else will ever drop it.
+      GuardedServerContext cleanup(catalog_, txn, CallbackMode::kDefinition);
+      (void)info->domain_impl->Drop(odci_info, cleanup);
+      return parallel;
+    }
     // The cartridge opted out mid-build (an unbufferable operation or no
     // split build protocol): discard partial storage, rebuild serially.
     GuardedServerContext cleanup(catalog_, txn, CallbackMode::kDefinition);
     (void)info->domain_impl->Drop(odci_info, cleanup);
   }
   GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
-  {
-    ScopedOdciTrace trace(info->indextype, info->domain_impl->TraceLabel(),
-                          "ODCIIndexCreate");
-    Status create = info->domain_impl->Create(odci_info, ctx);
-    if (!create.ok()) {
-      trace.set_failed();
-      return create;
-    }
+  Status created = GuardedOdciCall(
+      info.get(), "odci/create", "ODCIIndexCreate",
+      info->domain_impl->TraceLabel(),
+      [&] { return info->domain_impl->Create(odci_info, ctx); });
+  if (!created.ok()) {
+    // ODCIIndexCreate may fail after creating storage (e.g. mid base-table
+    // scan); best-effort drop so the failed CREATE INDEX leaves no orphan.
+    (void)info->domain_impl->Drop(odci_info, ctx);
+    return created;
   }
   return catalog_->AddIndex(std::move(info));
 }
@@ -124,15 +204,10 @@ Status DomainIndexManager::ParallelBuild(IndexInfo* info,
                                          Transaction* txn) {
   OdciIndex* impl = info->domain_impl.get();
   GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
-  {
-    ScopedOdciTrace trace(info->indextype, impl->TraceLabel(),
-                          "ODCIIndexCreateStorage");
-    Status storage = impl->CreateStorage(odci_info, ctx);
-    if (!storage.ok()) {
-      trace.set_failed();
-      return storage;
-    }
-  }
+  EXI_RETURN_IF_ERROR(GuardedOdciCall(
+      info, "odci/create_storage", "ODCIIndexCreateStorage",
+      impl->TraceLabel(),
+      [&] { return impl->CreateStorage(odci_info, ctx); }));
 
   // Snapshot (rid, value) pairs for the indexed column up front; workers
   // never touch shared catalog state except through read-only forwarding
@@ -172,8 +247,12 @@ Status DomainIndexManager::ParallelBuild(IndexInfo* info,
                                        buf, &itype]() -> Status {
       for (size_t i = begin; i < end; ++i) {
         ScopedOdciTrace trace(itype, impl->TraceLabel(), "ODCIIndexInsert");
-        Status s = impl->Insert(odci_info, rows[i].first, rows[i].second,
-                                *buf);
+        // Fail-point only (no retry guard): workers must not mutate the
+        // per-index retry counter concurrently.
+        Status s = FailPointRegistry::Global().Fire("odci/insert");
+        if (s.ok()) {
+          s = impl->Insert(odci_info, rows[i].first, rows[i].second, *buf);
+        }
         if (!s.ok()) {
           trace.set_failed();
           return s;
@@ -216,14 +295,15 @@ Status DomainIndexManager::BuildLocalSlice(IndexInfo* index,
   OdciIndexInfo part_info = index->ToOdciInfoForPartition(schema, part.name);
   GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
   ctx.RestrictBaseScanToSegment(part.segment_id);
-  {
-    ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
-                          "ODCIIndexCreate");
-    Status create = impl->Create(part_info, ctx);
-    if (!create.ok()) {
-      trace.set_failed();
-      return create;
-    }
+  Status created =
+      GuardedOdciCall(index, "odci/create", "ODCIIndexCreate",
+                      impl->TraceLabel(),
+                      [&] { return impl->Create(part_info, ctx); });
+  if (!created.ok()) {
+    // The slice build may have created storage before failing; drop it so
+    // the caller's unwind (which only sees completed slices) stays complete.
+    (void)impl->Drop(part_info, ctx);
+    return created;
   }
   GlobalMetrics().local_index_storages++;
   index->local_parts.push_back(
@@ -269,18 +349,11 @@ Status DomainIndexManager::DropPartitionIndexes(const std::string& table_name,
     const LocalIndexPartition* slice = index->PartForSegment(part.segment_id);
     if (slice == nullptr) continue;
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
-    {
-      ScopedOdciTrace trace(index->indextype, slice->impl->TraceLabel(),
-                            "ODCIIndexDrop");
-      Status drop = slice->impl->Drop(
-          index->ToOdciInfoForPartition(table->schema(),
-                                        slice->partition_name),
-          ctx);
-      if (!drop.ok()) {
-        trace.set_failed();
-        return drop;
-      }
-    }
+    OdciIndexInfo slice_info = index->ToOdciInfoForPartition(
+        table->schema(), slice->partition_name);
+    EXI_RETURN_IF_ERROR(GuardedOdciCall(
+        index, "odci/drop", "ODCIIndexDrop", slice->impl->TraceLabel(),
+        [&] { return slice->impl->Drop(slice_info, ctx); }));
     index->local_parts.erase(index->local_parts.begin() +
                              (slice - index->local_parts.data()));
   }
@@ -296,15 +369,12 @@ Status DomainIndexManager::TruncatePartitionIndexes(
     const LocalIndexPartition* slice = index->PartForSegment(part.segment_id);
     if (slice == nullptr) continue;
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
-    ScopedOdciTrace trace(index->indextype, slice->impl->TraceLabel(),
-                          "ODCIIndexTruncate");
-    Status s = slice->impl->Truncate(
-        index->ToOdciInfoForPartition(table->schema(), slice->partition_name),
-        ctx);
-    if (!s.ok()) {
-      trace.set_failed();
-      return s;
-    }
+    OdciIndexInfo slice_info = index->ToOdciInfoForPartition(
+        table->schema(), slice->partition_name);
+    EXI_RETURN_IF_ERROR(GuardedOdciCall(
+        index, "odci/truncate", "ODCIIndexTruncate",
+        slice->impl->TraceLabel(),
+        [&] { return slice->impl->Truncate(slice_info, ctx); }));
   }
   return Status::OK();
 }
@@ -334,24 +404,17 @@ Status DomainIndexManager::AlterIndex(const std::string& index_name,
     for (const LocalIndexPartition& part : index->local_parts) {
       OdciIndexInfo part_info = info;
       part_info.index_name = index->name + "#" + part.partition_name;
-      ScopedOdciTrace trace(index->indextype, part.impl->TraceLabel(),
-                            "ODCIIndexAlter");
-      Status alter = part.impl->Alter(part_info, ctx);
-      if (!alter.ok()) {
-        trace.set_failed();
-        return alter;
-      }
+      EXI_RETURN_IF_ERROR(GuardedOdciCall(
+          index, "odci/alter", "ODCIIndexAlter", part.impl->TraceLabel(),
+          [&] { return part.impl->Alter(part_info, ctx); }));
     }
     index->parameters = merged;
     return Status::OK();
   }
-  ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
-                        "ODCIIndexAlter");
-  Status alter = index->domain_impl->Alter(info, ctx);
-  if (!alter.ok()) {
-    trace.set_failed();
-    return alter;
-  }
+  EXI_RETURN_IF_ERROR(GuardedOdciCall(
+      index, "odci/alter", "ODCIIndexAlter",
+      index->domain_impl->TraceLabel(),
+      [&] { return index->domain_impl->Alter(info, ctx); }));
   index->parameters = merged;
   return Status::OK();
 }
@@ -365,25 +428,16 @@ Status DomainIndexManager::DropIndex(const std::string& index_name,
     for (const LocalIndexPartition& part : index->local_parts) {
       OdciIndexInfo part_info = info;
       part_info.index_name = index->name + "#" + part.partition_name;
-      ScopedOdciTrace trace(index->indextype, part.impl->TraceLabel(),
-                            "ODCIIndexDrop");
-      Status drop = part.impl->Drop(part_info, ctx);
-      if (!drop.ok()) {
-        trace.set_failed();
-        return drop;
-      }
+      EXI_RETURN_IF_ERROR(GuardedOdciCall(
+          index, "odci/drop", "ODCIIndexDrop", part.impl->TraceLabel(),
+          [&] { return part.impl->Drop(part_info, ctx); }));
     }
     return catalog_->RemoveIndex(index_name);
   }
-  {
-    ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
-                          "ODCIIndexDrop");
-    Status drop = index->domain_impl->Drop(info, ctx);
-    if (!drop.ok()) {
-      trace.set_failed();
-      return drop;
-    }
-  }
+  EXI_RETURN_IF_ERROR(GuardedOdciCall(
+      index, "odci/drop", "ODCIIndexDrop",
+      index->domain_impl->TraceLabel(),
+      [&] { return index->domain_impl->Drop(info, ctx); }));
   return catalog_->RemoveIndex(index_name);
 }
 
@@ -396,21 +450,16 @@ Status DomainIndexManager::TruncateIndex(const std::string& index_name,
     for (const LocalIndexPartition& part : index->local_parts) {
       OdciIndexInfo part_info = info;
       part_info.index_name = index->name + "#" + part.partition_name;
-      ScopedOdciTrace trace(index->indextype, part.impl->TraceLabel(),
-                            "ODCIIndexTruncate");
-      Status s = part.impl->Truncate(part_info, ctx);
-      if (!s.ok()) {
-        trace.set_failed();
-        return s;
-      }
+      EXI_RETURN_IF_ERROR(GuardedOdciCall(
+          index, "odci/truncate", "ODCIIndexTruncate",
+          part.impl->TraceLabel(),
+          [&] { return part.impl->Truncate(part_info, ctx); }));
     }
     return Status::OK();
   }
-  ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
-                        "ODCIIndexTruncate");
-  Status s = index->domain_impl->Truncate(info, ctx);
-  if (!s.ok()) trace.set_failed();
-  return s;
+  return GuardedOdciCall(index, "odci/truncate", "ODCIIndexTruncate",
+                         index->domain_impl->TraceLabel(),
+                         [&] { return index->domain_impl->Truncate(info, ctx); });
 }
 
 namespace {
@@ -427,20 +476,28 @@ Result<Value> IndexedValue(const IndexInfo* index, const Schema& schema,
 
 // One maintenance dispatch target: the storage implementation plus the
 // OdciIndexInfo naming it — the index itself for a global index, or the
-// partition slice owning the row's heap segment for a LOCAL index.
+// partition slice owning the row's heap segment for a LOCAL index (in
+// which case `slice` points at that partition, for status bookkeeping).
 struct MaintenanceTarget {
   OdciIndex* impl = nullptr;
   OdciIndexInfo info;
+  LocalIndexPartition* slice = nullptr;
+
+  // SKIP_UNUSABLE semantics: maintenance bypasses a non-VALID index/slice;
+  // REBUILD re-derives its contents from the base table later.
+  IndexStatus status(const IndexInfo* index) const {
+    return slice != nullptr ? slice->status : index->status;
+  }
 };
 
 Result<MaintenanceTarget> TargetForRow(IndexInfo* index, const Schema& schema,
                                        RowId rid) {
   if (!index->is_local()) {
     return MaintenanceTarget{index->domain_impl.get(),
-                             index->ToOdciInfo(schema)};
+                             index->ToOdciInfo(schema), nullptr};
   }
   uint32_t segment = HeapTable::SegmentOf(rid);
-  const LocalIndexPartition* part = index->PartForSegment(segment);
+  LocalIndexPartition* part = index->PartForSegment(segment);
   if (part == nullptr) {
     return Status::Internal("rowid " + std::to_string(rid) +
                             " maps to no partition slice of local index " +
@@ -448,7 +505,7 @@ Result<MaintenanceTarget> TargetForRow(IndexInfo* index, const Schema& schema,
   }
   return MaintenanceTarget{
       part->impl.get(),
-      index->ToOdciInfoForPartition(schema, part->partition_name)};
+      index->ToOdciInfoForPartition(schema, part->partition_name), part};
 }
 
 }  // namespace
@@ -461,14 +518,14 @@ Status DomainIndexManager::OnInsert(const std::string& table_name, RowId rid,
     EXI_ASSIGN_OR_RETURN(Value v, IndexedValue(index, table->schema(), row));
     EXI_ASSIGN_OR_RETURN(MaintenanceTarget target,
                          TargetForRow(index, table->schema(), rid));
+    if (target.status(index) != IndexStatus::kValid) continue;
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
     GlobalMetrics().odci_maintenance_calls++;
-    ScopedOdciTrace trace(index->indextype, target.impl->TraceLabel(),
-                          "ODCIIndexInsert");
-    Status s = target.impl->Insert(target.info, rid, v, ctx);
+    Status s = GuardedOdciCall(
+        index, "odci/insert", "ODCIIndexInsert", target.impl->TraceLabel(),
+        [&] { return target.impl->Insert(target.info, rid, v, ctx); });
     if (!s.ok()) {
-      trace.set_failed();
-      return s;
+      EXI_RETURN_IF_ERROR(MaintenanceFailed(index, target.slice, s));
     }
   }
   return Status::OK();
@@ -483,14 +540,14 @@ Status DomainIndexManager::OnDelete(const std::string& table_name, RowId rid,
                          IndexedValue(index, table->schema(), old_row));
     EXI_ASSIGN_OR_RETURN(MaintenanceTarget target,
                          TargetForRow(index, table->schema(), rid));
+    if (target.status(index) != IndexStatus::kValid) continue;
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
     GlobalMetrics().odci_maintenance_calls++;
-    ScopedOdciTrace trace(index->indextype, target.impl->TraceLabel(),
-                          "ODCIIndexDelete");
-    Status s = target.impl->Delete(target.info, rid, v, ctx);
+    Status s = GuardedOdciCall(
+        index, "odci/delete", "ODCIIndexDelete", target.impl->TraceLabel(),
+        [&] { return target.impl->Delete(target.info, rid, v, ctx); });
     if (!s.ok()) {
-      trace.set_failed();
-      return s;
+      EXI_RETURN_IF_ERROR(MaintenanceFailed(index, target.slice, s));
     }
   }
   return Status::OK();
@@ -508,14 +565,16 @@ Status DomainIndexManager::OnUpdate(const std::string& table_name, RowId rid,
                          IndexedValue(index, table->schema(), new_row));
     EXI_ASSIGN_OR_RETURN(MaintenanceTarget target,
                          TargetForRow(index, table->schema(), rid));
+    if (target.status(index) != IndexStatus::kValid) continue;
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
     GlobalMetrics().odci_maintenance_calls++;
-    ScopedOdciTrace trace(index->indextype, target.impl->TraceLabel(),
-                          "ODCIIndexUpdate");
-    Status s = target.impl->Update(target.info, rid, old_v, new_v, ctx);
+    Status s = GuardedOdciCall(
+        index, "odci/update", "ODCIIndexUpdate", target.impl->TraceLabel(),
+        [&] {
+          return target.impl->Update(target.info, rid, old_v, new_v, ctx);
+        });
     if (!s.ok()) {
-      trace.set_failed();
-      return s;
+      EXI_RETURN_IF_ERROR(MaintenanceFailed(index, target.slice, s));
     }
   }
   return Status::OK();
@@ -561,24 +620,21 @@ Status DomainIndexManager::DispatchInsertBatch(
   if (rows.size() > 1 && impl->Capabilities().batch_maintenance) {
     EXI_ASSIGN_OR_RETURN(ValueList values, IndexedValues(index, schema, rows));
     MeterBatchDispatch(rows.size());
-    ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
-                          "ODCIIndexBatchInsert");
-    Status s = impl->BatchInsert(info, RidsOf(rows), values, ctx);
+    std::vector<RowId> rids = RidsOf(rows);
+    Status s = GuardedOdciCall(
+        index, "odci/batch_insert", "ODCIIndexBatchInsert",
+        impl->TraceLabel(),
+        [&] { return impl->BatchInsert(info, rids, values, ctx); });
     if (s.ok()) return Status::OK();
-    trace.set_failed();
     if (s.code() != StatusCode::kNotSupported) return s;
     // Opted out at runtime: fall back to the per-row path below.
   }
   for (const auto& [rid, row] : rows) {
     EXI_ASSIGN_OR_RETURN(Value v, IndexedValue(index, schema, row));
     GlobalMetrics().odci_maintenance_calls++;
-    ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
-                          "ODCIIndexInsert");
-    Status s = impl->Insert(info, rid, v, ctx);
-    if (!s.ok()) {
-      trace.set_failed();
-      return s;
-    }
+    EXI_RETURN_IF_ERROR(GuardedOdciCall(
+        index, "odci/insert", "ODCIIndexInsert", impl->TraceLabel(),
+        [&] { return impl->Insert(info, rid, v, ctx); }));
   }
   return Status::OK();
 }
@@ -590,23 +646,20 @@ Status DomainIndexManager::DispatchDeleteBatch(
   if (rows.size() > 1 && impl->Capabilities().batch_maintenance) {
     EXI_ASSIGN_OR_RETURN(ValueList values, IndexedValues(index, schema, rows));
     MeterBatchDispatch(rows.size());
-    ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
-                          "ODCIIndexBatchDelete");
-    Status s = impl->BatchDelete(info, RidsOf(rows), values, ctx);
+    std::vector<RowId> rids = RidsOf(rows);
+    Status s = GuardedOdciCall(
+        index, "odci/batch_delete", "ODCIIndexBatchDelete",
+        impl->TraceLabel(),
+        [&] { return impl->BatchDelete(info, rids, values, ctx); });
     if (s.ok()) return Status::OK();
-    trace.set_failed();
     if (s.code() != StatusCode::kNotSupported) return s;
   }
   for (const auto& [rid, row] : rows) {
     EXI_ASSIGN_OR_RETURN(Value v, IndexedValue(index, schema, row));
     GlobalMetrics().odci_maintenance_calls++;
-    ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
-                          "ODCIIndexDelete");
-    Status s = impl->Delete(info, rid, v, ctx);
-    if (!s.ok()) {
-      trace.set_failed();
-      return s;
-    }
+    EXI_RETURN_IF_ERROR(GuardedOdciCall(
+        index, "odci/delete", "ODCIIndexDelete", impl->TraceLabel(),
+        [&] { return impl->Delete(info, rid, v, ctx); }));
   }
   return Status::OK();
 }
@@ -625,12 +678,13 @@ Status DomainIndexManager::DispatchUpdateBatch(
       new_values.push_back(std::move(v));
     }
     MeterBatchDispatch(old_rows.size());
-    ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
-                          "ODCIIndexBatchUpdate");
-    Status s = impl->BatchUpdate(info, RidsOf(old_rows), old_values,
-                                 new_values, ctx);
+    std::vector<RowId> rids = RidsOf(old_rows);
+    Status s = GuardedOdciCall(
+        index, "odci/batch_update", "ODCIIndexBatchUpdate",
+        impl->TraceLabel(), [&] {
+          return impl->BatchUpdate(info, rids, old_values, new_values, ctx);
+        });
     if (s.ok()) return Status::OK();
-    trace.set_failed();
     if (s.code() != StatusCode::kNotSupported) return s;
   }
   for (size_t i = 0; i < old_rows.size(); ++i) {
@@ -639,13 +693,10 @@ Status DomainIndexManager::DispatchUpdateBatch(
     EXI_ASSIGN_OR_RETURN(Value new_v,
                          IndexedValue(index, schema, new_rows[i]));
     GlobalMetrics().odci_maintenance_calls++;
-    ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
-                          "ODCIIndexUpdate");
-    Status s = impl->Update(info, old_rows[i].first, old_v, new_v, ctx);
-    if (!s.ok()) {
-      trace.set_failed();
-      return s;
-    }
+    RowId rid = old_rows[i].first;
+    EXI_RETURN_IF_ERROR(GuardedOdciCall(
+        index, "odci/update", "ODCIIndexUpdate", impl->TraceLabel(),
+        [&] { return impl->Update(info, rid, old_v, new_v, ctx); }));
   }
   return Status::OK();
 }
@@ -677,26 +728,30 @@ Status DomainIndexManager::OnInsertBatch(
     if (!index->is_domain()) continue;
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
     if (!index->is_local()) {
-      EXI_RETURN_IF_ERROR(DispatchInsertBatch(
+      if (index->status != IndexStatus::kValid) continue;
+      Status s = DispatchInsertBatch(
           index, index->domain_impl.get(),
-          index->ToOdciInfo(table->schema()), table->schema(), rows, ctx));
+          index->ToOdciInfo(table->schema()), table->schema(), rows, ctx);
+      if (!s.ok()) EXI_RETURN_IF_ERROR(MaintenanceFailed(index, nullptr, s));
       continue;
     }
     // LOCAL index: one dispatch per touched partition slice.
     for (const auto& [segment, positions] : PositionsBySegment(rows)) {
-      const LocalIndexPartition* part = index->PartForSegment(segment);
+      LocalIndexPartition* part = index->PartForSegment(segment);
       if (part == nullptr) {
         return Status::Internal("batch rows map to no partition slice of " +
                                 index->name);
       }
+      if (part->status != IndexStatus::kValid) continue;
       std::vector<std::pair<RowId, Row>> slice;
       slice.reserve(positions.size());
       for (size_t i : positions) slice.push_back(rows[i]);
-      EXI_RETURN_IF_ERROR(DispatchInsertBatch(
+      Status s = DispatchInsertBatch(
           index, part->impl.get(),
           index->ToOdciInfoForPartition(table->schema(),
                                         part->partition_name),
-          table->schema(), slice, ctx));
+          table->schema(), slice, ctx);
+      if (!s.ok()) EXI_RETURN_IF_ERROR(MaintenanceFailed(index, part, s));
     }
   }
   return Status::OK();
@@ -714,26 +769,30 @@ Status DomainIndexManager::OnDeleteBatch(
     if (!index->is_domain()) continue;
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
     if (!index->is_local()) {
-      EXI_RETURN_IF_ERROR(DispatchDeleteBatch(
+      if (index->status != IndexStatus::kValid) continue;
+      Status s = DispatchDeleteBatch(
           index, index->domain_impl.get(),
           index->ToOdciInfo(table->schema()), table->schema(), old_rows,
-          ctx));
+          ctx);
+      if (!s.ok()) EXI_RETURN_IF_ERROR(MaintenanceFailed(index, nullptr, s));
       continue;
     }
     for (const auto& [segment, positions] : PositionsBySegment(old_rows)) {
-      const LocalIndexPartition* part = index->PartForSegment(segment);
+      LocalIndexPartition* part = index->PartForSegment(segment);
       if (part == nullptr) {
         return Status::Internal("batch rows map to no partition slice of " +
                                 index->name);
       }
+      if (part->status != IndexStatus::kValid) continue;
       std::vector<std::pair<RowId, Row>> slice;
       slice.reserve(positions.size());
       for (size_t i : positions) slice.push_back(old_rows[i]);
-      EXI_RETURN_IF_ERROR(DispatchDeleteBatch(
+      Status s = DispatchDeleteBatch(
           index, part->impl.get(),
           index->ToOdciInfoForPartition(table->schema(),
                                         part->partition_name),
-          table->schema(), slice, ctx));
+          table->schema(), slice, ctx);
+      if (!s.ok()) EXI_RETURN_IF_ERROR(MaintenanceFailed(index, part, s));
     }
   }
   return Status::OK();
@@ -756,18 +815,21 @@ Status DomainIndexManager::OnUpdateBatch(
     if (!index->is_domain()) continue;
     GuardedServerContext ctx(catalog_, txn, CallbackMode::kMaintenance);
     if (!index->is_local()) {
-      EXI_RETURN_IF_ERROR(DispatchUpdateBatch(
+      if (index->status != IndexStatus::kValid) continue;
+      Status s = DispatchUpdateBatch(
           index, index->domain_impl.get(),
           index->ToOdciInfo(table->schema()), table->schema(), old_rows,
-          new_rows, ctx));
+          new_rows, ctx);
+      if (!s.ok()) EXI_RETURN_IF_ERROR(MaintenanceFailed(index, nullptr, s));
       continue;
     }
     for (const auto& [segment, positions] : PositionsBySegment(old_rows)) {
-      const LocalIndexPartition* part = index->PartForSegment(segment);
+      LocalIndexPartition* part = index->PartForSegment(segment);
       if (part == nullptr) {
         return Status::Internal("batch rows map to no partition slice of " +
                                 index->name);
       }
+      if (part->status != IndexStatus::kValid) continue;
       std::vector<std::pair<RowId, Row>> old_slice;
       std::vector<Row> new_slice;
       old_slice.reserve(positions.size());
@@ -776,11 +838,12 @@ Status DomainIndexManager::OnUpdateBatch(
         old_slice.push_back(old_rows[i]);
         new_slice.push_back(new_rows[i]);
       }
-      EXI_RETURN_IF_ERROR(DispatchUpdateBatch(
+      Status s = DispatchUpdateBatch(
           index, part->impl.get(),
           index->ToOdciInfoForPartition(table->schema(),
                                         part->partition_name),
-          table->schema(), old_slice, new_slice, ctx));
+          table->schema(), old_slice, new_slice, ctx);
+      if (!s.ok()) EXI_RETURN_IF_ERROR(MaintenanceFailed(index, part, s));
     }
   }
   return Status::OK();
@@ -795,6 +858,12 @@ DomainIndexManager::StartScan(const std::string& index_name,
         "local domain index " + index_name +
         " scans partition-by-partition (StartPartitionScan)");
   }
+  // A scan racing a status transition (deferred maintenance failure or a
+  // concurrent REBUILD) gets a clean ORA-01502-style error rather than
+  // stale or partial results.
+  if (index->status != IndexStatus::kValid) {
+    return IndexUnusableError(index->name, index->status);
+  }
   return StartScanOn(index, index->domain_impl.get(), InfoFor(index), pred);
 }
 
@@ -808,6 +877,13 @@ DomainIndexManager::StartPartitionScan(const std::string& index_name,
   }
   for (const LocalIndexPartition& part : index->local_parts) {
     if (EqualsIgnoreCase(part.partition_name, partition_name)) {
+      if (index->status != IndexStatus::kValid) {
+        return IndexUnusableError(index->name, index->status);
+      }
+      if (part.status != IndexStatus::kValid) {
+        return IndexUnusableError(index->name + "#" + part.partition_name,
+                                  part.status);
+      }
       OdciIndexInfo info = InfoFor(index);
       info.index_name = index->name + "#" + part.partition_name;
       return StartScanOn(index, part.impl.get(), std::move(info), pred);
@@ -826,6 +902,11 @@ DomainIndexManager::StartScanOn(IndexInfo* index, OdciIndex* impl,
   GlobalMetrics().odci_start_calls++;
   ScopedOdciTrace trace(index->indextype, impl->TraceLabel(),
                         "ODCIIndexStart");
+  Status fp = FailPointRegistry::Global().Fire("odci/start");
+  if (!fp.ok()) {
+    trace.set_failed();
+    return fp;
+  }
   Result<OdciScanContext> sctx = impl->Start(info, pred, *ctx);
   if (!sctx.ok()) {
     trace.set_failed();
@@ -850,6 +931,15 @@ Status DomainIndexManager::Scan::NextBatch(size_t max_rows,
   GlobalMetrics().odci_fetch_calls++;
   ScopedOdciTrace trace(index_->indextype, impl_->TraceLabel(),
                         "ODCIIndexFetch");
+  {
+    // Fail-point only: a fetch is never retried, because the scan context
+    // may have advanced before the failure surfaced.
+    Status fp = FailPointRegistry::Global().Fire("odci/fetch");
+    if (!fp.ok()) {
+      trace.set_failed();
+      return fp;
+    }
+  }
   Status s;
   if (sctx_.uses_handle()) {
     s = impl_->Fetch(info_, sctx_, max_rows, out, *ctx_);
@@ -890,7 +980,8 @@ Status DomainIndexManager::Scan::Close() {
   GlobalMetrics().odci_close_calls++;
   ScopedOdciTrace trace(index_->indextype, impl_->TraceLabel(),
                         "ODCIIndexClose");
-  Status s = impl_->Close(info_, sctx_, *ctx_);
+  Status s = FailPointRegistry::Global().Fire("odci/close");
+  if (s.ok()) s = impl_->Close(info_, sctx_, *ctx_);
   if (!s.ok()) trace.set_failed();
   return s;
 }
@@ -912,6 +1003,11 @@ Result<double> DomainIndexManager::PredicateSelectivity(
           index->ToOdciInfoForPartition(schema, slice.partition_name);
       ScopedOdciTrace trace(index->indextype, index->AnyImpl()->TraceLabel(),
                             "ODCIStatsSelectivity");
+      Status fp = FailPointRegistry::Global().Fire("odci/stats_selectivity");
+      if (!fp.ok()) {
+        trace.set_failed();
+        return fp;
+      }
       Result<double> sel =
           index->domain_stats->Selectivity(info, pred, table_rows, ctx);
       if (!sel.ok()) {
@@ -925,6 +1021,11 @@ Result<double> DomainIndexManager::PredicateSelectivity(
   OdciIndexInfo info = InfoFor(index);
   ScopedOdciTrace trace(index->indextype, index->AnyImpl()->TraceLabel(),
                         "ODCIStatsSelectivity");
+  Status fp = FailPointRegistry::Global().Fire("odci/stats_selectivity");
+  if (!fp.ok()) {
+    trace.set_failed();
+    return fp;
+  }
   Result<double> sel =
       index->domain_stats->Selectivity(info, pred, table_rows, ctx);
   if (!sel.ok()) trace.set_failed();
@@ -952,6 +1053,11 @@ Result<double> DomainIndexManager::ScanCost(IndexInfo* index,
           index->ToOdciInfoForPartition(schema, slice.partition_name);
       ScopedOdciTrace trace(index->indextype, index->AnyImpl()->TraceLabel(),
                             "ODCIStatsIndexCost");
+      Status fp = FailPointRegistry::Global().Fire("odci/stats_index_cost");
+      if (!fp.ok()) {
+        trace.set_failed();
+        return fp;
+      }
       Result<double> cost = index->domain_stats->IndexCost(
           info, pred, selectivity, table_rows, ctx);
       if (!cost.ok()) {
@@ -965,10 +1071,119 @@ Result<double> DomainIndexManager::ScanCost(IndexInfo* index,
   OdciIndexInfo info = InfoFor(index);
   ScopedOdciTrace trace(index->indextype, index->AnyImpl()->TraceLabel(),
                         "ODCIStatsIndexCost");
+  Status fp = FailPointRegistry::Global().Fire("odci/stats_index_cost");
+  if (!fp.ok()) {
+    trace.set_failed();
+    return fp;
+  }
   Result<double> cost = index->domain_stats->IndexCost(info, pred, selectivity,
                                                        table_rows, ctx);
   if (!cost.ok()) trace.set_failed();
   return cost;
+}
+
+Status DomainIndexManager::RebuildSlice(IndexInfo* index, const Schema& schema,
+                                        LocalIndexPartition* slice,
+                                        Transaction* txn) {
+  slice->status = IndexStatus::kInProgress;
+  GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
+  ctx.RestrictBaseScanToSegment(slice->segment_id);
+  OdciIndexInfo info =
+      index->ToOdciInfoForPartition(schema, slice->partition_name);
+  {
+    // Best-effort drop of the stale slice storage: FAILED contents are out
+    // of date and UNUSABLE ones may be partial, so ODCIIndexDrop must
+    // tolerate both (cartridge-authors-guide.md "Error contract").
+    ScopedOdciTrace trace(index->indextype, slice->impl->TraceLabel(),
+                          "ODCIIndexDrop");
+    Status drop = slice->impl->Drop(info, ctx);
+    if (!drop.ok()) trace.set_failed();
+  }
+  Result<std::shared_ptr<OdciIndex>> fresh = NewImplFor(index);
+  if (!fresh.ok()) {
+    slice->status = IndexStatus::kUnusable;
+    index->last_error = fresh.status().ToString();
+    return fresh.status();
+  }
+  OdciIndex* impl = fresh->get();
+  Status create =
+      GuardedOdciCall(index, "odci/create", "ODCIIndexCreate",
+                      impl->TraceLabel(),
+                      [&] { return impl->Create(info, ctx); });
+  if (!create.ok()) {
+    slice->status = IndexStatus::kUnusable;
+    index->last_error = create.ToString();
+    return create;
+  }
+  slice->impl = std::move(fresh).value();
+  slice->status = IndexStatus::kValid;
+  return Status::OK();
+}
+
+Status DomainIndexManager::RebuildIndex(const std::string& index_name,
+                                        const std::string& partition_name,
+                                        Transaction* txn) {
+  EXI_ASSIGN_OR_RETURN(IndexInfo * index, GetDomainIndex(index_name));
+  EXI_ASSIGN_OR_RETURN(HeapTable * table, catalog_->GetTable(index->table));
+  const Schema& schema = table->schema();
+
+  if (!partition_name.empty()) {
+    if (!index->is_local()) {
+      return Status::InvalidArgument(
+          "index " + index_name +
+          " is not LOCAL; REBUILD PARTITION applies to local domain indexes");
+    }
+    for (LocalIndexPartition& part : index->local_parts) {
+      if (!EqualsIgnoreCase(part.partition_name, partition_name)) continue;
+      EXI_RETURN_IF_ERROR(RebuildSlice(index, schema, &part, txn));
+      if (index->effective_status() == IndexStatus::kValid) {
+        index->last_error.clear();
+      }
+      return Status::OK();
+    }
+    return Status::NotFound("no partition " + partition_name + " in index " +
+                            index_name);
+  }
+
+  if (index->is_local()) {
+    for (LocalIndexPartition& part : index->local_parts) {
+      EXI_RETURN_IF_ERROR(RebuildSlice(index, schema, &part, txn));
+    }
+    index->status = IndexStatus::kValid;
+    index->last_error.clear();
+    return Status::OK();
+  }
+
+  index->status = IndexStatus::kInProgress;
+  GuardedServerContext ctx(catalog_, txn, CallbackMode::kDefinition);
+  OdciIndexInfo info = index->ToOdciInfo(schema);
+  {
+    // Best-effort drop (see RebuildSlice).
+    ScopedOdciTrace trace(index->indextype, index->domain_impl->TraceLabel(),
+                          "ODCIIndexDrop");
+    Status drop = index->domain_impl->Drop(info, ctx);
+    if (!drop.ok()) trace.set_failed();
+  }
+  Result<std::shared_ptr<OdciIndex>> fresh = NewImplFor(index);
+  if (!fresh.ok()) {
+    index->status = IndexStatus::kUnusable;
+    index->last_error = fresh.status().ToString();
+    return fresh.status();
+  }
+  OdciIndex* impl = fresh->get();
+  Status create =
+      GuardedOdciCall(index, "odci/create", "ODCIIndexCreate",
+                      impl->TraceLabel(),
+                      [&] { return impl->Create(info, ctx); });
+  if (!create.ok()) {
+    index->status = IndexStatus::kUnusable;
+    index->last_error = create.ToString();
+    return create;
+  }
+  index->domain_impl = std::move(fresh).value();
+  index->status = IndexStatus::kValid;
+  index->last_error.clear();
+  return Status::OK();
 }
 
 }  // namespace exi

@@ -6,12 +6,33 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/function_ref.h"
 #include "common/thread_pool.h"
 #include "core/callback_guard.h"
 #include "core/odci.h"
 #include "txn/transaction.h"
 
 namespace exi {
+
+// What happens when a domain index's maintenance dispatch still fails after
+// the retry guard gives up (docs/fault-tolerance.md):
+//   kStrict   — the DML statement fails and rolls back (historic behavior).
+//   kDeferred — the DML commits; the index (or the LOCAL slice owning the
+//               row) is marked FAILED and the planner stops using it until
+//               ALTER INDEX ... REBUILD.
+// Session knob: SET INDEX_MAINTENANCE = STRICT | DEFERRED.
+enum class IndexMaintenancePolicy { kStrict, kDeferred };
+
+// Retry/backoff policy for the ODCI call guard.  Transient statuses
+// (IoError, Busy) are re-attempted with capped exponential backoff until
+// either max_attempts is reached or the next backoff would cross the
+// per-call deadline (which bumps odci_call_timeouts).
+struct OdciRetryPolicy {
+  int max_attempts = 3;                // total attempts, including the first
+  uint64_t initial_backoff_us = 200;   // sleep before the first re-attempt
+  uint64_t max_backoff_us = 10000;     // backoff cap (multiplier is 4x)
+  uint64_t call_deadline_us = 500000;  // budget for one logical ODCI call
+};
 
 // DomainIndexManager is the server side of the extensible indexing
 // framework (§2.4): it invokes user-supplied ODCIIndex routines at the
@@ -38,6 +59,28 @@ class DomainIndexManager {
   // True when `index_name` names a domain index whose cartridge declares
   // the parallel_scan capability (concurrent Start/Fetch/Close are safe).
   bool ScanIsParallelSafe(const std::string& index_name);
+
+  // ---- fault tolerance (docs/fault-tolerance.md) ----
+
+  void set_retry_policy(const OdciRetryPolicy& policy) {
+    retry_policy_ = policy;
+  }
+  const OdciRetryPolicy& retry_policy() const { return retry_policy_; }
+
+  void set_maintenance_policy(IndexMaintenancePolicy policy) {
+    maintenance_policy_ = policy;
+  }
+  IndexMaintenancePolicy maintenance_policy() const {
+    return maintenance_policy_;
+  }
+
+  // ALTER INDEX <name> REBUILD [PARTITION <p>]: best-effort ODCIIndexDrop
+  // of the stale storage, then a fresh implementation instance and an
+  // ODCIIndexCreate-style backfill from the base table (segment-restricted
+  // for a single partition slice).  Returns the index/slice to VALID; a
+  // failing rebuild leaves it UNUSABLE.  Legal from any state.
+  Status RebuildIndex(const std::string& index_name,
+                      const std::string& partition_name, Transaction* txn);
 
   DomainIndexManager(const DomainIndexManager&) = delete;
   DomainIndexManager& operator=(const DomainIndexManager&) = delete;
@@ -182,6 +225,24 @@ class DomainIndexManager {
   Result<IndexInfo*> GetDomainIndex(const std::string& index_name);
   OdciIndexInfo InfoFor(IndexInfo* index);
 
+  // The retrying ODCI call guard: fires the fail-point `site`, invokes
+  // `call` under a ScopedOdciTrace (one trace entry per attempt, so retries
+  // are visible in V$ODCI_CALLS), and re-attempts transient failures per
+  // retry_policy_.  Metered by odci_retries / odci_call_timeouts.
+  Status GuardedOdciCall(IndexInfo* index, const char* site,
+                         const char* routine, const char* label,
+                         FunctionRef<Status()> call);
+
+  // Applies maintenance_policy_ to an exhausted-retry maintenance failure:
+  // strict returns `error`; deferred marks the index (or `slice`) FAILED,
+  // records last_error, and returns OK so the DML commits.
+  Status MaintenanceFailed(IndexInfo* index, LocalIndexPartition* slice,
+                           const Status& error);
+
+  // Drops and re-creates one LOCAL partition slice (REBUILD PARTITION).
+  Status RebuildSlice(IndexInfo* index, const Schema& schema,
+                      LocalIndexPartition* slice, Transaction* txn);
+
   // Instantiates a fresh implementation object for `index`'s indextype
   // (LOCAL indexes need one per partition slice).
   Result<std::shared_ptr<OdciIndex>> NewImplFor(const IndexInfo* index);
@@ -224,6 +285,8 @@ class DomainIndexManager {
   Catalog* catalog_;
   size_t parallelism_ = 1;
   ThreadPool* pool_ = nullptr;
+  OdciRetryPolicy retry_policy_;
+  IndexMaintenancePolicy maintenance_policy_ = IndexMaintenancePolicy::kStrict;
 };
 
 }  // namespace exi

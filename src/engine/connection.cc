@@ -6,6 +6,7 @@
 #include <functional>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/tracer.h"
@@ -106,6 +107,16 @@ Result<QueryResult> Connection::Dispatch(Statement* stmt) {
     case StmtKind::kAlterIndex: {
       EXI_RETURN_IF_ERROR(CommitBeforeDdl());
       auto* s = static_cast<sql::AlterIndexStmt*>(stmt);
+      if (s->rebuild) {
+        EXI_RETURN_IF_ERROR(
+            db_->domains().RebuildIndex(s->index, s->partition, nullptr));
+        db_->planner_stats().Clear();
+        QueryResult r;
+        r.message = "index rebuilt: " + s->index +
+                    (s->partition.empty() ? ""
+                                          : " partition " + s->partition);
+        return r;
+      }
       EXI_RETURN_IF_ERROR(
           db_->domains().AlterIndex(s->index, s->parameters, nullptr));
       db_->planner_stats().Clear();
@@ -187,6 +198,21 @@ Result<QueryResult> Connection::Dispatch(Statement* stmt) {
     }
     case StmtKind::kExplain:
       return RunExplain(static_cast<sql::ExplainStmt*>(stmt));
+    case StmtKind::kSet: {
+      auto* s = static_cast<sql::SetStmt*>(stmt);
+      QueryResult r;
+      if (s->target == sql::SetStmt::Target::kIndexMaintenance) {
+        db_->set_index_maintenance_policy(
+            EqualsIgnoreCase(s->value, "deferred")
+                ? IndexMaintenancePolicy::kDeferred
+                : IndexMaintenancePolicy::kStrict);
+        r.message = "index maintenance policy: " + s->value;
+        return r;
+      }
+      EXI_RETURN_IF_ERROR(FailPointRegistry::Global().Set(s->name, s->value));
+      r.message = "failpoint '" + s->name + "' = " + s->value;
+      return r;
+    }
   }
   return Status::Internal("unhandled statement kind");
 }

@@ -11,7 +11,7 @@ namespace {
 constexpr const char* kDictionaryViews[] = {
     "user_tables", "user_indexes", "user_operators", "user_indextypes"};
 constexpr const char* kPerfViews[] = {"v$odci_calls", "v$storage_metrics",
-                                      "v$partitions"};
+                                      "v$partitions", "v$domain_indexes"};
 
 // Routes a row to its owning heap segment: 0 for ordinary tables, else the
 // partition picked by the partition-key value (ORA-14400 when none fits).
@@ -174,6 +174,21 @@ Status Database::RefreshPerfViews() {
                                true});
   EXI_RETURN_IF_ERROR(catalog_.CreateTable("v$partitions", part_schema));
 
+  // V$DOMAIN_INDEXES: one row per domain index, with its lifecycle status
+  // (docs/fault-tolerance.md).  status is the effective status — the worst
+  // across the index and its LOCAL slices — and failed_slices counts slices
+  // currently FAILED or UNUSABLE.
+  Schema di_schema;
+  di_schema.AddColumn(Column{"index_name", DataType::Varchar(128), true});
+  di_schema.AddColumn(Column{"table_name", DataType::Varchar(128), true});
+  di_schema.AddColumn(Column{"indextype", DataType::Varchar(128), true});
+  di_schema.AddColumn(Column{"status", DataType::Varchar(16), true});
+  di_schema.AddColumn(Column{"total_slices", DataType::Integer(), true});
+  di_schema.AddColumn(Column{"failed_slices", DataType::Integer(), true});
+  di_schema.AddColumn(Column{"retries", DataType::Integer(), true});
+  di_schema.AddColumn(Column{"last_error", DataType::Varchar(1000), false});
+  EXI_RETURN_IF_ERROR(catalog_.CreateTable("v$domain_indexes", di_schema));
+
   // Snapshot both sources before inserting: the inserts below bump the
   // storage counters themselves, and a consistent pre-materialization
   // reading is more useful than one skewed row by row.
@@ -233,6 +248,22 @@ Status Database::RefreshPerfViews() {
                     nullptr)
               .status());
     }
+  }
+
+  for (const IndexInfo* idx : catalog_.Indexes()) {
+    if (!idx->is_domain()) continue;
+    EXI_RETURN_IF_ERROR(
+        InsertRow("v$domain_indexes",
+                  {Value::Varchar(idx->name), Value::Varchar(idx->table),
+                   Value::Varchar(idx->indextype),
+                   Value::Varchar(IndexStatusName(idx->effective_status())),
+                   Value::Integer(int64_t(idx->local_parts.size())),
+                   Value::Integer(int64_t(idx->failed_slices())),
+                   Value::Integer(int64_t(idx->retries)),
+                   idx->last_error.empty() ? Value::Null()
+                                           : Value::Varchar(idx->last_error)},
+                  nullptr)
+            .status());
   }
   return Status::OK();
 }

@@ -56,6 +56,17 @@ class Database {
     domains_.set_parallelism(parallelism_);
   }
 
+  // Domain-index maintenance failure policy (docs/fault-tolerance.md):
+  // strict (default) fails the DML statement when a cartridge maintenance
+  // routine fails; deferred marks the index (or LOCAL slice) FAILED and lets
+  // the DML commit, leaving recovery to ALTER INDEX ... REBUILD.
+  IndexMaintenancePolicy index_maintenance_policy() const {
+    return domains_.maintenance_policy();
+  }
+  void set_index_maintenance_policy(IndexMaintenancePolicy policy) {
+    domains_.set_maintenance_policy(policy);
+  }
+
   // ---- row mutation with implicit index maintenance (§2.4.1) ----
   // Every mutation maintains built-in indexes natively and domain indexes
   // through ODCIIndex maintenance routines, and logs undo into `txn`.

@@ -582,6 +582,34 @@ Result<std::unique_ptr<ExecNode>> Planner::PlanTableAccess(
       for (IndexInfo* idx :
            catalog_->IndexesOnColumn(table.table_name, dm->column_name)) {
         if (!idx->is_domain()) continue;
+        // Non-VALID indexes are silently skipped (Oracle SKIP_UNUSABLE
+        // semantics, docs/fault-tolerance.md): the query falls back to the
+        // seq-scan candidate with the predicate as a residual filter.  For
+        // a LOCAL index only the slices a pruned plan would actually scan
+        // need to be VALID.
+        if (idx->status != IndexStatus::kValid) {
+          *explain += "domain index " + idx->name + " skipped: status " +
+                      IndexStatusName(idx->effective_status()) +
+                      " (seq-scan fallback)\n";
+          continue;
+        }
+        if (idx->is_local()) {
+          bool usable = true;
+          for (const PartitionDef* p : survivors) {
+            const LocalIndexPartition* slice =
+                idx->PartForSegment(p->segment_id);
+            if (slice == nullptr || slice->status != IndexStatus::kValid) {
+              usable = false;
+              break;
+            }
+          }
+          if (!usable) {
+            *explain += "domain index " + idx->name + " skipped: status " +
+                        IndexStatusName(idx->effective_status()) +
+                        " (seq-scan fallback)\n";
+            continue;
+          }
+        }
         EXI_ASSIGN_OR_RETURN(const IndexTypeDef* itype,
                              catalog_->GetIndexType(idx->indextype));
         if (!itype->Supports(dm->operator_name, col_type)) continue;
@@ -723,6 +751,13 @@ Result<std::unique_ptr<ExecNode>> Planner::TryDomainIndexJoin(
       // rewrite assumes a single scannable storage object, so skip them
       // (the nested-loop fallback still evaluates the operator per row).
       if (idx->is_local()) continue;
+      // Non-VALID index: skip like single-table planning does; the
+      // nested-loop fallback evaluates the operator functionally.
+      if (idx->status != IndexStatus::kValid) {
+        *explain += "domain index " + idx->name + " skipped: status " +
+                    IndexStatusName(idx->status) + " (join fallback)\n";
+        continue;
+      }
       EXI_ASSIGN_OR_RETURN(const IndexTypeDef* itype,
                            catalog_->GetIndexType(idx->indextype));
       if (!itype->Supports(e->function, col_type)) continue;

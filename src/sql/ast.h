@@ -102,6 +102,7 @@ enum class StmtKind {
   kInsert, kUpdate, kDelete, kSelect,
   kBegin, kCommit, kRollback,
   kExplain,
+  kSet,
 };
 
 struct Statement {
@@ -169,10 +170,14 @@ struct CreateIndexStmt : Statement {
   std::string parameters;
 };
 
+// ALTER INDEX name PARAMETERS ('...')
+//           | REBUILD [PARTITION p]          -- docs/fault-tolerance.md
 struct AlterIndexStmt : Statement {
   AlterIndexStmt() : Statement(StmtKind::kAlterIndex) {}
   std::string index;
   std::string parameters;
+  bool rebuild = false;
+  std::string partition;  // REBUILD PARTITION only
 };
 
 struct DropIndexStmt : Statement {
@@ -287,6 +292,18 @@ struct ExplainStmt : Statement {
   // EXPLAIN ANALYZE: execute the inner statement and annotate the plan
   // with per-node actuals and the statement's ODCI-call window.
   bool analyze = false;
+};
+
+// Session settings (docs/fault-tolerance.md):
+//   SET FAILPOINT '<site>' = '<spec>'   -- arm a fail-point ('off' disarms)
+//   SET FAILPOINT '<site>' = OFF
+//   SET INDEX_MAINTENANCE = STRICT | DEFERRED
+struct SetStmt : Statement {
+  SetStmt() : Statement(StmtKind::kSet) {}
+  enum class Target { kFailPoint, kIndexMaintenance };
+  Target target = Target::kFailPoint;
+  std::string name;   // fail-point site name (kFailPoint only)
+  std::string value;  // fail-point spec / policy word
 };
 
 }  // namespace exi::sql

@@ -136,6 +136,7 @@ class Parser {
   Result<std::unique_ptr<Statement>> ParseDelete();
   Result<std::unique_ptr<Statement>> ParseAnalyze();
   Result<std::unique_ptr<Statement>> ParseExplain();
+  Result<std::unique_ptr<Statement>> ParseSet();
 
   Result<std::string> ParseParametersClause();
 
@@ -202,6 +203,7 @@ Result<std::unique_ptr<Statement>> Parser::ParseStatement() {
   if (t.text == "DELETE") return ParseDelete();
   if (t.text == "ANALYZE") return ParseAnalyze();
   if (t.text == "EXPLAIN") return ParseExplain();
+  if (t.text == "SET") return ParseSet();
   if (t.text == "BEGIN") {
     Advance();
     return std::unique_ptr<Statement>(new BeginStmt());
@@ -452,6 +454,14 @@ Result<std::unique_ptr<Statement>> Parser::ParseAlter() {
   EXI_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
   auto stmt = std::make_unique<AlterIndexStmt>();
   EXI_ASSIGN_OR_RETURN(stmt->index, ExpectIdentifier("index name"));
+  if (MatchWord("REBUILD")) {
+    stmt->rebuild = true;
+    if (MatchKeyword("PARTITION")) {
+      EXI_ASSIGN_OR_RETURN(stmt->partition,
+                           ExpectIdentifier("partition name"));
+    }
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
   EXI_RETURN_IF_ERROR(ExpectKeyword("PARAMETERS"));
   EXI_ASSIGN_OR_RETURN(stmt->parameters, ParseParametersClause());
   return std::unique_ptr<Statement>(std::move(stmt));
@@ -630,6 +640,42 @@ Result<std::unique_ptr<Statement>> Parser::ParseExplain() {
   stmt->analyze = MatchKeyword("ANALYZE");
   EXI_ASSIGN_OR_RETURN(stmt->inner, ParseStatement());
   return std::unique_ptr<Statement>(std::move(stmt));
+}
+
+// SET FAILPOINT '<site>' = '<spec>' | OFF
+// SET INDEX_MAINTENANCE = STRICT | DEFERRED
+Result<std::unique_ptr<Statement>> Parser::ParseSet() {
+  Advance();  // SET
+  auto stmt = std::make_unique<SetStmt>();
+  if (MatchWord("FAILPOINT")) {
+    stmt->target = SetStmt::Target::kFailPoint;
+    if (Peek().type != TokenType::kString) {
+      return Error("expected fail-point name string after SET FAILPOINT");
+    }
+    stmt->name = Advance().text;
+    EXI_RETURN_IF_ERROR(ExpectOperator("="));
+    if (MatchWord("OFF")) {
+      stmt->value = "off";
+    } else if (Peek().type == TokenType::kString) {
+      stmt->value = Advance().text;
+    } else {
+      return Error("expected fail-point spec string or OFF");
+    }
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+  if (MatchWord("INDEX_MAINTENANCE")) {
+    stmt->target = SetStmt::Target::kIndexMaintenance;
+    EXI_RETURN_IF_ERROR(ExpectOperator("="));
+    if (MatchWord("STRICT")) {
+      stmt->value = "strict";
+    } else if (MatchWord("DEFERRED")) {
+      stmt->value = "deferred";
+    } else {
+      return Error("expected STRICT or DEFERRED");
+    }
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+  return Error("expected FAILPOINT or INDEX_MAINTENANCE after SET");
 }
 
 // ---- expressions ----

@@ -1,159 +1,39 @@
-// Failure injection: a test cartridge whose ODCI routines fail on command,
-// verifying that the engine keeps base table, built-in indexes, and the
-// cartridge's own index data consistent when user index code errors
-// mid-statement — the transactional guarantees §2.5 promises for
-// in-database index storage.
+// Failure injection: the shared flaky test cartridge (tests/test_cartridges.h)
+// fails on command through the fail-point registry, verifying that the engine
+// keeps base table, built-in indexes, and the cartridge's own index data
+// consistent when user index code errors mid-statement — the transactional
+// guarantees §2.5 promises for in-database index storage.
+//
+// Injected statuses here are Internal (fatal): the ODCI call guard retries
+// transient IoError/Busy failures (docs/fault-tolerance.md), and these tests
+// are about single-shot failure atomicity, not retry recovery — that lives
+// in fault_tolerance_test.cc.
 
 #include <gtest/gtest.h>
 
-#include <memory>
-
-#include "core/odci.h"
+#include "common/failpoint.h"
 #include "core/scan_context.h"
 #include "engine/connection.h"
+#include "test_cartridges.h"
 
 namespace exi {
 namespace {
 
-// Controls for the flaky cartridge (reset per test).
-struct FlakyControls {
-  bool fail_create = false;
-  bool fail_insert = false;
-  bool fail_delete = false;
-  bool fail_start = false;
-  bool fail_fetch = false;
-  // Fail the Nth maintenance call (1-based); 0 = per the flags above.
-  int fail_on_call = 0;
-  int maintenance_calls = 0;
-};
-FlakyControls g_flaky;
-
-// A working value->rowid indextype (IOT-backed) that injects failures.
-class FlakyIndexMethods : public OdciIndex {
- public:
-  static std::string Iot(const OdciIndexInfo& info) {
-    return info.index_name + "$flaky";
-  }
-
-  Status Create(const OdciIndexInfo& info, ServerContext& ctx) override {
-    if (g_flaky.fail_create) {
-      return Status::IoError("injected: create failed");
-    }
-    Schema schema;
-    schema.AddColumn(Column{"v", DataType::Integer(), true});
-    schema.AddColumn(Column{"rid", DataType::Integer(), true});
-    EXI_RETURN_IF_ERROR(ctx.CreateIot(Iot(info), schema, 2));
-    int col = info.indexed_position();
-    Status inner = Status::OK();
-    EXI_RETURN_IF_ERROR(ctx.ScanBaseTable(
-        info.table_name, [&](RowId rid, const Row& row) {
-          if (row[col].is_null()) return true;
-          inner = ctx.IotUpsert(Iot(info),
-                                {row[col], Value::Integer(int64_t(rid))});
-          return inner.ok();
-        }));
-    return inner;
-  }
-  Status Alter(const OdciIndexInfo&, ServerContext&) override {
-    return Status::OK();
-  }
-  Status Truncate(const OdciIndexInfo& info, ServerContext& ctx) override {
-    return ctx.IotTruncate(Iot(info));
-  }
-  Status Drop(const OdciIndexInfo& info, ServerContext& ctx) override {
-    return ctx.DropIot(Iot(info));
-  }
-
-  Status Insert(const OdciIndexInfo& info, RowId rid, const Value& v,
-                ServerContext& ctx) override {
-    ++g_flaky.maintenance_calls;
-    if (g_flaky.fail_insert ||
-        (g_flaky.fail_on_call != 0 &&
-         g_flaky.maintenance_calls == g_flaky.fail_on_call)) {
-      return Status::IoError("injected: insert failed");
-    }
-    if (v.is_null()) return Status::OK();
-    return ctx.IotUpsert(Iot(info), {v, Value::Integer(int64_t(rid))});
-  }
-  Status Delete(const OdciIndexInfo& info, RowId rid, const Value& v,
-                ServerContext& ctx) override {
-    ++g_flaky.maintenance_calls;
-    if (g_flaky.fail_delete) {
-      return Status::IoError("injected: delete failed");
-    }
-    if (v.is_null()) return Status::OK();
-    return ctx.IotDelete(Iot(info), {v, Value::Integer(int64_t(rid))});
-  }
-  Status Update(const OdciIndexInfo& info, RowId rid, const Value& old_v,
-                const Value& new_v, ServerContext& ctx) override {
-    EXI_RETURN_IF_ERROR(Delete(info, rid, old_v, ctx));
-    return Insert(info, rid, new_v, ctx);
-  }
-
-  Result<OdciScanContext> Start(const OdciIndexInfo& info,
-                                const OdciPredInfo& pred,
-                                ServerContext& ctx) override {
-    if (g_flaky.fail_start) {
-      return Status::IoError("injected: start failed");
-    }
-    auto ws = std::make_shared<std::vector<RowId>>();
-    EXI_RETURN_IF_ERROR(ctx.IotScanPrefix(
-        Iot(info), {pred.args[0]}, [&ws](const Row& row) {
-          ws->push_back(RowId(row[1].AsInteger()));
-          return true;
-        }));
-    OdciScanContext sctx;
-    sctx.handle = ScanWorkspaceRegistry::Global().Allocate(ws);
-    return sctx;
-  }
-  Status Fetch(const OdciIndexInfo&, OdciScanContext& sctx, size_t max_rows,
-               OdciFetchBatch* out, ServerContext&) override {
-    if (g_flaky.fail_fetch) {
-      return Status::IoError("injected: fetch failed");
-    }
-    EXI_ASSIGN_OR_RETURN(auto ws,
-                         ScanWorkspaceRegistry::Global()
-                             .GetAs<std::vector<RowId>>(sctx.handle));
-    while (!ws->empty() && out->rids.size() < max_rows) {
-      out->rids.push_back(ws->back());
-      ws->pop_back();
-    }
-    return Status::OK();
-  }
-  Status Close(const OdciIndexInfo&, OdciScanContext& sctx,
-               ServerContext&) override {
-    return ScanWorkspaceRegistry::Global().Release(sctx.handle);
-  }
-};
-
 class FailureInjectionTest : public ::testing::Test {
  protected:
   FailureInjectionTest() : conn_(&db_) {
-    g_flaky = FlakyControls();
-    Catalog& catalog = db_.catalog();
-    EXPECT_TRUE(catalog.functions()
-                    .Register("FEqFn",
-                              [](const ValueList& args) -> Result<Value> {
-                                if (args[0].is_null() || args[1].is_null()) {
-                                  return Value::Null();
-                                }
-                                return Value::Boolean(
-                                    args[0].Equals(args[1]));
-                              })
-                    .ok());
-    EXPECT_TRUE(catalog.implementations()
-                    .Register("FlakyIndexMethods",
-                              [] {
-                                return std::make_shared<FlakyIndexMethods>();
-                              })
-                    .ok());
-    conn_.MustExecute(
-        "CREATE OPERATOR FEq BINDING (INTEGER, INTEGER) RETURN BOOLEAN "
-        "USING FEqFn");
-    conn_.MustExecute(
-        "CREATE INDEXTYPE FlakyType FOR FEq(INTEGER, INTEGER) USING "
-        "FlakyIndexMethods");
+    FailPointRegistry::Global().ClearAll();
+    testcart::RegisterFlakyCartridge(db_.catalog());
+    for (const char* sql : testcart::kFlakySetupSql) conn_.MustExecute(sql);
     conn_.MustExecute("CREATE TABLE t (v INTEGER)");
+  }
+  ~FailureInjectionTest() override { FailPointRegistry::Global().ClearAll(); }
+
+  void Arm(const std::string& site, const std::string& spec) {
+    conn_.MustExecute("SET FAILPOINT '" + site + "' = '" + spec + "'");
+  }
+  void Disarm(const std::string& site) {
+    conn_.MustExecute("SET FAILPOINT '" + site + "' = OFF");
   }
 
   int64_t Count(const std::string& where) {
@@ -167,13 +47,13 @@ class FailureInjectionTest : public ::testing::Test {
 };
 
 TEST_F(FailureInjectionTest, FailedCreateLeavesNoIndexBehind) {
-  g_flaky.fail_create = true;
+  Arm("flaky/create", "status=Internal");
   Result<QueryResult> r = conn_.Execute(
       "CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
   EXPECT_FALSE(r.ok());
   EXPECT_FALSE(db_.catalog().IndexExists("fidx"));
   // A later retry with failures off succeeds.
-  g_flaky.fail_create = false;
+  Disarm("flaky/create");
   EXPECT_TRUE(
       conn_.Execute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType")
           .ok());
@@ -181,11 +61,11 @@ TEST_F(FailureInjectionTest, FailedCreateLeavesNoIndexBehind) {
 
 TEST_F(FailureInjectionTest, FailedMaintenanceRollsBackTheRow) {
   conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
-  g_flaky.fail_insert = true;
+  Arm("flaky/insert", "status=Internal");
   EXPECT_FALSE(conn_.Execute("INSERT INTO t VALUES (7)").ok());
   // The base row is gone: statement-level atomicity despite the cartridge
   // failing AFTER the heap insert.
-  g_flaky.fail_insert = false;
+  Disarm("flaky/insert");
   EXPECT_EQ(Count("v = 7"), 0);
   EXPECT_EQ(Count("FEq(v, 7)"), 0);
   // Engine remains usable afterwards.
@@ -196,10 +76,10 @@ TEST_F(FailureInjectionTest, FailedMaintenanceRollsBackTheRow) {
 TEST_F(FailureInjectionTest, MultiRowInsertFailsAtomically) {
   conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
   // Fail on the third maintenance call: two rows already indexed.
-  g_flaky.fail_on_call = 3;
+  Arm("flaky/insert", "nth=3 status=Internal");
   EXPECT_FALSE(
       conn_.Execute("INSERT INTO t VALUES (1), (2), (3), (4)").ok());
-  g_flaky.fail_on_call = 0;
+  Disarm("flaky/insert");
   EXPECT_EQ(Count("v >= 0"), 0);
   // The cartridge's IOT was rolled back too (undo through ServerContext).
   EXPECT_EQ(Count("FEq(v, 1)"), 0);
@@ -209,9 +89,9 @@ TEST_F(FailureInjectionTest, MultiRowInsertFailsAtomically) {
 TEST_F(FailureInjectionTest, FailedDeleteKeepsRowAndIndexConsistent) {
   conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
   conn_.MustExecute("INSERT INTO t VALUES (5)");
-  g_flaky.fail_delete = true;
+  Arm("flaky/delete", "status=Internal");
   EXPECT_FALSE(conn_.Execute("DELETE FROM t WHERE v = 5").ok());
-  g_flaky.fail_delete = false;
+  Disarm("flaky/delete");
   // Row still present AND still indexed.
   EXPECT_EQ(Count("v = 5"), 1);
   EXPECT_EQ(Count("FEq(v, 5)"), 1);
@@ -221,12 +101,12 @@ TEST_F(FailureInjectionTest, FailedScanSurfacesErrorAndLeaksNothing) {
   conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
   conn_.MustExecute("INSERT INTO t VALUES (1), (2)");
   size_t before = ScanWorkspaceRegistry::Global().active_count();
-  g_flaky.fail_start = true;
+  Arm("flaky/start", "status=Internal");
   EXPECT_FALSE(conn_.Execute("SELECT * FROM t WHERE FEq(v, 1)").ok());
-  g_flaky.fail_start = false;
-  g_flaky.fail_fetch = true;
+  Disarm("flaky/start");
+  Arm("flaky/fetch", "status=Internal");
   EXPECT_FALSE(conn_.Execute("SELECT * FROM t WHERE FEq(v, 1)").ok());
-  g_flaky.fail_fetch = false;
+  Disarm("flaky/fetch");
   // Close ran as a backstop: no leaked workspaces.
   EXPECT_EQ(ScanWorkspaceRegistry::Global().active_count(), before);
   // And the data is intact.
@@ -243,11 +123,11 @@ TEST_F(FailureInjectionTest, FailedAddPartitionSliceBuildRollsBack) {
   // ADD PARTITION must ODCIIndexCreate a slice of every local index; when
   // that build fails, the partition (and its heap segment) must not be
   // left behind half-created.
-  g_flaky.fail_create = true;
+  Arm("flaky/create", "status=Internal");
   EXPECT_FALSE(
       conn_.Execute("ALTER TABLE pt ADD PARTITION p1 VALUES LESS THAN (200)")
           .ok());
-  g_flaky.fail_create = false;
+  Disarm("flaky/create");
   // The partition was rolled back: keys in its range still have no home.
   EXPECT_FALSE(conn_.Execute("INSERT INTO pt VALUES (150)").ok());
   int64_t parts = conn_.MustExecute(
@@ -278,10 +158,10 @@ TEST_F(FailureInjectionTest, FailedLocalIndexCreateDropsPartialSlices) {
   conn_.MustExecute("INSERT INTO pt VALUES (1), (150)");
   // The slice builds fail: no index may be registered and any slice
   // created before the failure must be gone.
-  g_flaky.fail_create = true;
+  Arm("flaky/create", "status=Internal");
   EXPECT_FALSE(
       conn_.Execute("CREATE INDEX pidx ON pt(v) INDEXTYPE IS FlakyType").ok());
-  g_flaky.fail_create = false;
+  Disarm("flaky/create");
   EXPECT_FALSE(db_.catalog().IndexExists("pidx"));
   // Retry succeeds — nothing stale blocks the names.
   EXPECT_TRUE(
@@ -296,9 +176,9 @@ TEST_F(FailureInjectionTest, ExplicitTransactionSurvivesFailedStatement) {
   conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
   conn_.MustExecute("BEGIN");
   conn_.MustExecute("INSERT INTO t VALUES (1)");
-  g_flaky.fail_insert = true;
+  Arm("flaky/insert", "status=Internal");
   EXPECT_FALSE(conn_.Execute("INSERT INTO t VALUES (2)").ok());
-  g_flaky.fail_insert = false;
+  Disarm("flaky/insert");
   conn_.MustExecute("COMMIT");
   // The first statement's work committed; the failed one fully undone.
   EXPECT_EQ(Count("FEq(v, 1)"), 1);

@@ -1,0 +1,262 @@
+// Fault-tolerant domain-index lifecycle (docs/fault-tolerance.md): the
+// retry/backoff ODCI call guard, the deferred maintenance policy that marks
+// indexes FAILED instead of failing DML, planner SKIP_UNUSABLE fallback,
+// V$DOMAIN_INDEXES, and ALTER INDEX ... REBUILD recovery.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "core/odci.h"
+#include "engine/connection.h"
+#include "test_cartridges.h"
+
+namespace exi {
+namespace {
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  FaultToleranceTest() : conn_(&db_) {
+    FailPointRegistry::Global().ClearAll();
+    testcart::RegisterFlakyCartridge(db_.catalog());
+    for (const char* sql : testcart::kFlakySetupSql) conn_.MustExecute(sql);
+    conn_.MustExecute("CREATE TABLE t (v INTEGER)");
+  }
+  ~FaultToleranceTest() override { FailPointRegistry::Global().ClearAll(); }
+
+  void Arm(const std::string& site, const std::string& spec) {
+    conn_.MustExecute("SET FAILPOINT '" + site + "' = '" + spec + "'");
+  }
+  void Disarm(const std::string& site) {
+    conn_.MustExecute("SET FAILPOINT '" + site + "' = OFF");
+  }
+
+  int64_t Count(const std::string& table, const std::string& where) {
+    return conn_
+        .MustExecute("SELECT COUNT(*) FROM " + table + " WHERE " + where)
+        .rows[0][0]
+        .AsInteger();
+  }
+
+  // One row from V$DOMAIN_INDEXES for `index_name`, as (status, retries).
+  std::pair<std::string, int64_t> VdollarStatus(
+      const std::string& index_name) {
+    QueryResult r = conn_.MustExecute(
+        "SELECT status, retries FROM v$domain_indexes WHERE index_name = '" +
+        index_name + "'");
+    EXPECT_EQ(r.rows.size(), 1u);
+    return {r.rows[0][0].AsVarchar(), r.rows[0][1].AsInteger()};
+  }
+
+  Database db_;
+  Connection conn_;
+};
+
+// The acceptance scenario: under the deferred policy a failing
+// ODCIIndexInsert commits the DML, marks the index FAILED (visible in
+// V$DOMAIN_INDEXES), EXPLAIN falls back to a seq scan, and ALTER INDEX ...
+// REBUILD restores VALID with correct contents.
+TEST_F(FaultToleranceTest, DeferredFailureMarksFailedAndRebuildRecovers) {
+  conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
+  conn_.MustExecute("INSERT INTO t VALUES (1)");
+  conn_.MustExecute("SET INDEX_MAINTENANCE = DEFERRED");
+  EXPECT_EQ(db_.index_maintenance_policy(), IndexMaintenancePolicy::kDeferred);
+
+  Arm("flaky/insert", "status=Internal");
+  // The DML commits even though index maintenance failed.
+  EXPECT_TRUE(conn_.Execute("INSERT INTO t VALUES (2)").ok());
+  Disarm("flaky/insert");
+  EXPECT_EQ(Count("t", "v = 2"), 1);
+
+  auto [status, retries] = VdollarStatus("fidx");
+  EXPECT_EQ(status, "FAILED");
+  (void)retries;
+
+  // Planner: the FAILED index is skipped and the operator predicate is
+  // evaluated functionally over a seq scan — correct results, no index.
+  QueryResult plan =
+      conn_.MustExecute("EXPLAIN SELECT * FROM t WHERE FEq(v, 2)");
+  EXPECT_NE(plan.message.find("skipped: status FAILED"), std::string::npos)
+      << plan.message;
+  EXPECT_NE(plan.message.find("SeqScan"), std::string::npos) << plan.message;
+  EXPECT_EQ(Count("t", "FEq(v, 2)"), 1);
+
+  // REBUILD re-runs the ODCIIndexCreate-style backfill and restores VALID;
+  // the row inserted while FAILED is indexed now.
+  conn_.MustExecute("ALTER INDEX fidx REBUILD");
+  EXPECT_EQ(VdollarStatus("fidx").first, "VALID");
+  QueryResult plan2 =
+      conn_.MustExecute("EXPLAIN SELECT * FROM t WHERE FEq(v, 2)");
+  EXPECT_NE(plan2.message.find("DomainIndex(fidx)"), std::string::npos)
+      << plan2.message;
+  EXPECT_EQ(Count("t", "FEq(v, 1)"), 1);
+  EXPECT_EQ(Count("t", "FEq(v, 2)"), 1);
+  conn_.MustExecute("SET INDEX_MAINTENANCE = STRICT");
+}
+
+TEST_F(FaultToleranceTest, TransientFailureIsRetriedAndSucceeds) {
+  conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
+  StorageMetrics before = GlobalMetrics().Snapshot();
+  // One transient failure, then success: the call guard absorbs it.
+  Arm("flaky/insert", "times=1 status=IoError");
+  EXPECT_TRUE(conn_.Execute("INSERT INTO t VALUES (3)").ok());
+  Disarm("flaky/insert");
+  StorageMetrics after = GlobalMetrics().Snapshot();
+  EXPECT_EQ(after.odci_retries - before.odci_retries, 1u);
+  EXPECT_EQ(after.odci_call_timeouts, before.odci_call_timeouts);
+  // The retry is charged to the index and surfaced in V$DOMAIN_INDEXES.
+  auto [status, retries] = VdollarStatus("fidx");
+  EXPECT_EQ(status, "VALID");
+  EXPECT_EQ(retries, 1);
+  EXPECT_EQ(Count("t", "FEq(v, 3)"), 1);
+}
+
+TEST_F(FaultToleranceTest, BusyIsTransientToo) {
+  conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
+  Arm("flaky/insert", "once status=Busy");
+  EXPECT_TRUE(conn_.Execute("INSERT INTO t VALUES (4)").ok());
+  Disarm("flaky/insert");
+  EXPECT_EQ(Count("t", "FEq(v, 4)"), 1);
+}
+
+TEST_F(FaultToleranceTest, ExhaustedRetriesFailUnderStrictPolicy) {
+  conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
+  // Always-transient: the guard retries max_attempts times, then gives up;
+  // strict policy propagates the failure and the row rolls back.
+  Arm("flaky/insert", "status=IoError");
+  Result<QueryResult> r = conn_.Execute("INSERT INTO t VALUES (5)");
+  Disarm("flaky/insert");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(Count("t", "v = 5"), 0);
+  EXPECT_EQ(VdollarStatus("fidx").first, "VALID");
+}
+
+TEST_F(FaultToleranceTest, RetryDeadlineAbandonsTheCall) {
+  conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
+  OdciRetryPolicy tight;
+  tight.max_attempts = 10;
+  tight.initial_backoff_us = 200;
+  tight.call_deadline_us = 1;  // any backoff overshoots the deadline
+  db_.domains().set_retry_policy(tight);
+  StorageMetrics before = GlobalMetrics().Snapshot();
+  Arm("flaky/insert", "status=IoError");
+  Result<QueryResult> r = conn_.Execute("INSERT INTO t VALUES (6)");
+  Disarm("flaky/insert");
+  db_.domains().set_retry_policy(OdciRetryPolicy{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("retry deadline"), std::string::npos)
+      << r.status().ToString();
+  StorageMetrics after = GlobalMetrics().Snapshot();
+  EXPECT_EQ(after.odci_call_timeouts - before.odci_call_timeouts, 1u);
+}
+
+TEST_F(FaultToleranceTest, ScanRacingStatusTransitionGetsOra1502) {
+  conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
+  conn_.MustExecute("INSERT INTO t VALUES (1)");
+  IndexInfo* idx = *db_.catalog().GetIndex("fidx");
+  idx->status = IndexStatus::kInProgress;
+  // The planner re-plans around non-VALID indexes; a scan opened directly
+  // against one (a plan cached before the transition) gets a clean error.
+  OdciPredInfo pred =
+      OdciPredInfo::BooleanTrue("FEq", {Value::Integer(1)});
+  auto scan = db_.domains().StartScan("fidx", pred);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_NE(scan.status().message().find("ORA-01502"), std::string::npos)
+      << scan.status().ToString();
+  idx->status = IndexStatus::kValid;
+  EXPECT_TRUE(db_.domains().StartScan("fidx", pred).ok());
+}
+
+TEST_F(FaultToleranceTest, RebuildPartitionRestoresOneSlice) {
+  conn_.MustExecute(
+      "CREATE TABLE pt (v INTEGER) PARTITION BY RANGE (v) "
+      "(PARTITION p0 VALUES LESS THAN (100), "
+      "PARTITION p1 VALUES LESS THAN (200))");
+  conn_.MustExecute("INSERT INTO pt VALUES (1), (150)");
+  conn_.MustExecute("CREATE INDEX pidx ON pt(v) INDEXTYPE IS FlakyType");
+  conn_.MustExecute("SET INDEX_MAINTENANCE = DEFERRED");
+
+  // Fail maintenance for a row routed to p1: only that slice goes FAILED.
+  Arm("flaky/insert", "status=Internal");
+  EXPECT_TRUE(conn_.Execute("INSERT INTO pt VALUES (160)").ok());
+  Disarm("flaky/insert");
+  QueryResult r = conn_.MustExecute(
+      "SELECT status, failed_slices, total_slices FROM v$domain_indexes "
+      "WHERE index_name = 'pidx'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsVarchar(), "FAILED");
+  EXPECT_EQ(r.rows[0][1].AsInteger(), 1);
+  EXPECT_EQ(r.rows[0][2].AsInteger(), 2);
+
+  // Queries needing p1 fall back to a seq scan but stay correct; queries
+  // pruned to p0 may still use the index.
+  EXPECT_EQ(Count("pt", "FEq(v, 160)"), 1);
+  EXPECT_EQ(Count("pt", "FEq(v, 1)"), 1);
+
+  conn_.MustExecute("ALTER INDEX pidx REBUILD PARTITION p1");
+  QueryResult r2 = conn_.MustExecute(
+      "SELECT status, failed_slices FROM v$domain_indexes "
+      "WHERE index_name = 'pidx'");
+  EXPECT_EQ(r2.rows[0][0].AsVarchar(), "VALID");
+  EXPECT_EQ(r2.rows[0][1].AsInteger(), 0);
+  // The backfill picked up the row inserted while the slice was FAILED.
+  QueryResult plan =
+      conn_.MustExecute("EXPLAIN SELECT * FROM pt WHERE FEq(v, 160)");
+  EXPECT_NE(plan.message.find("PartitionedDomainIndex(pidx)"),
+            std::string::npos)
+      << plan.message;
+  EXPECT_EQ(Count("pt", "FEq(v, 160)"), 1);
+  conn_.MustExecute("SET INDEX_MAINTENANCE = STRICT");
+}
+
+TEST_F(FaultToleranceTest, RebuildOfHealthyGlobalIndexIsIdempotent) {
+  conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
+  conn_.MustExecute("INSERT INTO t VALUES (1), (2)");
+  conn_.MustExecute("ALTER INDEX fidx REBUILD");
+  EXPECT_EQ(VdollarStatus("fidx").first, "VALID");
+  EXPECT_EQ(Count("t", "FEq(v, 1)"), 1);
+  EXPECT_EQ(Count("t", "FEq(v, 2)"), 1);
+}
+
+TEST_F(FaultToleranceTest, FailedRebuildLeavesUnusableNotInProgress) {
+  conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
+  conn_.MustExecute("INSERT INTO t VALUES (1)");
+  Arm("flaky/create", "status=Internal");
+  EXPECT_FALSE(conn_.Execute("ALTER INDEX fidx REBUILD").ok());
+  Disarm("flaky/create");
+  // Never stuck IN_PROGRESS: the failed rebuild parks the index UNUSABLE.
+  EXPECT_EQ(VdollarStatus("fidx").first, "UNUSABLE");
+  // Data remains reachable through the seq-scan fallback, and a second
+  // rebuild recovers.
+  EXPECT_EQ(Count("t", "FEq(v, 1)"), 1);
+  conn_.MustExecute("ALTER INDEX fidx REBUILD");
+  EXPECT_EQ(VdollarStatus("fidx").first, "VALID");
+}
+
+TEST_F(FaultToleranceTest, BadFailpointSpecsAreRejected) {
+  EXPECT_FALSE(conn_.Execute("SET FAILPOINT 'x' = 'bogus'").ok());
+  EXPECT_FALSE(conn_.Execute("SET FAILPOINT 'x' = 'nth=abc'").ok());
+  EXPECT_FALSE(conn_.Execute("SET FAILPOINT 'x' = 'prob=2'").ok());
+  EXPECT_FALSE(conn_.Execute("SET FAILPOINT 'x' = 'status=NoSuchCode'").ok());
+  EXPECT_FALSE(conn_.Execute("SET FAILPOINT 'x' = 'every=0'").ok());
+  // A pure latency point and a disarm round-trip are fine.
+  EXPECT_TRUE(conn_.Execute("SET FAILPOINT 'x' = 'once sleep=1'").ok());
+  EXPECT_TRUE(conn_.Execute("SET FAILPOINT 'x' = OFF").ok());
+}
+
+TEST_F(FaultToleranceTest, EngineFailpointSiteInjectsWithoutCartridgeHelp) {
+  // The engine-side odci/insert site fires before the cartridge is even
+  // called: fault injection needs no cooperation from the indextype.
+  conn_.MustExecute("CREATE INDEX fidx ON t(v) INDEXTYPE IS FlakyType");
+  Arm("odci/insert", "status=Internal");
+  EXPECT_FALSE(conn_.Execute("INSERT INTO t VALUES (9)").ok());
+  Disarm("odci/insert");
+  EXPECT_EQ(Count("t", "v = 9"), 0);
+  conn_.MustExecute("INSERT INTO t VALUES (9)");
+  EXPECT_EQ(Count("t", "FEq(v, 9)"), 1);
+}
+
+}  // namespace
+}  // namespace exi

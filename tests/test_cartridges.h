@@ -1,0 +1,143 @@
+// Shared failing test cartridge for fault-tolerance tests.
+//
+// FlakyIndexMethods is a working value->rowid indextype (IOT-backed) whose
+// every ODCI routine runs through a cartridge-side fail-point before doing
+// real work, so tests inject failures with the ordinary registry spec
+// grammar (docs/fault-tolerance.md) instead of ad-hoc globals:
+//
+//   SET FAILPOINT 'flaky/insert' = 'status=Internal'      -- fatal, no retry
+//   SET FAILPOINT 'flaky/insert' = 'times=1 status=IoError'  -- one transient
+//
+// Sites: flaky/create, flaky/alter, flaky/truncate, flaky/drop,
+// flaky/insert, flaky/delete, flaky/start, flaky/fetch, flaky/close.
+// Remember FailPointRegistry::Global() is process-wide: call ClearAll() in
+// the test fixture constructor so armed points never leak across tests.
+
+#ifndef EXTIDX_TESTS_TEST_CARTRIDGES_H_
+#define EXTIDX_TESTS_TEST_CARTRIDGES_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/failpoint.h"
+#include "core/odci.h"
+#include "core/scan_context.h"
+
+namespace exi {
+namespace testcart {
+
+class FlakyIndexMethods : public OdciIndex {
+ public:
+  static std::string Iot(const OdciIndexInfo& info) {
+    return info.index_name + "$flaky";
+  }
+
+  Status Create(const OdciIndexInfo& info, ServerContext& ctx) override {
+    EXI_RETURN_IF_ERROR(FailPointRegistry::Global().Fire("flaky/create"));
+    Schema schema;
+    schema.AddColumn(Column{"v", DataType::Integer(), true});
+    schema.AddColumn(Column{"rid", DataType::Integer(), true});
+    EXI_RETURN_IF_ERROR(ctx.CreateIot(Iot(info), schema, 2));
+    int col = info.indexed_position();
+    Status inner = Status::OK();
+    EXI_RETURN_IF_ERROR(ctx.ScanBaseTable(
+        info.table_name, [&](RowId rid, const Row& row) {
+          if (row[col].is_null()) return true;
+          inner = ctx.IotUpsert(Iot(info),
+                                {row[col], Value::Integer(int64_t(rid))});
+          return inner.ok();
+        }));
+    return inner;
+  }
+  Status Alter(const OdciIndexInfo&, ServerContext&) override {
+    return FailPointRegistry::Global().Fire("flaky/alter");
+  }
+  Status Truncate(const OdciIndexInfo& info, ServerContext& ctx) override {
+    EXI_RETURN_IF_ERROR(FailPointRegistry::Global().Fire("flaky/truncate"));
+    return ctx.IotTruncate(Iot(info));
+  }
+  Status Drop(const OdciIndexInfo& info, ServerContext& ctx) override {
+    EXI_RETURN_IF_ERROR(FailPointRegistry::Global().Fire("flaky/drop"));
+    // REBUILD requires Drop to be idempotent (cartridge-authors-guide.md):
+    // a FAILED index's storage may already be partially gone.
+    if (!ctx.IotExists(Iot(info))) return Status::OK();
+    return ctx.DropIot(Iot(info));
+  }
+
+  Status Insert(const OdciIndexInfo& info, RowId rid, const Value& v,
+                ServerContext& ctx) override {
+    EXI_RETURN_IF_ERROR(FailPointRegistry::Global().Fire("flaky/insert"));
+    if (v.is_null()) return Status::OK();
+    return ctx.IotUpsert(Iot(info), {v, Value::Integer(int64_t(rid))});
+  }
+  Status Delete(const OdciIndexInfo& info, RowId rid, const Value& v,
+                ServerContext& ctx) override {
+    EXI_RETURN_IF_ERROR(FailPointRegistry::Global().Fire("flaky/delete"));
+    if (v.is_null()) return Status::OK();
+    return ctx.IotDelete(Iot(info), {v, Value::Integer(int64_t(rid))});
+  }
+  Status Update(const OdciIndexInfo& info, RowId rid, const Value& old_v,
+                const Value& new_v, ServerContext& ctx) override {
+    EXI_RETURN_IF_ERROR(Delete(info, rid, old_v, ctx));
+    return Insert(info, rid, new_v, ctx);
+  }
+
+  Result<OdciScanContext> Start(const OdciIndexInfo& info,
+                                const OdciPredInfo& pred,
+                                ServerContext& ctx) override {
+    EXI_RETURN_IF_ERROR(FailPointRegistry::Global().Fire("flaky/start"));
+    auto ws = std::make_shared<std::vector<RowId>>();
+    EXI_RETURN_IF_ERROR(ctx.IotScanPrefix(
+        Iot(info), {pred.args[0]}, [&ws](const Row& row) {
+          ws->push_back(RowId(row[1].AsInteger()));
+          return true;
+        }));
+    OdciScanContext sctx;
+    sctx.handle = ScanWorkspaceRegistry::Global().Allocate(ws);
+    return sctx;
+  }
+  Status Fetch(const OdciIndexInfo&, OdciScanContext& sctx, size_t max_rows,
+               OdciFetchBatch* out, ServerContext&) override {
+    EXI_RETURN_IF_ERROR(FailPointRegistry::Global().Fire("flaky/fetch"));
+    EXI_ASSIGN_OR_RETURN(auto ws,
+                         ScanWorkspaceRegistry::Global()
+                             .GetAs<std::vector<RowId>>(sctx.handle));
+    while (!ws->empty() && out->rids.size() < max_rows) {
+      out->rids.push_back(ws->back());
+      ws->pop_back();
+    }
+    return Status::OK();
+  }
+  Status Close(const OdciIndexInfo&, OdciScanContext& sctx,
+               ServerContext&) override {
+    EXI_RETURN_IF_ERROR(FailPointRegistry::Global().Fire("flaky/close"));
+    return ScanWorkspaceRegistry::Global().Release(sctx.handle);
+  }
+};
+
+// Registers the FEqFn comparison function and the FlakyIndexMethods
+// implementation against `catalog`; pair with kFlakySetupSql (one statement
+// per MustExecute call) to create the operator and indextype.
+inline void RegisterFlakyCartridge(Catalog& catalog) {
+  (void)catalog.functions().Register(
+      "FEqFn", [](const ValueList& args) -> Result<Value> {
+        if (args[0].is_null() || args[1].is_null()) return Value::Null();
+        return Value::Boolean(args[0].Equals(args[1]));
+      });
+  (void)catalog.implementations().Register("FlakyIndexMethods", [] {
+    return std::make_shared<FlakyIndexMethods>();
+  });
+}
+
+inline constexpr const char* kFlakySetupSql[] = {
+    "CREATE OPERATOR FEq BINDING (INTEGER, INTEGER) RETURN BOOLEAN "
+    "USING FEqFn",
+    "CREATE INDEXTYPE FlakyType FOR FEq(INTEGER, INTEGER) USING "
+    "FlakyIndexMethods",
+};
+
+}  // namespace testcart
+}  // namespace exi
+
+#endif  // EXTIDX_TESTS_TEST_CARTRIDGES_H_

@@ -103,7 +103,7 @@ int CheckLinks(const fs::path& root) {
 std::string LiveVdollarSchemas(exi::Database* db) {
   std::ostringstream os;
   for (const char* view : {"v$odci_calls", "v$storage_metrics",
-                           "v$partitions"}) {
+                           "v$partitions", "v$domain_indexes"}) {
     os << view << "\n";
     exi::Result<exi::HeapTable*> table = db->catalog().GetTable(view);
     if (!table.ok()) {
